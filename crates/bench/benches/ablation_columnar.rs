@@ -1,0 +1,71 @@
+//! Ablation: row store vs typed columnar layout (§5.2) on real hardware —
+//! sequential scans, random probes, and COUNTIF over both layouts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ssbench_engine::prelude::*;
+use ssbench_engine::value::Criterion as Crit;
+use ssbench_optimized::ColumnarTable;
+use ssbench_workload::schema::{KEY_COL, STATE_COL};
+use ssbench_workload::{build_sheet, Variant};
+
+const ROWS: u32 = 200_000;
+
+fn bench(c: &mut Criterion) {
+    let sheet = build_sheet(ROWS, Variant::ValueOnly);
+    let table = ColumnarTable::from_sheet(&sheet);
+    let mut order: Vec<u32> = (0..ROWS).collect();
+    let mut rng = SmallRng::seed_from_u64(7);
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.random_range(0..=i));
+    }
+
+    let mut group = c.benchmark_group("ablation_columnar/sum_200k");
+    group.bench_function("rowstore_sequential", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in 0..ROWS {
+                if let Some(n) = sheet.value(CellAddr::new(r, KEY_COL)).as_number() {
+                    acc += n;
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("columnar_sequential", |b| {
+        b.iter(|| table.column(KEY_COL as usize).sum_sequential())
+    });
+    group.bench_function("columnar_random", |b| {
+        b.iter(|| table.column(KEY_COL as usize).sum_in_order(&order))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_columnar/countif_state_200k");
+    let crit = Crit::parse(&Value::text("SD"));
+    group.bench_function("rowstore_scan", |b| {
+        b.iter(|| sheet.eval_str(&format!("=COUNTIF(B1:B{ROWS},\"SD\")")).unwrap())
+    });
+    group.bench_function("columnar_scan", |b| {
+        b.iter(|| table.column(STATE_COL as usize).count_if(&crit))
+    });
+    group.finish();
+}
+
+
+/// Fast criterion config: the heavyweight iterations here are whole harness
+/// experiments, so small sample counts and short measurement windows keep
+/// `cargo bench --workspace` affordable.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation: recompute-from-scratch vs delta-maintained aggregates (§5.5)
+//! across aggregate kinds and data sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssbench_engine::prelude::*;
+use ssbench_engine::value::Criterion as Crit;
+use ssbench_optimized::{AggKind, IncrementalAggregate};
+use ssbench_workload::schema::MEASURE_COL;
+use ssbench_workload::{build_sheet, Variant};
+
+fn bench(c: &mut Criterion) {
+    for rows in [10_000u32, 100_000] {
+        let mut sheet = build_sheet(rows, Variant::ValueOnly);
+        let edit = CellAddr::new(1, MEASURE_COL);
+        let range = Range::column_segment(MEASURE_COL, 0, rows - 1);
+
+        let mut group = c.benchmark_group(format!("ablation_incremental/{rows}"));
+        let src = format!("=COUNTIF(J1:J{rows},1)");
+        group.bench_function("recompute", |b| {
+            b.iter(|| {
+                let old = sheet.value(edit);
+                let new = if old == Value::Number(1.0) { 0 } else { 1 };
+                sheet.set_value(edit, new);
+                sheet.eval_str(&src).unwrap()
+            })
+        });
+        for (name, kind) in [
+            ("delta_countif", AggKind::CountIf(Crit::parse(&Value::Number(1.0)))),
+            ("delta_sum", AggKind::Sum),
+            ("delta_average", AggKind::Average),
+        ] {
+            let mut agg = IncrementalAggregate::build(&sheet, range, kind);
+            group.bench_with_input(BenchmarkId::new(name, rows), &rows, |b, _| {
+                b.iter(|| {
+                    let old = sheet.value(edit);
+                    let new = if old == Value::Number(1.0) {
+                        Value::Number(0.0)
+                    } else {
+                        Value::Number(1.0)
+                    };
+                    sheet.set_value(edit, new.clone());
+                    agg.apply_edit(edit, &old, &new);
+                    agg.value()
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+
+/// Fast criterion config: the heavyweight iterations here are whole harness
+/// experiments, so small sample counts and short measurement windows keep
+/// `cargo bench --workspace` affordable.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);

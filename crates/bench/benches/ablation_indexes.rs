@@ -1,0 +1,62 @@
+//! Ablation: the §5.1 index structures vs naive scans, at several sizes —
+//! the DESIGN.md ablation for the indexing design choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssbench_engine::prelude::*;
+use ssbench_optimized::{HashIndex, SortedIndex};
+use ssbench_workload::schema::{FORMULA_COL_START, KEY_COL, STATE_COL};
+use ssbench_workload::{build_sheet, Variant};
+
+fn bench(c: &mut Criterion) {
+    for rows in [10_000u32, 100_000] {
+        let sheet = build_sheet(rows, Variant::ValueOnly);
+
+        let mut group = c.benchmark_group(format!("ablation_indexes/countif_{rows}"));
+        let src = format!("=COUNTIF(K1:K{rows},1)");
+        group.bench_function("scan", |b| b.iter(|| sheet.eval_str(&src).unwrap()));
+        let hash = HashIndex::build(&sheet, FORMULA_COL_START);
+        group.bench_function("hash_index", |b| b.iter(|| hash.count(&Value::Number(1.0))));
+        group.finish();
+
+        let mut group = c.benchmark_group(format!("ablation_indexes/vlookup_exact_{rows}"));
+        let key = rows - 7;
+        let src = format!("=VLOOKUP({key},A1:B{rows},2,FALSE)");
+        group.bench_function("scan", |b| b.iter(|| sheet.eval_str(&src).unwrap()));
+        let hash = HashIndex::build(&sheet, KEY_COL);
+        group.bench_function("hash_index", |b| {
+            b.iter(|| hash.first_row(&Value::Number(f64::from(key))))
+        });
+        let sorted = SortedIndex::build(&sheet, KEY_COL);
+        group.bench_function("sorted_index", |b| {
+            b.iter(|| sorted.eq_first_row(&Value::Number(f64::from(key))))
+        });
+        group.finish();
+
+        let mut group = c.benchmark_group(format!("ablation_indexes/build_cost_{rows}"));
+            group.bench_with_input(BenchmarkId::new("hash", rows), &rows, |b, _| {
+            b.iter(|| HashIndex::build(&sheet, STATE_COL))
+        });
+        group.bench_with_input(BenchmarkId::new("sorted", rows), &rows, |b, _| {
+            b.iter(|| SortedIndex::build(&sheet, KEY_COL))
+        });
+        group.finish();
+    }
+}
+
+
+/// Fast criterion config: the heavyweight iterations here are whole harness
+/// experiments, so small sample counts and short measurement windows keep
+/// `cargo bench --workspace` affordable.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);

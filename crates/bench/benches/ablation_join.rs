@@ -1,0 +1,66 @@
+//! Ablation: a column of exact-match VLOOKUPs evaluated cell-by-cell (the
+//! systems' model) vs translated to one hash join (§6's "a join instead of
+//! a collection of VLOOKUPs").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssbench_engine::prelude::*;
+use ssbench_optimized::{execute_join, translate_lookup_column};
+
+/// Builds a sheet with a `table_rows`-row build table in F:G and
+/// `probe_rows` VLOOKUP formulas in B keyed on A.
+fn build(probe_rows: u32, table_rows: u32) -> Sheet {
+    let mut s = Sheet::new();
+    for i in 0..table_rows {
+        s.set_value(CellAddr::new(i, 5), i64::from(i + 1));
+        s.set_value(CellAddr::new(i, 6), i64::from((i + 1) * 7));
+    }
+    for i in 0..probe_rows {
+        s.set_value(CellAddr::new(i, 0), i64::from((i % table_rows) + 1));
+        s.set_formula_str(
+            CellAddr::new(i, 1),
+            &format!("=VLOOKUP(A{r},$F$1:$G${table_rows},2,FALSE)", r = i + 1),
+        )
+        .unwrap();
+    }
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    for (probes, table) in [(1_000u32, 1_000u32), (5_000, 2_000)] {
+        let mut group =
+            c.benchmark_group(format!("ablation_join/{probes}probes_x_{table}keys"));
+            group.bench_with_input(
+            BenchmarkId::new("per_cell_vlookups", probes),
+            &probes,
+            |b, _| {
+                let mut s = build(probes, table);
+                b.iter(|| recalc::recalc_all(&mut s))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("hash_join", probes), &probes, |b, _| {
+            let mut s = build(probes, table);
+            let families = translate_lookup_column(&s, 2);
+            assert_eq!(families.len(), 1);
+            b.iter(|| execute_join(&mut s, &families[0]))
+        });
+        group.finish();
+    }
+}
+
+
+/// Fast criterion config: the heavyweight iterations here are whole harness
+/// experiments, so small sample counts and short measurement windows keep
+/// `cargo bench --workspace` affordable.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);

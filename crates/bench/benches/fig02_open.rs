@@ -1,0 +1,48 @@
+//! Criterion bench regenerating Figure 2 (open, §4.1) at bench scale:
+//! measures the real engine work behind each system profile's open.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssbench_bench::bench_config;
+use ssbench_harness::bct::fig2_open;
+use ssbench_systems::{SimSystem, SystemKind};
+use ssbench_workload::{build_doc, Variant};
+
+fn bench(c: &mut Criterion) {
+    // End-to-end figure generation at bench scale.
+    c.bench_function("fig2/harness", |b| {
+        let cfg = bench_config();
+        b.iter(|| fig2_open(&cfg))
+    });
+    // Per-system open of a fixed document.
+    let mut group = c.benchmark_group("fig2/open_2k_rows");
+    for kind in [SystemKind::Excel, SystemKind::Calc, SystemKind::GSheets] {
+        for variant in [Variant::FormulaValue, Variant::ValueOnly] {
+            let doc = build_doc(2_000, variant);
+            let sys = SimSystem::new(kind);
+            group.bench_with_input(
+                BenchmarkId::new(kind.code(), variant.label()),
+                &doc,
+                |b, doc| b.iter(|| sys.open_doc(doc)),
+            );
+        }
+    }
+    group.finish();
+}
+
+
+/// Fast criterion config: the heavyweight iterations here are whole harness
+/// experiments, so small sample counts and short measurement windows keep
+/// `cargo bench --workspace` affordable.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);

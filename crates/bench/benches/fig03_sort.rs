@@ -1,0 +1,48 @@
+//! Criterion bench regenerating Figure 3 (sort, §4.2.1) at bench scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssbench_bench::bench_config_large;
+use ssbench_harness::bct::fig3_sort;
+use ssbench_systems::{SimSystem, SystemKind};
+use ssbench_workload::schema::KEY_COL;
+use ssbench_workload::{build_sheet, Variant};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig3/harness", |b| {
+        let cfg = bench_config_large();
+        b.iter(|| fig3_sort(&cfg))
+    });
+    let mut group = c.benchmark_group("fig3/sort_5k_rows");
+    for kind in [SystemKind::Excel, SystemKind::Calc, SystemKind::GSheets] {
+        for variant in [Variant::FormulaValue, Variant::ValueOnly] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.code(), variant.label()),
+                &variant,
+                |b, &variant| {
+                    let sys = SimSystem::new(kind);
+                    let mut sheet = build_sheet(5_000, variant);
+                    b.iter(|| sys.sort(&mut sheet, KEY_COL))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+
+/// Fast criterion config: the heavyweight iterations here are whole harness
+/// experiments, so small sample counts and short measurement windows keep
+/// `cargo bench --workspace` affordable.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);

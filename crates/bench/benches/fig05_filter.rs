@@ -1,0 +1,50 @@
+//! Criterion bench regenerating Figure 5 (filter, §4.3.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssbench_bench::bench_config;
+use ssbench_engine::prelude::{Criterion as Crit, Value};
+use ssbench_harness::bct::fig5_filter;
+use ssbench_systems::{SimSystem, SystemKind};
+use ssbench_workload::schema::{FILTER_STATE, STATE_COL};
+use ssbench_workload::{build_sheet, Variant};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig5/harness", |b| {
+        let cfg = bench_config();
+        b.iter(|| fig5_filter(&cfg))
+    });
+    let mut group = c.benchmark_group("fig5/filter_10k_rows");
+    let criterion = Crit::parse(&Value::text(FILTER_STATE));
+    for kind in [SystemKind::Excel, SystemKind::Calc, SystemKind::GSheets] {
+        for variant in [Variant::FormulaValue, Variant::ValueOnly] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.code(), variant.label()),
+                &variant,
+                |b, &variant| {
+                    let sys = SimSystem::new(kind);
+                    let mut sheet = build_sheet(10_000, variant);
+                    b.iter(|| sys.filter(&mut sheet, STATE_COL, &criterion))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+
+/// Fast criterion config: the heavyweight iterations here are whole harness
+/// experiments, so small sample counts and short measurement windows keep
+/// `cargo bench --workspace` affordable.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);

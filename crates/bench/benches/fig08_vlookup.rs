@@ -1,0 +1,47 @@
+//! Criterion bench regenerating Figure 8 (VLOOKUP, §4.3.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssbench_bench::bench_config;
+use ssbench_harness::bct::fig8_vlookup;
+use ssbench_systems::{SimSystem, SystemKind};
+use ssbench_workload::{build_sheet, Variant};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig8/harness", |b| {
+        let cfg = bench_config();
+        b.iter(|| fig8_vlookup(&cfg))
+    });
+    let mut group = c.benchmark_group("fig8/vlookup_10k_rows");
+    for kind in [SystemKind::Excel, SystemKind::Calc, SystemKind::GSheets] {
+        for approx in [true, false] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.code(), if approx { "TRUE" } else { "FALSE" }),
+                &approx,
+                |b, &approx| {
+                    let sys = SimSystem::new(kind);
+                    let mut sheet = build_sheet(10_000, Variant::ValueOnly);
+                    b.iter(|| sys.vlookup(&mut sheet, 4_000.0, 10_000, 1, approx))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+
+/// Fast criterion config: the heavyweight iterations here are whole harness
+/// experiments, so small sample counts and short measurement windows keep
+/// `cargo bench --workspace` affordable.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench regenerating Figure 9 (find-and-replace, §5.1.2), plus
+//! the naive-scan vs inverted-index contrast on a fixed sheet.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssbench_bench::bench_config;
+use ssbench_engine::prelude::*;
+use ssbench_harness::oot::fig9_find_replace;
+use ssbench_optimized::InvertedIndex;
+use ssbench_workload::{build_sheet, Variant};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig9/harness", |b| {
+        let cfg = bench_config();
+        b.iter(|| fig9_find_replace(&cfg))
+    });
+    let sheet = build_sheet(10_000, Variant::ValueOnly);
+    let range = sheet.used_range().unwrap();
+    c.bench_function("fig9/naive_absent_scan_10k", |b| {
+        b.iter(|| find_all(&sheet, range, "NOSUCHTOKEN"))
+    });
+    let index = InvertedIndex::build(&sheet);
+    c.bench_function("fig9/indexed_absent_probe_10k", |b| {
+        b.iter(|| index.find_token("NOSUCHTOKEN").len())
+    });
+}
+
+
+/// Fast criterion config: the heavyweight iterations here are whole harness
+/// experiments, so small sample counts and short measurement windows keep
+/// `cargo bench --workspace` affordable.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench regenerating Figure 10 (data layout, §5.2), plus the
+//! real row-store vs columnar scan contrast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssbench_bench::bench_config;
+use ssbench_engine::prelude::*;
+use ssbench_harness::oot::fig10_layout;
+use ssbench_optimized::ColumnarTable;
+use ssbench_workload::schema::KEY_COL;
+use ssbench_workload::{build_sheet, Variant};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig10/harness", |b| {
+        let cfg = bench_config();
+        b.iter(|| fig10_layout(&cfg))
+    });
+    let sheet = build_sheet(100_000, Variant::ValueOnly);
+    c.bench_function("fig10/rowstore_column_sum_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in 0..sheet.nrows() {
+                if let Some(n) = sheet.value(CellAddr::new(r, KEY_COL)).as_number() {
+                    acc += n;
+                }
+            }
+            acc
+        })
+    });
+    let table = ColumnarTable::from_sheet(&sheet);
+    c.bench_function("fig10/columnar_column_sum_100k", |b| {
+        b.iter(|| table.column(KEY_COL as usize).sum_sequential())
+    });
+}
+
+
+/// Fast criterion config: the heavyweight iterations here are whole harness
+/// experiments, so small sample counts and short measurement windows keep
+/// `cargo bench --workspace` affordable.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench regenerating Figure 13 (incremental updates, §5.5),
+//! plus the recompute-from-scratch vs delta-maintenance contrast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssbench_bench::bench_config;
+use ssbench_engine::prelude::*;
+use ssbench_engine::value::Criterion as Crit;
+use ssbench_harness::oot::fig13_incremental;
+use ssbench_optimized::{AggKind, IncrementalAggregate};
+use ssbench_workload::schema::MEASURE_COL;
+use ssbench_workload::{build_sheet, Variant};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig13/harness", |b| {
+        let cfg = bench_config();
+        b.iter(|| fig13_incremental(&cfg))
+    });
+    let mut sheet = build_sheet(50_000, Variant::ValueOnly);
+    let cell = CellAddr::new(0, 20);
+    sheet.set_formula_str(cell, "=COUNTIF(J1:J50000,1)").unwrap();
+    recalc::recalc_all(&mut sheet);
+    let edit = CellAddr::new(1, MEASURE_COL);
+    c.bench_function("fig13/recompute_from_scratch_50k", |b| {
+        b.iter(|| {
+            let old = sheet.value(edit);
+            let new = if old == Value::Number(1.0) { 0 } else { 1 };
+            sheet.set_value(edit, new);
+            recalc::recalc_from(&mut sheet, &[edit])
+        })
+    });
+    let range = Range::column_segment(MEASURE_COL, 0, 49_999);
+    let crit = Crit::parse(&Value::Number(1.0));
+    let mut agg = IncrementalAggregate::build(&sheet, range, AggKind::CountIf(crit));
+    c.bench_function("fig13/incremental_delta_50k", |b| {
+        b.iter(|| {
+            let old = sheet.value(edit);
+            let new = if old == Value::Number(1.0) { Value::Number(0.0) } else { Value::Number(1.0) };
+            sheet.set_value(edit, new.clone());
+            agg.apply_edit(edit, &old, &new);
+            agg.value()
+        })
+    });
+}
+
+
+/// Fast criterion config: the heavyweight iterations here are whole harness
+/// experiments, so small sample counts and short measurement windows keep
+/// `cargo bench --workspace` affordable.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);

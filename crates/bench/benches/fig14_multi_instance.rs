@@ -1,0 +1,54 @@
+//! Criterion bench regenerating Figure 14 (update with N formula
+//! instances, §5.5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssbench_bench::bench_config;
+use ssbench_engine::prelude::*;
+use ssbench_harness::oot::fig14_multi_instance;
+use ssbench_workload::schema::MEASURE_COL;
+use ssbench_workload::{build_sheet, Variant};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig14/harness", |b| {
+        let cfg = bench_config();
+        b.iter(|| fig14_multi_instance(&cfg))
+    });
+    let mut group = c.benchmark_group("fig14/update_with_n_instances_10k_rows");
+    for n in [1u32, 10, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut sheet = build_sheet(10_000, Variant::ValueOnly);
+            for i in 0..n {
+                sheet
+                    .set_formula_str(CellAddr::new(i, 20), "=COUNTIF(J1:J10000,1)")
+                    .unwrap();
+            }
+            recalc::recalc_all(&mut sheet);
+            let edit = CellAddr::new(1, MEASURE_COL);
+            b.iter(|| {
+                let old = sheet.value(edit);
+                let new = if old == Value::Number(1.0) { 0 } else { 1 };
+                sheet.set_value(edit, new);
+                recalc::recalc_from(&mut sheet, &[edit])
+            })
+        });
+    }
+    group.finish();
+}
+
+
+/// Fast criterion config: the heavyweight iterations here are whole harness
+/// experiments, so small sample counts and short measurement windows keep
+/// `cargo bench --workspace` affordable.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench regenerating Table 2 (the interactivity summary) at
+//! bench scale via the stop-after-violation sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssbench_bench::bench_config;
+use ssbench_harness::table2;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table2/compute", |b| {
+        let cfg = bench_config();
+        b.iter(|| table2::compute(&cfg))
+    });
+}
+
+
+/// Fast criterion config: the heavyweight iterations here are whole harness
+/// experiments, so small sample counts and short measurement windows keep
+/// `cargo bench --workspace` affordable.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);

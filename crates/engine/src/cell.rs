@@ -1,0 +1,154 @@
+//! The cell model: a cell holds either a plain value or a formula (parsed
+//! expression + cached result), plus a style.
+
+use serde::{Deserialize, Serialize};
+
+use crate::formula::{self, Expr};
+use crate::style::Style;
+use crate::value::Value;
+
+/// A parsed formula living in a cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Formula {
+    /// The parsed expression.
+    pub expr: Expr,
+    /// The cached result of the last evaluation. Spreadsheets always keep
+    /// the displayed value materialized; what they do *not* do (per §5.5)
+    /// is maintain it incrementally.
+    pub cached: Value,
+}
+
+impl Formula {
+    /// Wraps an expression with an uncomputed (`Empty`) cache.
+    pub fn new(expr: Expr) -> Self {
+        Formula { expr, cached: Value::Empty }
+    }
+
+    /// The canonical source text (with leading `=`).
+    pub fn source(&self) -> String {
+        format!("={}", formula::print(&self.expr))
+    }
+}
+
+/// What a cell contains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CellContent {
+    /// A literal value.
+    Value(Value),
+    /// A formula (boxed: formulae are the minority of cells and the box
+    /// keeps `Cell` small for the 8.5M-cell datasets).
+    Formula(Box<Formula>),
+}
+
+/// One spreadsheet cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    pub content: CellContent,
+    pub style: Style,
+}
+
+impl Cell {
+    /// An empty, unstyled cell.
+    pub fn empty() -> Self {
+        Cell { content: CellContent::Value(Value::Empty), style: Style::plain() }
+    }
+
+    /// A value cell.
+    pub fn value(v: impl Into<Value>) -> Self {
+        Cell { content: CellContent::Value(v.into()), style: Style::plain() }
+    }
+
+    /// A formula cell (uncomputed).
+    pub fn formula(expr: Expr) -> Self {
+        Cell { content: CellContent::Formula(Box::new(Formula::new(expr))), style: Style::plain() }
+    }
+
+    /// True when the cell holds a formula.
+    pub fn is_formula(&self) -> bool {
+        matches!(self.content, CellContent::Formula(_))
+    }
+
+    /// True when the cell is an empty value cell with no styling.
+    pub fn is_vacant(&self) -> bool {
+        self.style.is_plain()
+            && matches!(&self.content, CellContent::Value(Value::Empty))
+    }
+
+    /// The user-visible value: the literal for value cells, the cached
+    /// result for formula cells.
+    pub fn display_value(&self) -> &Value {
+        match &self.content {
+            CellContent::Value(v) => v,
+            CellContent::Formula(f) => &f.cached,
+        }
+    }
+
+    /// The text a user would see in the formula bar: `=SUM(A1:A3)` for
+    /// formulae, the rendered value otherwise.
+    pub fn input_text(&self) -> String {
+        match &self.content {
+            CellContent::Value(v) => v.display(),
+            CellContent::Formula(f) => f.source(),
+        }
+    }
+
+    /// Replaces a formula cell by its cached value (used to derive the
+    /// Value-only dataset from the Formula-value dataset, §3.2: "any
+    /// formulae within cells were replaced by the corresponding value").
+    pub fn freeze(&mut self) {
+        if let CellContent::Formula(f) = &self.content {
+            self.content = CellContent::Value(f.cached.clone());
+        }
+    }
+}
+
+impl Default for Cell {
+    fn default() -> Self {
+        Cell::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::parse;
+
+    #[test]
+    fn value_cell_roundtrip() {
+        let c = Cell::value(3.5);
+        assert!(!c.is_formula());
+        assert_eq!(c.display_value(), &Value::Number(3.5));
+        assert_eq!(c.input_text(), "3.5");
+    }
+
+    #[test]
+    fn formula_cell_shows_source() {
+        let c = Cell::formula(parse("SUM(A1:A3)").unwrap());
+        assert!(c.is_formula());
+        assert_eq!(c.input_text(), "=SUM(A1:A3)");
+        assert_eq!(c.display_value(), &Value::Empty); // not yet computed
+    }
+
+    #[test]
+    fn freeze_converts_formula_to_value() {
+        let mut c = Cell::formula(parse("1+1").unwrap());
+        if let CellContent::Formula(f) = &mut c.content {
+            f.cached = Value::Number(2.0);
+        }
+        c.freeze();
+        assert!(!c.is_formula());
+        assert_eq!(c.display_value(), &Value::Number(2.0));
+        // Freezing a value cell is a no-op.
+        c.freeze();
+        assert_eq!(c.display_value(), &Value::Number(2.0));
+    }
+
+    #[test]
+    fn vacancy() {
+        assert!(Cell::empty().is_vacant());
+        assert!(!Cell::value(0).is_vacant());
+        let mut styled = Cell::empty();
+        styled.style = styled.style.with_fill(crate::style::Color::GREEN);
+        assert!(!styled.is_vacant());
+    }
+}

@@ -1,0 +1,374 @@
+//! The formula dependency graph: which cells each formula reads
+//! (precedents) and, inverted, which formulae each cell feeds (dependents).
+//!
+//! Used for dirty propagation after edits and for ordering recalculation.
+//! Range precedents are tracked separately from single-cell precedents so
+//! that aggregate formulae over large ranges stay cheap to register.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::addr::{CellAddr, Range};
+use crate::formula::Expr;
+
+/// The precedents of one formula.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Precedents {
+    pub cells: Vec<CellAddr>,
+    pub ranges: Vec<Range>,
+}
+
+impl Precedents {
+    /// Extracts the precedents of an expression.
+    pub fn of(expr: &Expr) -> Self {
+        let (cell_refs, range_refs) = expr.refs();
+        Precedents {
+            cells: cell_refs.iter().map(|r| r.addr).collect(),
+            ranges: range_refs.iter().map(|r| r.range()).collect(),
+        }
+    }
+}
+
+/// The dependency graph over formula cells.
+#[derive(Debug, Clone, Default)]
+pub struct DepGraph {
+    /// cell → formulae that reference it directly.
+    dependents: HashMap<CellAddr, Vec<CellAddr>>,
+    /// (range, formula) pairs for range references.
+    range_watchers: Vec<(Range, CellAddr)>,
+    /// formula → its precedents (for removal and ordering).
+    precedents: HashMap<CellAddr, Precedents>,
+}
+
+impl DepGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        DepGraph::default()
+    }
+
+    /// Number of registered formulae.
+    pub fn len(&self) -> usize {
+        self.precedents.len()
+    }
+
+    /// True when no formulae are registered.
+    pub fn is_empty(&self) -> bool {
+        self.precedents.is_empty()
+    }
+
+    /// Whether `addr` is a registered formula.
+    pub fn contains(&self, addr: CellAddr) -> bool {
+        self.precedents.contains_key(&addr)
+    }
+
+    /// Iterates registered formula addresses (unordered).
+    pub fn formula_addrs(&self) -> impl Iterator<Item = CellAddr> + '_ {
+        self.precedents.keys().copied()
+    }
+
+    /// The precedents of a registered formula.
+    pub fn precedents_of(&self, addr: CellAddr) -> Option<&Precedents> {
+        self.precedents.get(&addr)
+    }
+
+    /// Registers (or re-registers) the formula at `addr`.
+    pub fn add(&mut self, addr: CellAddr, expr: &Expr) {
+        self.remove(addr);
+        let prec = Precedents::of(expr);
+        for &p in &prec.cells {
+            self.dependents.entry(p).or_default().push(addr);
+        }
+        for &r in &prec.ranges {
+            self.range_watchers.push((r, addr));
+        }
+        self.precedents.insert(addr, prec);
+    }
+
+    /// Unregisters the formula at `addr` (no-op when absent).
+    pub fn remove(&mut self, addr: CellAddr) {
+        let Some(prec) = self.precedents.remove(&addr) else {
+            return;
+        };
+        for p in &prec.cells {
+            if let Some(deps) = self.dependents.get_mut(p) {
+                deps.retain(|&d| d != addr);
+                if deps.is_empty() {
+                    self.dependents.remove(p);
+                }
+            }
+        }
+        if !prec.ranges.is_empty() {
+            self.range_watchers.retain(|&(_, w)| w != addr);
+        }
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.dependents.clear();
+        self.range_watchers.clear();
+        self.precedents.clear();
+    }
+
+    /// Appends the formulae that directly depend on `addr` to `out`.
+    pub fn dependents_of(&self, addr: CellAddr, out: &mut Vec<CellAddr>) {
+        if let Some(deps) = self.dependents.get(&addr) {
+            out.extend_from_slice(deps);
+        }
+        for &(range, watcher) in &self.range_watchers {
+            if range.contains(addr) {
+                out.push(watcher);
+            }
+        }
+    }
+
+    /// Computes the transitive dirty set reachable from `changed` and
+    /// returns it in a safe evaluation order (precedents before
+    /// dependents). Formulae on a dependency cycle are returned separately.
+    ///
+    /// The changed cells themselves are included in the dirty set only when
+    /// they are formulae.
+    pub fn dirty_order(&self, changed: &[CellAddr]) -> DirtyPlan {
+        // 1. BFS over dependents.
+        let mut dirty: HashSet<CellAddr> = HashSet::new();
+        let mut queue: VecDeque<CellAddr> = VecDeque::new();
+        let mut scratch: Vec<CellAddr> = Vec::new();
+        for &c in changed {
+            if self.contains(c) && dirty.insert(c) {
+                queue.push_back(c);
+            }
+            scratch.clear();
+            self.dependents_of(c, &mut scratch);
+            for &d in &scratch {
+                if dirty.insert(d) {
+                    queue.push_back(d);
+                }
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            scratch.clear();
+            self.dependents_of(f, &mut scratch);
+            for &d in &scratch {
+                if dirty.insert(d) {
+                    queue.push_back(d);
+                }
+            }
+        }
+        self.order_subset(&dirty)
+    }
+
+    /// Orders every registered formula (used for whole-sheet
+    /// recalculation on open).
+    pub fn full_order(&self) -> DirtyPlan {
+        let all: HashSet<CellAddr> = self.precedents.keys().copied().collect();
+        self.order_subset(&all)
+    }
+
+    /// Kahn's algorithm over the sub-graph induced by `subset`.
+    fn order_subset(&self, subset: &HashSet<CellAddr>) -> DirtyPlan {
+        // Index dirty formula cells by column with sorted rows, so range
+        // precedents can locate contained dirty formulae by binary search
+        // instead of scanning the whole range or the whole dirty set.
+        let mut by_col: HashMap<u32, Vec<u32>> = HashMap::new();
+        for &a in subset {
+            by_col.entry(a.col).or_default().push(a.row);
+        }
+        for rows in by_col.values_mut() {
+            rows.sort_unstable();
+        }
+
+        // in-degree and adjacency within the subset.
+        let mut indeg: HashMap<CellAddr, u32> = HashMap::with_capacity(subset.len());
+        let mut edges: HashMap<CellAddr, Vec<CellAddr>> = HashMap::new();
+        for &f in subset {
+            indeg.entry(f).or_insert(0);
+            let Some(prec) = self.precedents.get(&f) else { continue };
+            for &p in &prec.cells {
+                if subset.contains(&p) {
+                    // Self-references (p == f) register an in-degree that
+                    // is never released, correctly classifying the formula
+                    // as cyclic.
+                    edges.entry(p).or_default().push(f);
+                    *indeg.entry(f).or_insert(0) += 1;
+                }
+            }
+            for &r in &prec.ranges {
+                for c in r.start.col..=r.end.col {
+                    let Some(rows) = by_col.get(&c) else { continue };
+                    let lo = rows.partition_point(|&row| row < r.start.row);
+                    let hi = rows.partition_point(|&row| row <= r.end.row);
+                    for &row in &rows[lo..hi] {
+                        let p = CellAddr::new(row, c);
+                        edges.entry(p).or_default().push(f);
+                        *indeg.entry(f).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+
+        let mut ready: Vec<CellAddr> = indeg
+            .iter()
+            .filter_map(|(&a, &d)| if d == 0 { Some(a) } else { None })
+            .collect();
+        // Deterministic order regardless of hash iteration.
+        ready.sort_unstable();
+        let mut order: Vec<CellAddr> = Vec::with_capacity(subset.len());
+        let mut queue: VecDeque<CellAddr> = ready.into();
+        while let Some(f) = queue.pop_front() {
+            order.push(f);
+            if let Some(next) = edges.get(&f) {
+                // Collect newly-ready nodes, sorted for determinism.
+                let mut newly: Vec<CellAddr> = Vec::new();
+                for &n in next {
+                    let d = indeg.get_mut(&n).expect("node in subset");
+                    *d -= 1;
+                    if *d == 0 {
+                        newly.push(n);
+                    }
+                }
+                newly.sort_unstable();
+                queue.extend(newly);
+            }
+        }
+        let mut cyclic: Vec<CellAddr> = if order.len() == subset.len() {
+            Vec::new()
+        } else {
+            let ordered: HashSet<CellAddr> = order.iter().copied().collect();
+            subset.iter().copied().filter(|a| !ordered.contains(a)).collect()
+        };
+        cyclic.sort_unstable();
+        DirtyPlan { order, cyclic }
+    }
+}
+
+/// The result of dirty-set planning: formulae in evaluation order, plus any
+/// formulae stuck on dependency cycles.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DirtyPlan {
+    /// Formulae to evaluate, precedents-first.
+    pub order: Vec<CellAddr>,
+    /// Formulae on cycles (to be marked `#CIRC!`).
+    pub cyclic: Vec<CellAddr>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::parse;
+
+    fn a(s: &str) -> CellAddr {
+        CellAddr::parse(s).unwrap()
+    }
+
+    fn graph(entries: &[(&str, &str)]) -> DepGraph {
+        let mut g = DepGraph::new();
+        for (addr, src) in entries {
+            g.add(a(addr), &parse(src).unwrap());
+        }
+        g
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut g = graph(&[("B1", "A1+A2")]);
+        assert!(g.contains(a("B1")));
+        let mut deps = Vec::new();
+        g.dependents_of(a("A1"), &mut deps);
+        assert_eq!(deps, vec![a("B1")]);
+        g.remove(a("B1"));
+        assert!(g.is_empty());
+        deps.clear();
+        g.dependents_of(a("A1"), &mut deps);
+        assert!(deps.is_empty());
+    }
+
+    #[test]
+    fn range_watchers_fire_for_contained_cells() {
+        let g = graph(&[("C1", "SUM(A1:A10)")]);
+        let mut deps = Vec::new();
+        g.dependents_of(a("A5"), &mut deps);
+        assert_eq!(deps, vec![a("C1")]);
+        deps.clear();
+        g.dependents_of(a("B5"), &mut deps);
+        assert!(deps.is_empty());
+    }
+
+    #[test]
+    fn dirty_order_respects_chains() {
+        // C1 = B1+1, B1 = A1+1: editing A1 must order B1 before C1.
+        let g = graph(&[("C1", "B1+1"), ("B1", "A1+1")]);
+        let plan = g.dirty_order(&[a("A1")]);
+        assert_eq!(plan.order, vec![a("B1"), a("C1")]);
+        assert!(plan.cyclic.is_empty());
+    }
+
+    #[test]
+    fn dirty_order_through_ranges() {
+        // B1 = SUM(A1:A3); C1 = B1*2. Editing A2 dirties both, in order.
+        let g = graph(&[("B1", "SUM(A1:A3)"), ("C1", "B1*2")]);
+        let plan = g.dirty_order(&[a("A2")]);
+        assert_eq!(plan.order, vec![a("B1"), a("C1")]);
+    }
+
+    #[test]
+    fn range_over_formula_cells_creates_edges() {
+        // A1, A2 are formulas; B1 = SUM(A1:A2) must come after both.
+        let g = graph(&[("A1", "1+1"), ("A2", "A1+1"), ("B1", "SUM(A1:A2)")]);
+        let plan = g.full_order();
+        let pos =
+            |addr: CellAddr| plan.order.iter().position(|&x| x == addr).expect("in order");
+        assert!(pos(a("A1")) < pos(a("A2")));
+        assert!(pos(a("A2")) < pos(a("B1")));
+    }
+
+    #[test]
+    fn cycles_are_reported() {
+        let g = graph(&[("A1", "B1+1"), ("B1", "A1+1"), ("C1", "5+1")]);
+        let plan = g.full_order();
+        assert_eq!(plan.order, vec![a("C1")]);
+        assert_eq!(plan.cyclic, vec![a("A1"), a("B1")]);
+    }
+
+    #[test]
+    fn self_reference_is_cyclic() {
+        let g = graph(&[("A1", "A1+1")]);
+        let plan = g.dirty_order(&[a("A1")]);
+        assert!(plan.order.is_empty());
+        assert_eq!(plan.cyclic, vec![a("A1")]);
+    }
+
+    #[test]
+    fn changed_value_cell_is_not_in_order() {
+        let g = graph(&[("B1", "A1+1")]);
+        let plan = g.dirty_order(&[a("A1")]);
+        assert_eq!(plan.order, vec![a("B1")]);
+    }
+
+    #[test]
+    fn reregistering_replaces_precedents() {
+        let mut g = graph(&[("B1", "A1+1")]);
+        g.add(a("B1"), &parse("A2+1").unwrap());
+        let mut deps = Vec::new();
+        g.dependents_of(a("A1"), &mut deps);
+        assert!(deps.is_empty());
+        g.dependents_of(a("A2"), &mut deps);
+        assert_eq!(deps, vec![a("B1")]);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn cumulative_chain_orders_linearly() {
+        // The Fig-11 "reusable" pattern: C1=A1, Ci = Ai + C(i-1).
+        let mut g = DepGraph::new();
+        g.add(a("C1"), &parse("A1").unwrap());
+        for i in 2..=50u32 {
+            g.add(
+                CellAddr::new(i - 1, 2),
+                &parse(&format!("A{i}+C{}", i - 1)).unwrap(),
+            );
+        }
+        let plan = g.dirty_order(&[a("A1")]);
+        assert_eq!(plan.order.len(), 50);
+        for (i, addr) in plan.order.iter().enumerate() {
+            assert_eq!(*addr, CellAddr::new(i as u32, 2));
+        }
+    }
+}

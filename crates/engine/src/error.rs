@@ -1,0 +1,102 @@
+//! Engine error types: host-level errors (`EngineError`) and in-cell
+//! spreadsheet errors (`CellError`, the `#DIV/0!`-style values).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors surfaced by the engine API (as opposed to errors that live *in*
+/// cells, which are [`CellError`] values).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A textual reference such as `B7` or `A1:C3` could not be parsed.
+    BadReference(String),
+    /// A formula failed to parse; the payload is a human-readable reason.
+    Parse(String),
+    /// A named sheet or resource does not exist.
+    NotFound(String),
+    /// An operation was given inconsistent arguments.
+    Invalid(String),
+    /// An I/O failure during import/export.
+    Io(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::BadReference(s) => write!(f, "bad reference: {s}"),
+            EngineError::Parse(s) => write!(f, "formula parse error: {s}"),
+            EngineError::NotFound(s) => write!(f, "not found: {s}"),
+            EngineError::Invalid(s) => write!(f, "invalid operation: {s}"),
+            EngineError::Io(s) => write!(f, "io error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e.to_string())
+    }
+}
+
+/// Spreadsheet cell-level errors, displayed in-grid with the conventional
+/// `#NAME?` spellings. These are *values*: they flow through formula
+/// evaluation exactly like numbers do in real spreadsheet systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellError {
+    /// Division by zero (`#DIV/0!`).
+    Div0,
+    /// Wrong argument type or unparseable formula context (`#VALUE!`).
+    Value,
+    /// Reference to a deleted/off-sheet cell (`#REF!`).
+    Ref,
+    /// Unknown function or name (`#NAME?`).
+    Name,
+    /// Lookup found no match (`#N/A`).
+    Na,
+    /// Numeric overflow/domain error (`#NUM!`).
+    Num,
+    /// Circular dependency detected (`#CIRC!` — rendered as Excel's `0`
+    /// with a warning in real systems; we make it explicit).
+    Circular,
+}
+
+impl CellError {
+    /// The conventional display spelling.
+    pub const fn code(self) -> &'static str {
+        match self {
+            CellError::Div0 => "#DIV/0!",
+            CellError::Value => "#VALUE!",
+            CellError::Ref => "#REF!",
+            CellError::Name => "#NAME?",
+            CellError::Na => "#N/A",
+            CellError::Num => "#NUM!",
+            CellError::Circular => "#CIRC!",
+        }
+    }
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_error_codes() {
+        assert_eq!(CellError::Div0.to_string(), "#DIV/0!");
+        assert_eq!(CellError::Na.code(), "#N/A");
+        assert_eq!(CellError::Circular.code(), "#CIRC!");
+    }
+
+    #[test]
+    fn engine_error_display() {
+        assert_eq!(EngineError::BadReference("Q".into()).to_string(), "bad reference: Q");
+        assert!(EngineError::Parse("x".into()).to_string().contains("parse"));
+    }
+}

@@ -1,0 +1,250 @@
+//! The formula abstract syntax tree.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{CellAddr, CellRef, Range};
+use crate::error::CellError;
+
+/// A reference to a rectangular range, keeping per-corner absolute/relative
+/// markers (`$A$1:B10`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RangeRef {
+    pub start: CellRef,
+    pub end: CellRef,
+}
+
+impl RangeRef {
+    /// The concrete range this reference denotes.
+    pub fn range(&self) -> Range {
+        Range::new(self.start.addr, self.end.addr)
+    }
+
+    /// Adjusts both corners for a copy from `from` to `to` (see
+    /// [`CellRef::adjusted`]).
+    pub fn adjusted(&self, from: CellAddr, to: CellAddr) -> Option<RangeRef> {
+        Some(RangeRef { start: self.start.adjusted(from, to)?, end: self.end.adjusted(from, to)? })
+    }
+}
+
+/// Binary operators, in the dialect shared by the benchmarked systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    /// String concatenation (`&`).
+    Concat,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl BinOp {
+    /// The surface syntax of the operator.
+    pub const fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Pow => "^",
+            BinOp::Concat => "&",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+        }
+    }
+
+    /// Binding power for precedence-climbing. Higher binds tighter.
+    /// Matches Excel: comparison < concat < add/sub < mul/div < pow.
+    pub const fn precedence(self) -> u8 {
+        match self {
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 1,
+            BinOp::Concat => 2,
+            BinOp::Add | BinOp::Sub => 3,
+            BinOp::Mul | BinOp::Div => 4,
+            BinOp::Pow => 5,
+        }
+    }
+
+    /// Whether the operator is right-associative (only `^` in this dialect).
+    pub const fn right_assoc(self) -> bool {
+        matches!(self, BinOp::Pow)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnaryOp {
+    /// Prefix negation `-x`.
+    Neg,
+    /// Prefix plus `+x` (identity, kept for faithful round-tripping).
+    Pos,
+    /// Postfix percent `x%` (divides by 100).
+    Percent,
+}
+
+/// A formula expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    Number(f64),
+    Text(String),
+    Bool(bool),
+    /// A literal error such as `#N/A` typed into a formula.
+    Error(CellError),
+    /// A single-cell reference.
+    Ref(CellRef),
+    /// A rectangular range reference.
+    RangeRef(RangeRef),
+    Unary(UnaryOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// A function call; the name is stored uppercase.
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Collects every cell/range this expression references, in syntactic
+    /// order. Used by the dependency graph and by the reference-analysis
+    /// optimizations.
+    pub fn collect_refs(&self, cells: &mut Vec<CellRef>, ranges: &mut Vec<RangeRef>) {
+        match self {
+            Expr::Ref(r) => cells.push(*r),
+            Expr::RangeRef(r) => ranges.push(*r),
+            Expr::Unary(_, e) => e.collect_refs(cells, ranges),
+            Expr::Binary(_, a, b) => {
+                a.collect_refs(cells, ranges);
+                b.collect_refs(cells, ranges);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_refs(cells, ranges);
+                }
+            }
+            Expr::Number(_) | Expr::Text(_) | Expr::Bool(_) | Expr::Error(_) => {}
+        }
+    }
+
+    /// Convenience: all referenced single cells and ranges.
+    pub fn refs(&self) -> (Vec<CellRef>, Vec<RangeRef>) {
+        let mut cells = Vec::new();
+        let mut ranges = Vec::new();
+        self.collect_refs(&mut cells, &mut ranges);
+        (cells, ranges)
+    }
+
+    /// True when the expression contains any absolute reference component.
+    /// Sorting whole rows never changes the value of formulae whose
+    /// references are all relative (§6, "Detecting what needs
+    /// recomputation").
+    pub fn has_absolute_refs(&self) -> bool {
+        let (cells, ranges) = self.refs();
+        cells.iter().any(|c| c.abs_row || c.abs_col)
+            || ranges
+                .iter()
+                .any(|r| r.start.abs_row || r.start.abs_col || r.end.abs_row || r.end.abs_col)
+    }
+
+    /// Rewrites every reference for a copy from `from` to `to`; references
+    /// that would fall off the sheet become `#REF!` literals.
+    pub fn adjusted(&self, from: CellAddr, to: CellAddr) -> Expr {
+        match self {
+            Expr::Ref(r) => match r.adjusted(from, to) {
+                Some(adj) => Expr::Ref(adj),
+                None => Expr::Error(CellError::Ref),
+            },
+            Expr::RangeRef(r) => match r.adjusted(from, to) {
+                Some(adj) => Expr::RangeRef(adj),
+                None => Expr::Error(CellError::Ref),
+            },
+            Expr::Unary(op, e) => Expr::Unary(*op, Box::new(e.adjusted(from, to))),
+            Expr::Binary(op, a, b) => {
+                Expr::Binary(*op, Box::new(a.adjusted(from, to)), Box::new(b.adjusted(from, to)))
+            }
+            Expr::Call(name, args) => {
+                Expr::Call(name.clone(), args.iter().map(|a| a.adjusted(from, to)).collect())
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Number of nodes in the expression tree (used for cost accounting and
+    /// tests).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            Expr::Unary(_, e) => e.node_count(),
+            Expr::Binary(_, a, b) => a.node_count() + b.node_count(),
+            Expr::Call(_, args) => args.iter().map(Expr::node_count).sum(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(s: &str) -> CellRef {
+        CellRef::parse(s).unwrap()
+    }
+
+    #[test]
+    fn collect_refs_walks_tree() {
+        // SUM(A1:A3) + B2 * -C4
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Call(
+                "SUM".into(),
+                vec![Expr::RangeRef(RangeRef { start: r("A1"), end: r("A3") })],
+            )),
+            Box::new(Expr::Binary(
+                BinOp::Mul,
+                Box::new(Expr::Ref(r("B2"))),
+                Box::new(Expr::Unary(UnaryOp::Neg, Box::new(Expr::Ref(r("C4"))))),
+            )),
+        );
+        let (cells, ranges) = e.refs();
+        assert_eq!(cells, vec![r("B2"), r("C4")]);
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(ranges[0].range(), Range::parse("A1:A3").unwrap());
+        assert_eq!(e.node_count(), 7);
+    }
+
+    #[test]
+    fn absolute_ref_detection() {
+        let rel = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Ref(r("A1"))),
+            Box::new(Expr::Ref(r("B1"))),
+        );
+        assert!(!rel.has_absolute_refs());
+        let abs = Expr::Ref(r("$A$1"));
+        assert!(abs.has_absolute_refs());
+        let half = Expr::RangeRef(RangeRef { start: r("A1"), end: r("A$9") });
+        assert!(half.has_absolute_refs());
+    }
+
+    #[test]
+    fn adjustment_produces_ref_error_off_sheet() {
+        let e = Expr::Ref(r("A1"));
+        let adj = e.adjusted(CellAddr::new(1, 0), CellAddr::new(0, 0));
+        assert_eq!(adj, Expr::Error(CellError::Ref));
+    }
+
+    #[test]
+    fn precedence_ordering() {
+        assert!(BinOp::Pow.precedence() > BinOp::Mul.precedence());
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Concat.precedence());
+        assert!(BinOp::Concat.precedence() > BinOp::Eq.precedence());
+        assert!(BinOp::Pow.right_assoc());
+        assert!(!BinOp::Add.right_assoc());
+    }
+}

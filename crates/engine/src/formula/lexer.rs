@@ -1,0 +1,324 @@
+//! The formula lexer. Splits `=COUNTIF(K2:K500000,1)` (without the leading
+//! `=`, which the cell layer strips) into tokens.
+
+use crate::error::EngineError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A numeric literal.
+    Number(f64),
+    /// A double-quoted string literal (quotes removed, `""` unescaped).
+    Str(String),
+    /// An identifier-like run: function name, `TRUE`/`FALSE`, or a cell
+    /// reference candidate such as `$B$7`. Disambiguated by the parser.
+    Ident(String),
+    /// An error literal such as `#N/A` or `#DIV/0!`.
+    ErrorLit(String),
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+    Amp,
+    Percent,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Lexes a formula body into tokens.
+pub fn lex(input: &str) -> Result<Vec<Token>, EngineError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            b':' => {
+                tokens.push(Token::Colon);
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            b'/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            b'^' => {
+                tokens.push(Token::Caret);
+                i += 1;
+            }
+            b'&' => {
+                tokens.push(Token::Amp);
+                i += 1;
+            }
+            b'%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'"' => {
+                let (s, next) = lex_string(input, i)?;
+                tokens.push(Token::Str(s));
+                i = next;
+            }
+            b'#' => {
+                let (s, next) = lex_error_literal(input, i);
+                tokens.push(Token::ErrorLit(s));
+                i = next;
+            }
+            b'0'..=b'9' | b'.' => {
+                let (n, next) = lex_number(input, i)?;
+                tokens.push(Token::Number(n));
+                i = next;
+            }
+            b'$' | b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'$' | b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_' | b'.' => i += 1,
+                        _ => break,
+                    }
+                }
+                tokens.push(Token::Ident(input[start..i].to_owned()));
+            }
+            other => {
+                return Err(EngineError::Parse(format!(
+                    "unexpected character {:?} at offset {i}",
+                    other as char
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Lexes a string literal starting at the opening quote; `""` inside a
+/// string is an escaped quote. Returns the contents and the index past the
+/// closing quote.
+fn lex_string(input: &str, start: usize) -> Result<(String, usize), EngineError> {
+    let bytes = input.as_bytes();
+    debug_assert_eq!(bytes[start], b'"');
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            if bytes.get(i + 1) == Some(&b'"') {
+                out.push('"');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            // Push the full (possibly multi-byte) character.
+            let ch = input[i..].chars().next().expect("in-bounds char");
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    Err(EngineError::Parse("unterminated string literal".into()))
+}
+
+/// Lexes `#N/A`, `#DIV/0!`, `#REF!` and friends: `#` followed by letters,
+/// digits, `/`, `?`, `!`.
+fn lex_error_literal(input: &str, start: usize) -> (String, usize) {
+    let bytes = input.as_bytes();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'/' | b'?' | b'!' => i += 1,
+            _ => break,
+        }
+    }
+    (input[start..i].to_owned(), i)
+}
+
+/// Lexes a number: digits, optional fraction, optional exponent.
+fn lex_number(input: &str, start: usize) -> Result<(f64, usize), EngineError> {
+    let bytes = input.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'.' {
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let text = &input[start..i];
+    text.parse::<f64>()
+        .map(|n| (n, i))
+        .map_err(|_| EngineError::Parse(format!("bad number literal {text:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_simple_arithmetic() {
+        let t = lex("1+2*3").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Number(1.0),
+                Token::Plus,
+                Token::Number(2.0),
+                Token::Star,
+                Token::Number(3.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_function_call_with_range() {
+        let t = lex("SUM(A1:A3)").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("SUM".into()),
+                Token::LParen,
+                Token::Ident("A1".into()),
+                Token::Colon,
+                Token::Ident("A3".into()),
+                Token::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comparison_operators() {
+        let t = lex("A1<>B1<=C1>=D1").unwrap();
+        assert!(t.contains(&Token::Ne));
+        assert!(t.contains(&Token::Le));
+        assert!(t.contains(&Token::Ge));
+    }
+
+    #[test]
+    fn lex_strings_with_escapes() {
+        let t = lex(r#"COUNTIF(C2,"STORM")"#).unwrap();
+        assert!(t.contains(&Token::Str("STORM".into())));
+        let t = lex(r#""say ""hi""""#).unwrap();
+        assert_eq!(t, vec![Token::Str("say \"hi\"".into())]);
+    }
+
+    #[test]
+    fn lex_unterminated_string_errors() {
+        assert!(lex(r#""oops"#).is_err());
+    }
+
+    #[test]
+    fn lex_numbers() {
+        let t = lex("3.25 1e3 2.5E-2 .5").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Number(3.25),
+                Token::Number(1000.0),
+                Token::Number(0.025),
+                Token::Number(0.5)
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_absolute_refs() {
+        let t = lex("$B$7+C3").unwrap();
+        assert_eq!(t[0], Token::Ident("$B$7".into()));
+        assert_eq!(t[2], Token::Ident("C3".into()));
+    }
+
+    #[test]
+    fn lex_error_literals() {
+        let t = lex("#N/A").unwrap();
+        assert_eq!(t, vec![Token::ErrorLit("#N/A".into())]);
+        let t = lex("#DIV/0!").unwrap();
+        assert_eq!(t, vec![Token::ErrorLit("#DIV/0!".into())]);
+    }
+
+    #[test]
+    fn lex_percent_and_concat() {
+        let t = lex(r#"50% & "x""#).unwrap();
+        assert_eq!(t, vec![Token::Number(50.0), Token::Percent, Token::Amp, Token::Str("x".into())]);
+    }
+
+    #[test]
+    fn lex_rejects_unknown_chars() {
+        assert!(lex("A1 @ B2").is_err());
+    }
+
+    #[test]
+    fn lex_unicode_in_strings() {
+        let t = lex("\"naïve ☃\"").unwrap();
+        assert_eq!(t, vec![Token::Str("naïve ☃".into())]);
+    }
+}

@@ -1,0 +1,10 @@
+//! The formula language: lexer, parser, AST, and canonical printer.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use ast::{BinOp, Expr, RangeRef, UnaryOp};
+pub use parser::{parse, parse_with, NameResolver, NoNames};
+pub use printer::print;

@@ -1,0 +1,150 @@
+//! Canonical formula printing. The printer emits a normalized surface form
+//! (uppercase function names, no whitespace, minimal parentheses via
+//! precedence) that round-trips through the parser; it doubles as the
+//! canonical text used for formula hashing in the redundant-computation
+//! optimizer (§5.4: "testing for formula equality, e.g. by hashing the
+//! formulae and identifying matches").
+
+use std::fmt::Write;
+
+use crate::formula::ast::{Expr, UnaryOp};
+use crate::value::format_number;
+
+/// Renders an expression in canonical form (without the leading `=`).
+pub fn print(expr: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, expr, 0);
+    out
+}
+
+/// Writes `expr` into `out`; wraps in parentheses when the expression's
+/// top-level operator binds looser than `min_prec`.
+fn write_expr(out: &mut String, expr: &Expr, min_prec: u8) {
+    match expr {
+        Expr::Number(n) => {
+            let _ = write!(out, "{}", format_number(*n));
+        }
+        Expr::Text(s) => {
+            let _ = write!(out, "\"{}\"", s.replace('"', "\"\""));
+        }
+        Expr::Bool(b) => out.push_str(if *b { "TRUE" } else { "FALSE" }),
+        Expr::Error(e) => out.push_str(e.code()),
+        Expr::Ref(r) => {
+            let _ = write!(out, "{r}");
+        }
+        Expr::RangeRef(r) => {
+            let _ = write!(out, "{}:{}", r.start, r.end);
+        }
+        Expr::Unary(op, inner) => match op {
+            UnaryOp::Neg => {
+                out.push('-');
+                write_expr(out, inner, UNARY_PREC);
+            }
+            UnaryOp::Pos => {
+                out.push('+');
+                write_expr(out, inner, UNARY_PREC);
+            }
+            UnaryOp::Percent => {
+                write_expr(out, inner, UNARY_PREC);
+                out.push('%');
+            }
+        },
+        Expr::Binary(op, a, b) => {
+            let prec = op.precedence();
+            let wrap = prec < min_prec;
+            if wrap {
+                out.push('(');
+            }
+            // Left child may share our precedence for left-assoc ops;
+            // right child must bind strictly tighter unless right-assoc.
+            let (lmin, rmin) =
+                if op.right_assoc() { (prec + 1, prec) } else { (prec, prec + 1) };
+            write_expr(out, a, lmin);
+            out.push_str(op.symbol());
+            write_expr(out, b, rmin);
+            if wrap {
+                out.push(')');
+            }
+        }
+        Expr::Call(name, args) => {
+            out.push_str(name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_expr(out, a, 0);
+            }
+            out.push(')');
+        }
+    }
+}
+
+/// Operands of unary operators bind tighter than any binary operator.
+const UNARY_PREC: u8 = 6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::parser::parse;
+
+    fn round_trip(src: &str) -> String {
+        print(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn canonical_spelling() {
+        assert_eq!(round_trip("sum( A1 : A3 )"), "SUM(A1:A3)");
+        assert_eq!(round_trip("1 + 2*3"), "1+2*3");
+        assert_eq!(round_trip(r#"countif(C2, "STORM")"#), "COUNTIF(C2,\"STORM\")");
+    }
+
+    #[test]
+    fn parenthesization_minimal_but_sufficient() {
+        assert_eq!(round_trip("(1+2)*3"), "(1+2)*3");
+        assert_eq!(round_trip("1+(2*3)"), "1+2*3");
+        // `+` binds tighter than `&`, so these parens are redundant…
+        assert_eq!(round_trip("(A1+B1)&\"x\""), "A1+B1&\"x\"");
+        // …while `=` binds looser than `&`, so these are required.
+        assert_eq!(round_trip("(A1=B1)&\"x\""), "(A1=B1)&\"x\"");
+    }
+
+    #[test]
+    fn associativity_preserved() {
+        // (10-4)-3 prints without parens; 10-(4-3) needs them.
+        assert_eq!(round_trip("10-4-3"), "10-4-3");
+        assert_eq!(round_trip("10-(4-3)"), "10-(4-3)");
+        assert_eq!(round_trip("2^(3^2)"), "2^3^2");
+        assert_eq!(round_trip("(2^3)^2"), "(2^3)^2");
+    }
+
+    #[test]
+    fn print_parse_fixpoint() {
+        for src in [
+            "1+2*3",
+            "-A1%",
+            "IF(A1>=0,SUM($B$1:B10),\"neg\")",
+            "10-(4-3)",
+            "A1&B1&\"s\"",
+            "#N/A",
+            "TRUE=FALSE",
+            "VLOOKUP(200000,A1:B500000,2,FALSE)",
+        ] {
+            let once = round_trip(src);
+            let twice = print(&parse(&once).unwrap());
+            assert_eq!(once, twice, "fixpoint for {src:?}");
+        }
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        let printed = round_trip(r#""say ""hi""""#);
+        assert_eq!(printed, r#""say ""hi""""#);
+        assert_eq!(print(&parse(&printed).unwrap()), printed);
+    }
+
+    #[test]
+    fn absolute_markers_survive() {
+        assert_eq!(round_trip("$A$1+B$2+$C3"), "$A$1+B$2+$C3");
+    }
+}

@@ -1,0 +1,116 @@
+//! Civil-date arithmetic for the date builtins: conversions between
+//! spreadsheet serial dates (days since 1899-12-30, the convention of all
+//! three benchmarked systems) and calendar dates, using the standard
+//! days-from-civil algorithm.
+
+/// Days between 0000-03-01 and the spreadsheet epoch 1899-12-30.
+const EPOCH_DAYS_FROM_CIVIL: i64 = days_from_civil(1899, 12, 30);
+
+/// Days since civil epoch (0000-03-01-based era math; Howard Hinnant's
+/// `days_from_civil`).
+const fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // [0, 11], March = 0
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+const fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Converts a calendar date to a spreadsheet serial.
+pub fn serial_from_ymd(year: i64, month: i64, day: i64) -> f64 {
+    // Spreadsheets normalize out-of-range months/days by rolling over.
+    let mut y = year;
+    let mut m = month;
+    y += (m - 1).div_euclid(12);
+    m = (m - 1).rem_euclid(12) + 1;
+    // Day rolls via plain day arithmetic from the 1st.
+    let base = days_from_civil(y, m as u32, 1) - EPOCH_DAYS_FROM_CIVIL;
+    (base + day - 1) as f64
+}
+
+/// Converts a spreadsheet serial to `(year, month, day)`.
+pub fn ymd_from_serial(serial: f64) -> (i64, u32, u32) {
+    civil_from_days(serial.floor() as i64 + EPOCH_DAYS_FROM_CIVIL)
+}
+
+/// ISO-like weekday for a serial: 1 = Sunday … 7 = Saturday (the
+/// spreadsheet `WEEKDAY` default return type).
+pub fn weekday_from_serial(serial: f64) -> u32 {
+    let z = serial.floor() as i64 + EPOCH_DAYS_FROM_CIVIL;
+    // Civil day 0 (1970-01-01) is a Thursday → index 4 with 0 = Sunday.
+    let wd = (z + 4).rem_euclid(7); // 0 = Sunday
+    wd as u32 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_and_known_serials() {
+        // The classic anchors: 1900-01-01 = 2 in the real-date system
+        // (serial 1 is 1899-12-31; Excel's fictitious 1900-02-29 is not
+        // reproduced — our serials follow the proleptic calendar).
+        assert_eq!(serial_from_ymd(1899, 12, 30), 0.0);
+        assert_eq!(serial_from_ymd(1899, 12, 31), 1.0);
+        assert_eq!(serial_from_ymd(1900, 1, 1), 2.0);
+        // 2020-01-01 — the engine's deterministic NOW anchor.
+        assert_eq!(serial_from_ymd(2020, 1, 1), 43_831.0);
+    }
+
+    #[test]
+    fn round_trip_broad_range() {
+        for &(y, m, d) in &[
+            (1900, 1, 1),
+            (1999, 12, 31),
+            (2000, 2, 29),
+            (2001, 2, 28),
+            (2020, 7, 4),
+            (2100, 3, 1),
+        ] {
+            let s = serial_from_ymd(y, m, d);
+            assert_eq!(ymd_from_serial(s), (y, m as u32, d as u32), "{y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn serial_round_trip_exhaustive_century() {
+        let start = serial_from_ymd(1980, 1, 1) as i64;
+        for s in start..start + 366 * 4 {
+            let (y, m, d) = ymd_from_serial(s as f64);
+            assert_eq!(serial_from_ymd(y, m as i64, d as i64), s as f64);
+        }
+    }
+
+    #[test]
+    fn month_day_rollover() {
+        assert_eq!(serial_from_ymd(2020, 13, 1), serial_from_ymd(2021, 1, 1));
+        assert_eq!(serial_from_ymd(2020, 0, 1), serial_from_ymd(2019, 12, 1));
+        assert_eq!(serial_from_ymd(2020, 1, 32), serial_from_ymd(2020, 2, 1));
+        assert_eq!(serial_from_ymd(2020, 3, 0), serial_from_ymd(2020, 2, 29));
+    }
+
+    #[test]
+    fn weekday_anchors() {
+        // 2020-01-01 was a Wednesday → 4 in the 1=Sunday convention.
+        assert_eq!(weekday_from_serial(serial_from_ymd(2020, 1, 1)), 4);
+        // 2023-01-01 was a Sunday → 1.
+        assert_eq!(weekday_from_serial(serial_from_ymd(2023, 1, 1)), 1);
+    }
+}

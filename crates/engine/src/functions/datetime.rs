@@ -1,0 +1,166 @@
+//! Date/time builtins. The taxonomy (Table 1) classifies `NOW()` as a
+//! "simple" O(1) operation that the paper excludes from benchmarking; we
+//! implement it for API completeness with a deterministic, injectable clock
+//! (`EvalCtx::now_serial`) so runs are reproducible.
+
+use crate::error::CellError;
+use crate::eval::EvalCtx;
+use crate::value::Value;
+
+use super::dateparts::{serial_from_ymd, weekday_from_serial, ymd_from_serial};
+use super::{check_arity, num, Arg};
+
+/// `NOW()` — the context's serial date-time.
+pub fn now(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    match check_arity(args, 0, 0) {
+        Ok(()) => Value::Number(ctx.now_serial),
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// `TODAY()` — the date part of the serial.
+pub fn today(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    match check_arity(args, 0, 0) {
+        Ok(()) => Value::Number(ctx.now_serial.floor()),
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// `DATE(year, month, day)` — the serial of a calendar date, with the
+/// real systems' month/day rollover semantics.
+pub fn date(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    match check_arity(args, 3, 3).and_then(|_| {
+        Ok((num(ctx, &args[0])?, num(ctx, &args[1])?, num(ctx, &args[2])?))
+    }) {
+        Ok((y, m, d)) => {
+            let serial = serial_from_ymd(y as i64, m as i64, d as i64);
+            if serial < 0.0 {
+                Value::Error(CellError::Num)
+            } else {
+                Value::Number(serial)
+            }
+        }
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// Shared body for the date-part extractors.
+fn date_part(ctx: &EvalCtx<'_>, args: &[Arg], f: fn((i64, u32, u32)) -> f64) -> Value {
+    match check_arity(args, 1, 1).and_then(|_| num(ctx, &args[0])) {
+        Ok(serial) if serial >= 0.0 => Value::Number(f(ymd_from_serial(serial))),
+        Ok(_) => Value::Error(CellError::Num),
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// `YEAR(serial)`.
+pub fn year(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    date_part(ctx, args, |(y, _, _)| y as f64)
+}
+
+/// `MONTH(serial)`.
+pub fn month(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    date_part(ctx, args, |(_, m, _)| f64::from(m))
+}
+
+/// `DAY(serial)`.
+pub fn day(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    date_part(ctx, args, |(_, _, d)| f64::from(d))
+}
+
+/// `WEEKDAY(serial)` — 1 = Sunday … 7 = Saturday (the default return
+/// type of the real systems).
+pub fn weekday(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    match check_arity(args, 1, 1).and_then(|_| num(ctx, &args[0])) {
+        Ok(serial) if serial >= 0.0 => Value::Number(f64::from(weekday_from_serial(serial))),
+        Ok(_) => Value::Error(CellError::Num),
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// `DAYS(end, start)` — whole days between two serials.
+pub fn days(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    match check_arity(args, 2, 2)
+        .and_then(|_| Ok((num(ctx, &args[0])?, num(ctx, &args[1])?)))
+    {
+        Ok((end, start)) => Value::Number(end.floor() - start.floor()),
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// `EDATE(start, months)` — the serial `months` months after `start`
+/// (clamped to the target month's last day, as in the real systems).
+pub fn edate(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    match check_arity(args, 2, 2)
+        .and_then(|_| Ok((num(ctx, &args[0])?, num(ctx, &args[1])?)))
+    {
+        Ok((start, months)) if start >= 0.0 => {
+            let (y, m, d) = ymd_from_serial(start);
+            let target_first = serial_from_ymd(y, i64::from(m) + months as i64, 1);
+            // Clamp the day to the target month's length.
+            let (ty, tm, _) = ymd_from_serial(target_first);
+            let next_first = serial_from_ymd(ty, i64::from(tm) + 1, 1);
+            let month_len = (next_first - target_first) as u32;
+            Value::Number(target_first + f64::from(d.min(month_len)) - 1.0)
+        }
+        Ok(_) => Value::Error(CellError::Num),
+        Err(e) => Value::Error(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::error::CellError;
+    use crate::eval::context::DEFAULT_NOW_SERIAL;
+    use crate::functions::testutil::{eval_empty, n};
+    use crate::value::Value;
+
+    #[test]
+    fn now_is_deterministic() {
+        assert_eq!(eval_empty("NOW()"), n(DEFAULT_NOW_SERIAL));
+        assert_eq!(eval_empty("TODAY()"), n(DEFAULT_NOW_SERIAL.floor()));
+    }
+
+    #[test]
+    fn arity_checked() {
+        assert!(matches!(eval_empty("NOW(1)"), Value::Error(_)));
+    }
+
+    #[test]
+    fn date_builds_serials() {
+        // NOW's anchor is 2020-01-01.
+        assert_eq!(eval_empty("DATE(2020,1,1)"), n(DEFAULT_NOW_SERIAL));
+        assert_eq!(eval_empty("DATE(2020,1,1)-DATE(2019,12,31)"), n(1.0));
+        // Rollover.
+        assert_eq!(eval_empty("DATE(2019,13,1)"), eval_empty("DATE(2020,1,1)"));
+        assert_eq!(eval_empty("DATE(1800,1,1)"), Value::Error(CellError::Num));
+    }
+
+    #[test]
+    fn date_parts_extract() {
+        assert_eq!(eval_empty("YEAR(DATE(2021,7,4))"), n(2021.0));
+        assert_eq!(eval_empty("MONTH(DATE(2021,7,4))"), n(7.0));
+        assert_eq!(eval_empty("DAY(DATE(2021,7,4))"), n(4.0));
+        // 2020-01-01 was a Wednesday → 4 (1 = Sunday).
+        assert_eq!(eval_empty("WEEKDAY(DATE(2020,1,1))"), n(4.0));
+    }
+
+    #[test]
+    fn days_and_edate() {
+        assert_eq!(eval_empty("DAYS(DATE(2020,3,1),DATE(2020,2,1))"), n(29.0)); // leap
+        assert_eq!(eval_empty("EDATE(DATE(2020,1,15),1)"), eval_empty("DATE(2020,2,15)"));
+        // Clamped to the shorter month.
+        assert_eq!(eval_empty("EDATE(DATE(2020,1,31),1)"), eval_empty("DATE(2020,2,29)"));
+        assert_eq!(eval_empty("EDATE(DATE(2020,3,31),-1)"), eval_empty("DATE(2020,2,29)"));
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert_eq!(eval_empty("DAY(DATE(2020,2,29))"), n(29.0));
+        // 1900 is NOT a leap year in the proleptic calendar (we do not
+        // reproduce Excel's 1900-02-29 bug).
+        assert_eq!(eval_empty("MONTH(DATE(1900,2,29))"), n(3.0));
+        // 2000 is a leap year (divisible by 400).
+        assert_eq!(eval_empty("DAY(DATE(2000,2,29))"), n(29.0));
+    }
+}

@@ -1,0 +1,100 @@
+//! Information builtins.
+
+use crate::error::CellError;
+use crate::eval::EvalCtx;
+use crate::value::Value;
+
+use super::{check_arity, scalar, Arg};
+
+/// Shared body for the IS* predicates.
+fn predicate(ctx: &EvalCtx<'_>, args: &[Arg], f: fn(&Value) -> bool) -> Value {
+    match check_arity(args, 1, 1) {
+        Ok(()) => Value::Bool(f(&scalar(ctx, &args[0]))),
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// `ISBLANK(x)`.
+pub fn isblank(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    predicate(ctx, args, Value::is_empty)
+}
+
+/// `ISNUMBER(x)`.
+pub fn isnumber(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    predicate(ctx, args, |v| matches!(v, Value::Number(_)))
+}
+
+/// `ISTEXT(x)`.
+pub fn istext(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    predicate(ctx, args, |v| matches!(v, Value::Text(_)))
+}
+
+/// `ISLOGICAL(x)`.
+pub fn islogical(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    predicate(ctx, args, |v| matches!(v, Value::Bool(_)))
+}
+
+/// `ISERROR(x)`.
+pub fn iserror(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    predicate(ctx, args, Value::is_error)
+}
+
+/// `ISNA(x)`.
+pub fn isna(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    predicate(ctx, args, |v| matches!(v, Value::Error(CellError::Na)))
+}
+
+/// `ROW([ref])` — 1-based row of the reference, or of the current cell.
+pub fn row(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    match args {
+        [] => Value::Number(f64::from(ctx.current.row + 1)),
+        [Arg::Range(r)] => Value::Number(f64::from(r.start.row + 1)),
+        _ => Value::Error(CellError::Value),
+    }
+}
+
+/// `COLUMN([ref])` — 1-based column of the reference, or of the current
+/// cell.
+pub fn column(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    match args {
+        [] => Value::Number(f64::from(ctx.current.col + 1)),
+        [Arg::Range(r)] => Value::Number(f64::from(r.start.col + 1)),
+        _ => Value::Error(CellError::Value),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::functions::testutil::{eval_empty, eval_on, n, t};
+    use crate::value::Value;
+
+    #[test]
+    fn predicates() {
+        assert_eq!(eval_empty("ISBLANK(A1)"), Value::Bool(true));
+        assert_eq!(eval_on(vec![vec![n(1.0)]], "ISNUMBER(A1)"), Value::Bool(true));
+        assert_eq!(eval_on(vec![vec![t("x")]], "ISTEXT(A1)"), Value::Bool(true));
+        assert_eq!(eval_empty("ISLOGICAL(TRUE)"), Value::Bool(true));
+        assert_eq!(eval_empty("ISERROR(#DIV/0!)"), Value::Bool(true));
+        assert_eq!(eval_empty("ISNA(#N/A)"), Value::Bool(true));
+        assert_eq!(eval_empty("ISNA(#REF!)"), Value::Bool(false));
+    }
+
+    #[test]
+    fn row_column_of_reference() {
+        assert_eq!(eval_empty("ROW(C7)"), n(7.0));
+        assert_eq!(eval_empty("COLUMN(C7)"), n(3.0));
+        assert_eq!(eval_empty("ROW(B2:D9)"), n(2.0));
+    }
+
+    #[test]
+    fn row_column_of_current_cell() {
+        // testutil evaluates at row 1, column Z (26).
+        assert_eq!(eval_empty("ROW()"), n(1.0));
+        assert_eq!(eval_empty("COLUMN()"), n(26.0));
+    }
+
+    #[test]
+    fn na_function() {
+        assert_eq!(eval_empty("ISNA(NA())"), Value::Bool(true));
+    }
+}

@@ -1,0 +1,188 @@
+//! Logical builtins. `IF` and `IFERROR` short-circuit, so they are
+//! evaluated lazily by the evaluator and receive raw expressions.
+
+use crate::error::CellError;
+use crate::eval::{evaluate, EvalCtx};
+use crate::formula::ast::Expr;
+use crate::value::Value;
+
+use super::{check_arity, for_each_value, scalar, Arg};
+
+/// Lazily evaluated `IF(cond, then, [else])`.
+pub fn eval_if(args: &[Expr], ctx: &EvalCtx<'_>) -> Value {
+    if args.len() < 2 || args.len() > 3 {
+        return Value::Error(CellError::Value);
+    }
+    let cond = evaluate(&args[0], ctx);
+    match cond.coerce_bool() {
+        Ok(true) => evaluate(&args[1], ctx),
+        Ok(false) => match args.get(2) {
+            Some(e) => evaluate(e, ctx),
+            None => Value::Bool(false),
+        },
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// Lazily evaluated `IFERROR(value, fallback)`.
+pub fn eval_iferror(args: &[Expr], ctx: &EvalCtx<'_>) -> Value {
+    if args.len() != 2 {
+        return Value::Error(CellError::Value);
+    }
+    let v = evaluate(&args[0], ctx);
+    if v.is_error() {
+        evaluate(&args[1], ctx)
+    } else {
+        v
+    }
+}
+
+/// Folds all argument values (flattening ranges) as booleans. Range cells
+/// that are text or empty are skipped, matching spreadsheet AND/OR.
+fn fold_bools(
+    ctx: &EvalCtx<'_>,
+    args: &[Arg],
+    mut f: impl FnMut(bool),
+) -> Result<bool, CellError> {
+    let mut err: Option<CellError> = None;
+    let mut any = false;
+    for arg in args {
+        match arg {
+            Arg::Value(v) => match v.coerce_bool() {
+                Ok(b) => {
+                    any = true;
+                    f(b);
+                }
+                Err(e) => err = Some(e),
+            },
+            Arg::Range(_) => {
+                for_each_value(ctx, arg, &mut |v| {
+                    if err.is_some() {
+                        return;
+                    }
+                    match v {
+                        Value::Bool(b) => {
+                            any = true;
+                            f(*b);
+                        }
+                        Value::Number(n) => {
+                            any = true;
+                            f(*n != 0.0);
+                        }
+                        Value::Error(e) => err = Some(*e),
+                        _ => {}
+                    }
+                });
+            }
+        }
+        if err.is_some() {
+            break;
+        }
+    }
+    match err {
+        Some(e) => Err(e),
+        None if !any => Err(CellError::Value),
+        None => Ok(true),
+    }
+}
+
+/// `AND(args...)`.
+pub fn and(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    if let Err(e) = check_arity(args, 1, usize::MAX) {
+        return Value::Error(e);
+    }
+    let mut acc = true;
+    match fold_bools(ctx, args, |b| acc &= b) {
+        Ok(_) => Value::Bool(acc),
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// `OR(args...)`.
+pub fn or(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    if let Err(e) = check_arity(args, 1, usize::MAX) {
+        return Value::Error(e);
+    }
+    let mut acc = false;
+    match fold_bools(ctx, args, |b| acc |= b) {
+        Ok(_) => Value::Bool(acc),
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// `XOR(args...)` — true when an odd number of arguments are true.
+pub fn xor(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    if let Err(e) = check_arity(args, 1, usize::MAX) {
+        return Value::Error(e);
+    }
+    let mut acc = false;
+    match fold_bools(ctx, args, |b| acc ^= b) {
+        Ok(_) => Value::Bool(acc),
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// `NOT(x)`.
+pub fn not(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    if let Err(e) = check_arity(args, 1, 1) {
+        return Value::Error(e);
+    }
+    match scalar(ctx, &args[0]).coerce_bool() {
+        Ok(b) => Value::Bool(!b),
+        Err(e) => Value::Error(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::error::CellError;
+    use crate::functions::testutil::{eval_empty, eval_on, n, t};
+    use crate::value::Value;
+
+    #[test]
+    fn if_basic_and_default_else() {
+        assert_eq!(eval_empty("IF(TRUE,1,2)"), n(1.0));
+        assert_eq!(eval_empty("IF(FALSE,1,2)"), n(2.0));
+        assert_eq!(eval_empty("IF(FALSE,1)"), Value::Bool(false));
+        assert_eq!(eval_empty("IF(3,\"y\",\"n\")"), t("y"));
+    }
+
+    #[test]
+    fn if_short_circuits_errors() {
+        // The untaken branch's error must not surface.
+        assert_eq!(eval_empty("IF(TRUE,1,1/0)"), n(1.0));
+        assert_eq!(eval_empty("IF(FALSE,1/0,2)"), n(2.0));
+    }
+
+    #[test]
+    fn iferror_catches() {
+        assert_eq!(eval_empty("IFERROR(1/0,42)"), n(42.0));
+        assert_eq!(eval_empty("IFERROR(7,42)"), n(7.0));
+        assert_eq!(eval_empty("IFERROR(#N/A,\"missing\")"), t("missing"));
+    }
+
+    #[test]
+    fn and_or_xor_not() {
+        assert_eq!(eval_empty("AND(TRUE,TRUE,FALSE)"), Value::Bool(false));
+        assert_eq!(eval_empty("AND(1,2)"), Value::Bool(true));
+        assert_eq!(eval_empty("OR(FALSE,0,1)"), Value::Bool(true));
+        assert_eq!(eval_empty("XOR(TRUE,TRUE,TRUE)"), Value::Bool(true));
+        assert_eq!(eval_empty("XOR(TRUE,TRUE)"), Value::Bool(false));
+        assert_eq!(eval_empty("NOT(0)"), Value::Bool(true));
+        assert_eq!(eval_empty("NOT(\"x\")"), Value::Error(CellError::Value));
+    }
+
+    #[test]
+    fn and_over_ranges_skips_text() {
+        let rows = vec![vec![n(1.0)], vec![t("skip")], vec![n(0.0)]];
+        assert_eq!(eval_on(rows, "AND(A1:A3)"), Value::Bool(false));
+        let rows = vec![vec![n(1.0)], vec![t("skip")]];
+        assert_eq!(eval_on(rows, "AND(A1:A2)"), Value::Bool(true));
+    }
+
+    #[test]
+    fn and_over_only_text_is_value_error() {
+        let rows = vec![vec![t("a")], vec![t("b")]];
+        assert_eq!(eval_on(rows, "AND(A1:A2)"), Value::Error(CellError::Value));
+    }
+}

@@ -1,0 +1,286 @@
+//! Text builtins.
+
+use crate::error::CellError;
+use crate::eval::EvalCtx;
+use crate::value::Value;
+
+use super::{check_arity, for_each_value, num, scalar, text_of, Arg};
+
+/// `CONCATENATE(args...)`.
+pub fn concatenate(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    let mut out = String::new();
+    for a in args {
+        match text_of(ctx, a) {
+            Ok(s) => out.push_str(&s),
+            Err(e) => return Value::Error(e),
+        }
+    }
+    Value::Text(out)
+}
+
+/// `LEN(text)` — character (not byte) count.
+pub fn len(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    match check_arity(args, 1, 1).and_then(|_| text_of(ctx, &args[0])) {
+        Ok(s) => Value::Number(s.chars().count() as f64),
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// `LEFT(text, [n=1])`.
+pub fn left(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    match check_arity(args, 1, 2).and_then(|_| {
+        let s = text_of(ctx, &args[0])?;
+        let n = super::opt_num(ctx, args, 1, 1.0)?;
+        Ok((s, n))
+    }) {
+        Ok((_, n)) if n < 0.0 => Value::Error(CellError::Value),
+        Ok((s, n)) => Value::Text(s.chars().take(n as usize).collect()),
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// `RIGHT(text, [n=1])`.
+pub fn right(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    match check_arity(args, 1, 2).and_then(|_| {
+        let s = text_of(ctx, &args[0])?;
+        let n = super::opt_num(ctx, args, 1, 1.0)?;
+        Ok((s, n))
+    }) {
+        Ok((_, n)) if n < 0.0 => Value::Error(CellError::Value),
+        Ok((s, n)) => {
+            let chars: Vec<char> = s.chars().collect();
+            let k = (n as usize).min(chars.len());
+            Value::Text(chars[chars.len() - k..].iter().collect())
+        }
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// `MID(text, start, len)` — `start` is 1-based.
+pub fn mid(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    match check_arity(args, 3, 3).and_then(|_| {
+        Ok((text_of(ctx, &args[0])?, num(ctx, &args[1])?, num(ctx, &args[2])?))
+    }) {
+        Ok((_, start, n)) if start < 1.0 || n < 0.0 => Value::Error(CellError::Value),
+        Ok((s, start, n)) => {
+            Value::Text(s.chars().skip(start as usize - 1).take(n as usize).collect())
+        }
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// `UPPER(text)`.
+pub fn upper(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    match check_arity(args, 1, 1).and_then(|_| text_of(ctx, &args[0])) {
+        Ok(s) => Value::Text(s.to_uppercase()),
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// `LOWER(text)`.
+pub fn lower(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    match check_arity(args, 1, 1).and_then(|_| text_of(ctx, &args[0])) {
+        Ok(s) => Value::Text(s.to_lowercase()),
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// `TRIM(text)` — strips leading/trailing spaces and collapses runs.
+pub fn trim(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    match check_arity(args, 1, 1).and_then(|_| text_of(ctx, &args[0])) {
+        Ok(s) => Value::Text(s.split_whitespace().collect::<Vec<_>>().join(" ")),
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// `FIND(needle, haystack, [start=1])` — case-sensitive, 1-based; `#VALUE!`
+/// when absent.
+pub fn find(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    match check_arity(args, 2, 3).and_then(|_| {
+        let needle = text_of(ctx, &args[0])?;
+        let hay = text_of(ctx, &args[1])?;
+        let start = super::opt_num(ctx, args, 2, 1.0)?;
+        Ok((needle, hay, start))
+    }) {
+        Ok((_, _, start)) if start < 1.0 => Value::Error(CellError::Value),
+        Ok((needle, hay, start)) => {
+            let chars: Vec<char> = hay.chars().collect();
+            let from = (start as usize - 1).min(chars.len());
+            let tail: String = chars[from..].iter().collect();
+            match tail.find(&needle) {
+                Some(byte_pos) => {
+                    let chars_before = tail[..byte_pos].chars().count();
+                    Value::Number((from + chars_before + 1) as f64)
+                }
+                None => Value::Error(CellError::Value),
+            }
+        }
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// `SUBSTITUTE(text, old, new, [instance])` — replaces all occurrences, or
+/// only the `instance`-th when given.
+pub fn substitute(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    match check_arity(args, 3, 4).and_then(|_| {
+        Ok((
+            text_of(ctx, &args[0])?,
+            text_of(ctx, &args[1])?,
+            text_of(ctx, &args[2])?,
+            match args.get(3) {
+                Some(a) => Some(num(ctx, a)?),
+                None => None,
+            },
+        ))
+    }) {
+        Ok((s, old, _, _)) if old.is_empty() => Value::Text(s),
+        Ok((s, old, new, None)) => Value::Text(s.replace(&old, &new)),
+        Ok((_, _, _, Some(k))) if k < 1.0 => Value::Error(CellError::Value),
+        Ok((s, old, new, Some(k))) => {
+            let k = k as usize;
+            let mut out = String::with_capacity(s.len());
+            let mut rest = s.as_str();
+            let mut seen = 0usize;
+            while let Some(pos) = rest.find(&old) {
+                seen += 1;
+                out.push_str(&rest[..pos]);
+                if seen == k {
+                    out.push_str(&new);
+                } else {
+                    out.push_str(&old);
+                }
+                rest = &rest[pos + old.len()..];
+            }
+            out.push_str(rest);
+            Value::Text(out)
+        }
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// `REPT(text, n)`.
+pub fn rept(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    match check_arity(args, 2, 2)
+        .and_then(|_| Ok((text_of(ctx, &args[0])?, num(ctx, &args[1])?)))
+    {
+        Ok((_, n)) if n < 0.0 => Value::Error(CellError::Value),
+        Ok((s, n)) => Value::Text(s.repeat(n as usize)),
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// `VALUE(text)` — parses text to a number.
+pub fn value(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    match check_arity(args, 1, 1).and_then(|_| num(ctx, &args[0])) {
+        Ok(n) => Value::Number(n),
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// `EXACT(a, b)` — case-sensitive text equality.
+pub fn exact(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    match check_arity(args, 2, 2)
+        .and_then(|_| Ok((text_of(ctx, &args[0])?, text_of(ctx, &args[1])?)))
+    {
+        Ok((a, b)) => Value::Bool(a == b),
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// `TEXTJOIN(delimiter, ignore_empty, args...)`.
+pub fn textjoin(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
+    if let Err(e) = check_arity(args, 3, usize::MAX) {
+        return Value::Error(e);
+    }
+    let delim = match text_of(ctx, &args[0]) {
+        Ok(s) => s,
+        Err(e) => return Value::Error(e),
+    };
+    let ignore_empty = match scalar(ctx, &args[1]).coerce_bool() {
+        Ok(b) => b,
+        Err(e) => return Value::Error(e),
+    };
+    let mut parts: Vec<String> = Vec::new();
+    let mut err: Option<CellError> = None;
+    for a in &args[2..] {
+        for_each_value(ctx, a, &mut |v| {
+            if err.is_some() {
+                return;
+            }
+            if ignore_empty && v.is_empty() {
+                return;
+            }
+            match v.coerce_text() {
+                Ok(s) => parts.push(s),
+                Err(e) => err = Some(e),
+            }
+        });
+    }
+    match err {
+        Some(e) => Value::Error(e),
+        None => Value::Text(parts.join(&delim)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::error::CellError;
+    use crate::functions::testutil::{eval_empty, eval_on, n, t};
+    use crate::value::Value;
+
+    #[test]
+    fn concatenate_and_len() {
+        assert_eq!(eval_empty("CONCATENATE(\"a\",1,TRUE)"), t("a1TRUE"));
+        assert_eq!(eval_empty("LEN(\"hello\")"), n(5.0));
+        assert_eq!(eval_empty("LEN(\"naïve\")"), n(5.0)); // chars, not bytes
+    }
+
+    #[test]
+    fn left_right_mid() {
+        assert_eq!(eval_empty("LEFT(\"storm\",2)"), t("st"));
+        assert_eq!(eval_empty("LEFT(\"storm\")"), t("s"));
+        assert_eq!(eval_empty("RIGHT(\"storm\",3)"), t("orm"));
+        assert_eq!(eval_empty("RIGHT(\"ab\",9)"), t("ab"));
+        assert_eq!(eval_empty("MID(\"storm\",2,3)"), t("tor"));
+        assert_eq!(eval_empty("MID(\"storm\",0,3)"), Value::Error(CellError::Value));
+    }
+
+    #[test]
+    fn case_and_trim() {
+        assert_eq!(eval_empty("UPPER(\"Storm\")"), t("STORM"));
+        assert_eq!(eval_empty("LOWER(\"Storm\")"), t("storm"));
+        assert_eq!(eval_empty("TRIM(\"  a   b  \")"), t("a b"));
+    }
+
+    #[test]
+    fn find_positions() {
+        assert_eq!(eval_empty("FIND(\"o\",\"storm\")"), n(3.0));
+        assert_eq!(eval_empty("FIND(\"o\",\"storm\",4)"), Value::Error(CellError::Value));
+        assert_eq!(eval_empty("FIND(\"t\",\"tattle\",2)"), n(3.0));
+        assert_eq!(eval_empty("FIND(\"x\",\"storm\")"), Value::Error(CellError::Value));
+    }
+
+    #[test]
+    fn substitute_all_and_instance() {
+        assert_eq!(eval_empty("SUBSTITUTE(\"aXbXc\",\"X\",\"-\")"), t("a-b-c"));
+        assert_eq!(eval_empty("SUBSTITUTE(\"aXbXc\",\"X\",\"-\",2)"), t("aXb-c"));
+        assert_eq!(eval_empty("SUBSTITUTE(\"aXbXc\",\"X\",\"-\",5)"), t("aXbXc"));
+        assert_eq!(eval_empty("SUBSTITUTE(\"abc\",\"\",\"-\")"), t("abc"));
+    }
+
+    #[test]
+    fn rept_value_exact() {
+        assert_eq!(eval_empty("REPT(\"ab\",3)"), t("ababab"));
+        assert_eq!(eval_empty("REPT(\"ab\",-1)"), Value::Error(CellError::Value));
+        assert_eq!(eval_empty("VALUE(\" 42 \")"), n(42.0));
+        assert_eq!(eval_empty("EXACT(\"a\",\"A\")"), Value::Bool(false));
+        assert_eq!(eval_empty("EXACT(\"a\",\"a\")"), Value::Bool(true));
+    }
+
+    #[test]
+    fn textjoin_over_range() {
+        let rows = vec![vec![t("a")], vec![Value::Empty], vec![t("c")]];
+        assert_eq!(eval_on(rows.clone(), "TEXTJOIN(\",\",TRUE,A1:A3)"), t("a,c"));
+        assert_eq!(eval_on(rows, "TEXTJOIN(\",\",FALSE,A1:A3)"), t("a,,c"));
+    }
+}

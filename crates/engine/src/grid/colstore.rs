@@ -1,0 +1,123 @@
+//! Column-major grid storage: a vector of columns, each a dense vector of
+//! cells. Range visits iterate column-by-column, giving the cache-friendly
+//! access pattern the paper's layout experiment (§5.2) probes for.
+
+use crate::addr::{CellAddr, Range};
+use crate::cell::Cell;
+use crate::grid::{apply_permutation, Grid};
+
+/// Column-major cell storage.
+#[derive(Debug, Clone, Default)]
+pub struct ColStore {
+    cols: Vec<Vec<Cell>>,
+    nrows: u32,
+}
+
+impl ColStore {
+    /// A grid of `rows` × `cols` empty cells.
+    pub fn new(rows: u32, cols: u32) -> Self {
+        let mut s = ColStore { cols: Vec::new(), nrows: 0 };
+        s.ensure_size(rows, cols);
+        s
+    }
+
+    /// Borrow a whole column (dense, `nrows` long).
+    pub fn column(&self, c: u32) -> Option<&[Cell]> {
+        self.cols.get(c as usize).map(Vec::as_slice)
+    }
+}
+
+impl Grid for ColStore {
+    fn nrows(&self) -> u32 {
+        self.nrows
+    }
+
+    fn ncols(&self) -> u32 {
+        self.cols.len() as u32
+    }
+
+    fn get(&self, addr: CellAddr) -> Option<&Cell> {
+        self.cols.get(addr.col as usize)?.get(addr.row as usize)
+    }
+
+    fn cell_mut(&mut self, addr: CellAddr) -> &mut Cell {
+        self.ensure_size(addr.row + 1, addr.col + 1);
+        &mut self.cols[addr.col as usize][addr.row as usize]
+    }
+
+    fn ensure_size(&mut self, rows: u32, cols: u32) {
+        if rows > self.nrows {
+            for col in &mut self.cols {
+                col.resize_with(rows as usize, Cell::empty);
+            }
+            self.nrows = rows;
+        }
+        if cols as usize > self.cols.len() {
+            let nrows = self.nrows.max(rows) as usize;
+            self.nrows = nrows as u32;
+            self.cols.resize_with(cols as usize, || {
+                let mut v = Vec::with_capacity(nrows);
+                v.resize_with(nrows, Cell::empty);
+                v
+            });
+        }
+    }
+
+    fn permute_rows(&mut self, perm: &[u32]) {
+        for col in &mut self.cols {
+            apply_permutation(col, perm);
+        }
+    }
+
+    fn for_each_in_range(&self, range: Range, f: &mut dyn FnMut(CellAddr, &Cell)) {
+        if self.cols.is_empty() || self.nrows == 0 {
+            return;
+        }
+        let r1 = range.end.row.min(self.nrows - 1);
+        let c1 = range.end.col.min(self.ncols().saturating_sub(1));
+        for c in range.start.col..=c1 {
+            let col = &self.cols[c as usize];
+            for r in range.start.row..=r1 {
+                f(CellAddr::new(r, c), &col[r as usize]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn growth_keeps_cols_dense() {
+        let mut g = ColStore::new(2, 2);
+        g.set(CellAddr::new(5, 0), Cell::value(1));
+        assert_eq!(g.nrows(), 6);
+        for c in 0..g.ncols() {
+            assert_eq!(g.column(c).unwrap().len(), 6, "col {c}");
+        }
+    }
+
+    #[test]
+    fn column_access() {
+        let mut g = ColStore::new(3, 1);
+        g.set(CellAddr::new(2, 0), Cell::value("z"));
+        let col = g.column(0).unwrap();
+        assert_eq!(col[2].display_value(), &Value::text("z"));
+        assert!(g.column(7).is_none());
+    }
+
+    #[test]
+    fn range_visit_is_column_major_order() {
+        let mut g = ColStore::new(2, 2);
+        for r in 0..2 {
+            for c in 0..2 {
+                g.set(CellAddr::new(r, c), Cell::value(i64::from(r * 10 + c)));
+            }
+        }
+        let mut order = Vec::new();
+        g.for_each_in_range(Range::parse("A1:B2").unwrap(), &mut |a, _| order.push(a.to_a1()));
+        assert_eq!(order, ["A1", "A2", "B1", "B2"]);
+    }
+}

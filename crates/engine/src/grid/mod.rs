@@ -1,0 +1,228 @@
+//! Grid storage. Two physical layouts are provided:
+//!
+//! * [`RowStore`] — row-major, the layout the benchmarked systems
+//!   effectively use (the paper finds "none of the systems utilize any
+//!   intelligent in-memory layout", §5.2);
+//! * [`ColStore`] — column-major, the "database-style" alternative the OOT
+//!   layout experiment probes for.
+//!
+//! Both present the same [`Grid`] interface, so sheets can be parameterized
+//! by layout and the layout experiment can compare them on equal terms.
+
+pub mod colstore;
+pub mod rowstore;
+
+pub use colstore::ColStore;
+pub use rowstore::RowStore;
+
+use crate::addr::{CellAddr, Range};
+use crate::cell::Cell;
+
+/// Common storage interface for cell grids.
+pub trait Grid {
+    /// Number of materialized rows.
+    fn nrows(&self) -> u32;
+
+    /// Number of materialized columns.
+    fn ncols(&self) -> u32;
+
+    /// Returns the cell at `addr` if it is within the materialized area.
+    fn get(&self, addr: CellAddr) -> Option<&Cell>;
+
+    /// Mutable access to the cell at `addr`, growing the grid as needed.
+    fn cell_mut(&mut self, addr: CellAddr) -> &mut Cell;
+
+    /// Stores `cell` at `addr`, growing the grid as needed.
+    fn set(&mut self, addr: CellAddr, cell: Cell) {
+        *self.cell_mut(addr) = cell;
+    }
+
+    /// Grows the grid so it covers at least `rows` × `cols`.
+    fn ensure_size(&mut self, rows: u32, cols: u32);
+
+    /// Reorders rows so that new row `i` is old row `perm[i]`.
+    /// `perm` must be a permutation of `0..nrows`.
+    fn permute_rows(&mut self, perm: &[u32]);
+
+    /// Visits every cell in `range` (clipped to the materialized area) in
+    /// the order most natural for this layout, passing vacant cells as
+    /// `None`-equivalent empty cells.
+    fn for_each_in_range(&self, range: Range, f: &mut dyn FnMut(CellAddr, &Cell));
+}
+
+/// The static empty cell returned for vacant positions.
+pub fn empty_cell() -> &'static Cell {
+    use std::sync::OnceLock;
+    static EMPTY: OnceLock<Cell> = OnceLock::new();
+    EMPTY.get_or_init(Cell::empty)
+}
+
+/// A grid stored in one of the two layouts. Enum (rather than `dyn Grid`)
+/// so sheets stay `Clone`/`Send` and dispatch is static.
+#[derive(Debug, Clone)]
+pub enum GridStore {
+    Row(RowStore),
+    Col(ColStore),
+}
+
+impl GridStore {
+    /// A row-major grid of the given size.
+    pub fn row_major(rows: u32, cols: u32) -> Self {
+        GridStore::Row(RowStore::new(rows, cols))
+    }
+
+    /// A column-major grid of the given size.
+    pub fn col_major(rows: u32, cols: u32) -> Self {
+        GridStore::Col(ColStore::new(rows, cols))
+    }
+
+    fn as_grid(&self) -> &dyn Grid {
+        match self {
+            GridStore::Row(g) => g,
+            GridStore::Col(g) => g,
+        }
+    }
+
+    fn as_grid_mut(&mut self) -> &mut dyn Grid {
+        match self {
+            GridStore::Row(g) => g,
+            GridStore::Col(g) => g,
+        }
+    }
+}
+
+impl Grid for GridStore {
+    fn nrows(&self) -> u32 {
+        self.as_grid().nrows()
+    }
+
+    fn ncols(&self) -> u32 {
+        self.as_grid().ncols()
+    }
+
+    fn get(&self, addr: CellAddr) -> Option<&Cell> {
+        self.as_grid().get(addr)
+    }
+
+    fn cell_mut(&mut self, addr: CellAddr) -> &mut Cell {
+        self.as_grid_mut().cell_mut(addr)
+    }
+
+    fn ensure_size(&mut self, rows: u32, cols: u32) {
+        self.as_grid_mut().ensure_size(rows, cols)
+    }
+
+    fn permute_rows(&mut self, perm: &[u32]) {
+        self.as_grid_mut().permute_rows(perm)
+    }
+
+    fn for_each_in_range(&self, range: Range, f: &mut dyn FnMut(CellAddr, &Cell)) {
+        self.as_grid().for_each_in_range(range, f)
+    }
+}
+
+/// Applies a row permutation to a vector of rows: new `i` = old `perm[i]`.
+/// Shared by both stores (for `RowStore` the elements are whole rows, for
+/// `ColStore` they are per-column cells).
+pub(crate) fn apply_permutation<T: Default>(items: &mut Vec<T>, perm: &[u32]) {
+    debug_assert_eq!(items.len(), perm.len());
+    let mut out: Vec<T> = Vec::with_capacity(items.len());
+    // Take by index: move each source element exactly once.
+    let mut src: Vec<Option<T>> = items.drain(..).map(Some).collect();
+    for &p in perm {
+        out.push(src[p as usize].take().expect("perm must be a permutation"));
+    }
+    *items = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn check_grid(mut g: GridStore) {
+        assert_eq!(g.nrows(), 2);
+        assert_eq!(g.ncols(), 3);
+        let a = CellAddr::new(0, 1);
+        g.set(a, Cell::value(7));
+        assert_eq!(g.get(a).unwrap().display_value(), &Value::Number(7.0));
+        // Out of bounds reads are None.
+        assert!(g.get(CellAddr::new(9, 9)).is_none());
+        // Writing out of bounds grows.
+        g.set(CellAddr::new(4, 4), Cell::value("x"));
+        assert_eq!(g.nrows(), 5);
+        assert_eq!(g.ncols(), 5);
+        assert!(g.get(CellAddr::new(3, 3)).unwrap().is_vacant());
+    }
+
+    #[test]
+    fn row_store_basic() {
+        check_grid(GridStore::row_major(2, 3));
+    }
+
+    #[test]
+    fn col_store_basic() {
+        check_grid(GridStore::col_major(2, 3));
+    }
+
+    fn check_permute(mut g: GridStore) {
+        for r in 0..3 {
+            g.set(CellAddr::new(r, 0), Cell::value(i64::from(r)));
+            g.set(CellAddr::new(r, 1), Cell::value(format!("r{r}")));
+        }
+        g.permute_rows(&[2, 0, 1]);
+        let v = |r: u32, c: u32| g.get(CellAddr::new(r, c)).unwrap().display_value().display();
+        assert_eq!(v(0, 0), "2");
+        assert_eq!(v(1, 0), "0");
+        assert_eq!(v(2, 0), "1");
+        assert_eq!(v(0, 1), "r2");
+    }
+
+    #[test]
+    fn row_store_permute() {
+        check_permute(GridStore::row_major(3, 2));
+    }
+
+    #[test]
+    fn col_store_permute() {
+        check_permute(GridStore::col_major(3, 2));
+    }
+
+    fn check_range_visit(mut g: GridStore) {
+        for r in 0..4 {
+            for c in 0..2 {
+                g.set(CellAddr::new(r, c), Cell::value(i64::from(r * 10 + c)));
+            }
+        }
+        let mut seen = Vec::new();
+        g.for_each_in_range(Range::parse("A2:B3").unwrap(), &mut |addr, cell| {
+            seen.push((addr, cell.display_value().as_number().unwrap()));
+        });
+        seen.sort_by_key(|(a, _)| (a.row, a.col));
+        assert_eq!(
+            seen.iter().map(|(_, v)| *v as i64).collect::<Vec<_>>(),
+            vec![10, 11, 20, 21]
+        );
+        // Clipped to materialized area: a huge range visits only real cells.
+        let mut count = 0;
+        g.for_each_in_range(Range::parse("A1:Z100").unwrap(), &mut |_, _| count += 1);
+        assert_eq!(count, 8);
+    }
+
+    #[test]
+    fn row_store_range_visit() {
+        check_range_visit(GridStore::row_major(4, 2));
+    }
+
+    #[test]
+    fn col_store_range_visit() {
+        check_range_visit(GridStore::col_major(4, 2));
+    }
+
+    #[test]
+    fn apply_permutation_moves_each_once() {
+        let mut v = vec!["a".to_owned(), "b".to_owned(), "c".to_owned()];
+        apply_permutation(&mut v, &[1, 2, 0]);
+        assert_eq!(v, ["b", "c", "a"]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Row-major grid storage: a vector of rows, each a dense vector of cells.
+
+use crate::addr::{CellAddr, Range};
+use crate::cell::Cell;
+use crate::grid::{apply_permutation, Grid};
+
+/// Row-major cell storage.
+#[derive(Debug, Clone, Default)]
+pub struct RowStore {
+    rows: Vec<Vec<Cell>>,
+    ncols: u32,
+}
+
+impl RowStore {
+    /// A grid of `rows` × `cols` empty cells.
+    pub fn new(rows: u32, cols: u32) -> Self {
+        let mut s = RowStore { rows: Vec::new(), ncols: 0 };
+        s.ensure_size(rows, cols);
+        s
+    }
+
+    /// Borrow a whole row (dense, `ncols` long).
+    pub fn row(&self, r: u32) -> Option<&[Cell]> {
+        self.rows.get(r as usize).map(Vec::as_slice)
+    }
+}
+
+impl Grid for RowStore {
+    fn nrows(&self) -> u32 {
+        self.rows.len() as u32
+    }
+
+    fn ncols(&self) -> u32 {
+        self.ncols
+    }
+
+    fn get(&self, addr: CellAddr) -> Option<&Cell> {
+        self.rows.get(addr.row as usize)?.get(addr.col as usize)
+    }
+
+    fn cell_mut(&mut self, addr: CellAddr) -> &mut Cell {
+        self.ensure_size(addr.row + 1, addr.col + 1);
+        &mut self.rows[addr.row as usize][addr.col as usize]
+    }
+
+    fn ensure_size(&mut self, rows: u32, cols: u32) {
+        if cols > self.ncols {
+            for row in &mut self.rows {
+                row.resize_with(cols as usize, Cell::empty);
+            }
+            self.ncols = cols;
+        }
+        if rows as usize > self.rows.len() {
+            let ncols = self.ncols.max(cols) as usize;
+            self.ncols = ncols as u32;
+            self.rows.resize_with(rows as usize, || {
+                let mut v = Vec::with_capacity(ncols);
+                v.resize_with(ncols, Cell::empty);
+                v
+            });
+        }
+    }
+
+    fn permute_rows(&mut self, perm: &[u32]) {
+        apply_permutation(&mut self.rows, perm);
+    }
+
+    fn for_each_in_range(&self, range: Range, f: &mut dyn FnMut(CellAddr, &Cell)) {
+        let r1 = range.end.row.min(self.nrows().saturating_sub(1));
+        let c1 = range.end.col.min(self.ncols.saturating_sub(1));
+        if self.rows.is_empty() || self.ncols == 0 {
+            return;
+        }
+        for r in range.start.row..=r1 {
+            let row = &self.rows[r as usize];
+            for c in range.start.col..=c1 {
+                f(CellAddr::new(r, c), &row[c as usize]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn growth_keeps_rows_dense() {
+        let mut g = RowStore::new(2, 2);
+        g.set(CellAddr::new(0, 5), Cell::value(1));
+        assert_eq!(g.ncols(), 6);
+        for r in 0..g.nrows() {
+            assert_eq!(g.row(r).unwrap().len(), 6, "row {r}");
+        }
+    }
+
+    #[test]
+    fn row_access() {
+        let mut g = RowStore::new(1, 3);
+        g.set(CellAddr::new(0, 2), Cell::value("z"));
+        let row = g.row(0).unwrap();
+        assert_eq!(row[2].display_value(), &Value::text("z"));
+        assert!(g.row(7).is_none());
+    }
+
+    #[test]
+    fn empty_store_range_visit_is_noop() {
+        let g = RowStore::default();
+        let mut n = 0;
+        g.for_each_in_range(Range::parse("A1:B2").unwrap(), &mut |_, _| n += 1);
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Import/export: a serializable cell-text document model (`SheetData`),
+//! CSV encode/decode, and the metered `open` that materializes a document
+//! into a [`Sheet`] — the data-load operation of §4.1.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::CellAddr;
+use crate::error::EngineError;
+use crate::meter::Primitive;
+use crate::sheet::{Layout, Sheet};
+
+/// A saved spreadsheet document: the formula-bar text of every cell
+/// (formulae keep their leading `=`). This plays the role of the xlsx/ods
+/// files of §3.3 — a layout-independent serialization that `open` must
+/// parse cell-by-cell.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SheetData {
+    /// Row-major cell texts. Rows may be ragged.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl SheetData {
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Keeps only the first `n` rows (used to derive the sampled dataset
+    /// versions of §3.2).
+    pub fn truncated(&self, n: usize) -> SheetData {
+        SheetData { rows: self.rows.iter().take(n).cloned().collect() }
+    }
+}
+
+/// Serializes a sheet to its document form.
+pub fn save(sheet: &Sheet) -> SheetData {
+    let mut rows = Vec::with_capacity(sheet.nrows() as usize);
+    for r in 0..sheet.nrows() {
+        let mut row = Vec::with_capacity(sheet.ncols() as usize);
+        for c in 0..sheet.ncols() {
+            row.push(sheet.input_text(CellAddr::new(r, c)));
+        }
+        rows.push(row);
+    }
+    SheetData { rows }
+}
+
+/// Materializes a document into a sheet, parsing every cell (one
+/// `CellParse` each) — the O(m·n) data-load cost of Table 1. Formula
+/// *recalculation* is a separate step (`recalc::open_recalc`), because the
+/// systems sequence it differently (§4.1).
+pub fn open(data: &SheetData, layout: Layout) -> Result<Sheet, EngineError> {
+    let rows = data.nrows() as u32;
+    let cols = data.rows.iter().map(Vec::len).max().unwrap_or(0) as u32;
+    let mut sheet = Sheet::with_layout(layout, rows, cols);
+    for (r, row) in data.rows.iter().enumerate() {
+        for (c, text) in row.iter().enumerate() {
+            sheet.meter().tick(Primitive::CellParse);
+            if text.is_empty() {
+                continue;
+            }
+            sheet.set_input(CellAddr::new(r as u32, c as u32), text)?;
+        }
+    }
+    Ok(sheet)
+}
+
+/// Opens only the first `window_rows` rows of the document — the lazy
+/// viewport load Google Sheets performs ("load the first m rows visible
+/// within the screen, and then load the rest on-demand", §4.1).
+pub fn open_window(
+    data: &SheetData,
+    layout: Layout,
+    window_rows: u32,
+) -> Result<Sheet, EngineError> {
+    let clipped = data.truncated(window_rows as usize);
+    open(&clipped, layout)
+}
+
+// ---------------------------------------------------------------------
+// CSV codec (RFC-4180-style quoting).
+// ---------------------------------------------------------------------
+
+/// Encodes a document as CSV.
+pub fn to_csv(data: &SheetData) -> String {
+    let mut out = String::new();
+    for row in &data.rows {
+        for (i, field) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if field.contains([',', '"', '\n', '\r']) {
+                out.push('"');
+                out.push_str(&field.replace('"', "\"\""));
+                out.push('"');
+            } else {
+                out.push_str(field);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Decodes CSV into a document.
+pub fn from_csv(text: &str) -> Result<SheetData, EngineError> {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut row_started = false;
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match ch {
+            '"' if field.is_empty() => {
+                in_quotes = true;
+                row_started = true;
+            }
+            ',' => {
+                row.push(std::mem::take(&mut field));
+                row_started = true;
+            }
+            '\r' => {}
+            '\n' => {
+                if row_started || !field.is_empty() || !row.is_empty() {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                row_started = false;
+            }
+            other => {
+                field.push(other);
+                row_started = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(EngineError::Parse("unterminated quoted CSV field".into()));
+    }
+    if row_started || !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(SheetData { rows })
+}
+
+/// Writes a document to disk as CSV.
+pub fn write_csv_file(data: &SheetData, path: &std::path::Path) -> Result<(), EngineError> {
+    std::fs::write(path, to_csv(data))?;
+    Ok(())
+}
+
+/// Reads a CSV file from disk.
+pub fn read_csv_file(path: &std::path::Path) -> Result<SheetData, EngineError> {
+    let text = std::fs::read_to_string(path)?;
+    from_csv(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recalc;
+    use crate::value::Value;
+
+    fn a(s: &str) -> CellAddr {
+        CellAddr::parse(s).unwrap()
+    }
+
+    fn doc() -> SheetData {
+        SheetData {
+            rows: vec![
+                vec!["1".into(), "STORM".into(), "=A1*2".into()],
+                vec!["2".into(), "calm".into(), "=A2*2".into()],
+            ],
+        }
+    }
+
+    #[test]
+    fn open_parses_types_and_formulas() {
+        let mut s = open(&doc(), Layout::RowMajor).unwrap();
+        assert_eq!(s.value(a("A1")), Value::Number(1.0));
+        assert_eq!(s.value(a("B2")), Value::text("calm"));
+        assert!(s.is_formula(a("C1")));
+        recalc::open_recalc(&mut s);
+        assert_eq!(s.value(a("C2")), Value::Number(4.0));
+    }
+
+    #[test]
+    fn open_charges_cell_parse() {
+        let s = open(&doc(), Layout::RowMajor).unwrap();
+        assert_eq!(s.meter().snapshot().get(Primitive::CellParse), 6);
+    }
+
+    #[test]
+    fn save_open_round_trip() {
+        let mut s = open(&doc(), Layout::RowMajor).unwrap();
+        recalc::recalc_all(&mut s);
+        let saved = save(&s);
+        assert_eq!(saved.rows[0], vec!["1", "STORM", "=A1*2"]);
+        let reopened = open(&saved, Layout::RowMajor).unwrap();
+        assert_eq!(save(&reopened), saved);
+    }
+
+    #[test]
+    fn open_window_truncates() {
+        let s = open_window(&doc(), Layout::RowMajor, 1).unwrap();
+        assert_eq!(s.nrows(), 1);
+        assert_eq!(s.meter().snapshot().get(Primitive::CellParse), 3);
+    }
+
+    #[test]
+    fn csv_round_trip_with_quoting() {
+        let data = SheetData {
+            rows: vec![
+                vec!["plain".into(), "with,comma".into()],
+                vec!["with \"quotes\"".into(), "multi\nline".into()],
+            ],
+        };
+        let csv = to_csv(&data);
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn csv_rejects_unterminated_quote() {
+        assert!(from_csv("\"oops").is_err());
+    }
+
+    #[test]
+    fn csv_empty_and_trailing_newline() {
+        assert_eq!(from_csv("").unwrap().nrows(), 0);
+        let d = from_csv("a,b\n").unwrap();
+        assert_eq!(d.rows, vec![vec!["a".to_owned(), "b".to_owned()]]);
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let d = doc().truncated(1);
+        assert_eq!(d.nrows(), 1);
+        assert_eq!(d.cell_count(), 3);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("ssbench_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv_file(&doc(), &path).unwrap();
+        let back = read_csv_file(&path).unwrap();
+        assert_eq!(back, doc());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,76 @@
+//! # ssbench-engine
+//!
+//! A from-scratch spreadsheet engine built as the substrate for reproducing
+//! *Benchmarking Spreadsheet Systems* (SIGMOD 2020). It provides:
+//!
+//! * a grid of cells in a row-major or column-major layout ([`grid`]);
+//! * a formula language (lexer, parser, canonical printer) with ~60
+//!   built-in functions ([`formula`], [`functions`]);
+//! * a cell-by-cell tree-walking evaluator whose every primitive operation
+//!   is tallied by a cost [`meter`];
+//! * a dependency graph and a recalculation engine that — like the
+//!   benchmarked systems — recomputes dirty formulae *from scratch*
+//!   ([`depgraph`], [`recalc`]);
+//! * the update and query operations of the paper's taxonomy: sort,
+//!   filter, find-and-replace, copy-paste, conditional formatting, and
+//!   pivot tables ([`ops`]);
+//! * document import/export ([`io`]) and multi-sheet workbooks
+//!   ([`workbook`]).
+//!
+//! The engine is intentionally *naive* in exactly the ways the paper shows
+//! the commercial systems to be: no indexes, no columnar execution, no
+//! shared or incremental computation, full recalculation on structural
+//! operations. The database-style optimizations live in the companion
+//! `ssbench-optimized` crate, and the per-system behavioural profiles
+//! (Excel / LibreOffice Calc / Google Sheets) in `ssbench-systems`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ssbench_engine::prelude::*;
+//!
+//! let mut sheet = Sheet::new();
+//! sheet.set_value(CellAddr::parse("A1").unwrap(), 40);
+//! sheet.set_value(CellAddr::parse("A2").unwrap(), 2);
+//! sheet.set_formula_str(CellAddr::parse("B1").unwrap(), "=SUM(A1:A2)").unwrap();
+//! recalc::recalc_all(&mut sheet);
+//! assert_eq!(sheet.value(CellAddr::parse("B1").unwrap()), Value::Number(42.0));
+//! ```
+
+pub mod addr;
+pub mod cell;
+pub mod depgraph;
+pub mod error;
+pub mod eval;
+pub mod formula;
+pub mod functions;
+pub mod grid;
+pub mod io;
+pub mod meter;
+pub mod ops;
+pub mod recalc;
+pub mod sheet;
+pub mod style;
+pub mod value;
+pub mod workbook;
+
+/// Convenient re-exports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::addr::{CellAddr, CellRef, Range};
+    pub use crate::cell::{Cell, CellContent, Formula};
+    pub use crate::error::{CellError, EngineError};
+    pub use crate::eval::{CellSource, EvalCtx, LookupStrategy};
+    pub use crate::formula::{parse, print, Expr};
+    pub use crate::io::SheetData;
+    pub use crate::meter::{Counts, Meter, Primitive};
+    pub use crate::ops::{
+        clear_filter, conditional_format, copy_paste, filter_rows, find_all, find_replace,
+        delete_cols, delete_rows, insert_cols, insert_rows, pivot, sort_rows, PivotAgg,
+        PivotTable, SortKey, SortOrder,
+    };
+    pub use crate::recalc;
+    pub use crate::sheet::{Layout, Sheet};
+    pub use crate::style::{Color, Style};
+    pub use crate::value::{Criterion, Value};
+    pub use crate::workbook::Workbook;
+}

@@ -1,0 +1,135 @@
+//! Copy-paste with reference adjustment: relative references shift by the
+//! paste delta, absolute references stay pinned (the semantics that make
+//! the §6 sort-recomputation analysis meaningful).
+
+use crate::addr::{CellAddr, Range};
+use crate::cell::{Cell, CellContent};
+use crate::meter::Primitive;
+use crate::sheet::Sheet;
+
+/// Copies `src` to the block of the same shape starting at `dst_start`.
+/// Overlapping copy is supported (the source is snapshotted first, as real
+/// systems do via the clipboard). Returns the destination range.
+pub fn copy_paste(sheet: &mut Sheet, src: Range, dst_start: CellAddr) -> Range {
+    let rows = src.rows();
+    let cols = src.cols();
+    // Snapshot the source block ("clipboard").
+    let mut clipboard: Vec<(CellAddr, Cell)> = Vec::with_capacity((rows * cols) as usize);
+    for addr in src.iter() {
+        sheet.meter().tick(Primitive::CellRead);
+        let cell = sheet.cell(addr).cloned().unwrap_or_else(Cell::empty);
+        clipboard.push((addr, cell));
+    }
+    // Paste with adjustment.
+    for (src_addr, cell) in clipboard {
+        let d_row = src_addr.row - src.start.row;
+        let d_col = src_addr.col - src.start.col;
+        let dst = CellAddr::new(dst_start.row + d_row, dst_start.col + d_col);
+        sheet.meter().tick(Primitive::CellWrite);
+        match cell.content {
+            CellContent::Formula(f) => {
+                let adjusted = f.expr.adjusted(src_addr, dst);
+                sheet.set_formula(dst, adjusted);
+                sheet.cell_mut(dst).style = cell.style;
+            }
+            CellContent::Value(v) => {
+                sheet.set_value(dst, v);
+                sheet.cell_mut(dst).style = cell.style;
+            }
+        }
+    }
+    Range::new(dst_start, CellAddr::new(dst_start.row + rows - 1, dst_start.col + cols - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CellError;
+    use crate::recalc;
+    use crate::value::Value;
+
+    fn a(s: &str) -> CellAddr {
+        CellAddr::parse(s).unwrap()
+    }
+
+    #[test]
+    fn copies_values_and_styles() {
+        let mut s = Sheet::new();
+        s.set_value(a("A1"), 7);
+        s.cell_mut(a("A1")).style =
+            crate::style::Style::plain().with_fill(crate::style::Color::GREEN);
+        copy_paste(&mut s, Range::parse("A1").unwrap(), a("C3"));
+        assert_eq!(s.value(a("C3")), Value::Number(7.0));
+        assert_eq!(s.cell(a("C3")).unwrap().style.fill, Some(crate::style::Color::GREEN));
+    }
+
+    #[test]
+    fn relative_references_shift() {
+        let mut s = Sheet::new();
+        s.set_value(a("A1"), 1);
+        s.set_value(a("A2"), 2);
+        s.set_formula_str(a("B1"), "=A1*10").unwrap();
+        copy_paste(&mut s, Range::parse("B1").unwrap(), a("B2"));
+        assert_eq!(s.input_text(a("B2")), "=A2*10");
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("B2")), Value::Number(20.0));
+    }
+
+    #[test]
+    fn absolute_references_pin() {
+        let mut s = Sheet::new();
+        s.set_value(a("A1"), 5);
+        s.set_formula_str(a("B1"), "=$A$1+A1").unwrap();
+        copy_paste(&mut s, Range::parse("B1").unwrap(), a("C5"));
+        assert_eq!(s.input_text(a("C5")), "=$A$1+B5");
+    }
+
+    #[test]
+    fn off_sheet_adjustment_becomes_ref_error() {
+        let mut s = Sheet::new();
+        s.set_value(a("B2"), 1);
+        s.set_formula_str(a("B3"), "=B2").unwrap();
+        // Pasting B3 at A1 would need the reference to move to row 0.
+        copy_paste(&mut s, Range::parse("B3").unwrap(), a("A1"));
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("A1")), Value::Error(CellError::Ref));
+    }
+
+    #[test]
+    fn block_copy_shape() {
+        let mut s = Sheet::new();
+        for r in 0..2u32 {
+            for c in 0..2u32 {
+                s.set_value(CellAddr::new(r, c), i64::from(r * 10 + c));
+            }
+        }
+        let dst = copy_paste(&mut s, Range::parse("A1:B2").unwrap(), a("D4"));
+        assert_eq!(dst, Range::parse("D4:E5").unwrap());
+        assert_eq!(s.value(a("E5")), Value::Number(11.0));
+    }
+
+    #[test]
+    fn overlapping_copy_uses_snapshot() {
+        let mut s = Sheet::new();
+        for i in 0..4u32 {
+            s.set_value(CellAddr::new(i, 0), i64::from(i));
+        }
+        // Shift the block down by one over itself.
+        copy_paste(&mut s, Range::parse("A1:A4").unwrap(), a("A2"));
+        let col: Vec<f64> =
+            (0..5).map(|r| s.value(CellAddr::new(r, 0)).as_number().unwrap()).collect();
+        assert_eq!(col, vec![0.0, 0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn charges_reads_and_writes() {
+        let mut s = Sheet::new();
+        s.set_value(a("A1"), 1);
+        let before = s.meter().snapshot();
+        copy_paste(&mut s, Range::parse("A1:B2").unwrap(), a("D1"));
+        let d = s.meter().snapshot().since(&before);
+        assert_eq!(d.get(Primitive::CellRead), 4);
+        // 4 pastes; set_value/set_formula tick CellWrite again internally.
+        assert!(d.get(Primitive::CellWrite) >= 4);
+    }
+}

@@ -1,0 +1,101 @@
+//! Filter: hides the rows that do not satisfy a condition on one column
+//! (§4.3.1 — "Filter operations in spreadsheets hide the rows that do not
+//! satisfy the filtering condition"). A full scan of the column, as in all
+//! three benchmarked systems.
+
+use crate::addr::CellAddr;
+use crate::meter::Primitive;
+use crate::sheet::Sheet;
+use crate::value::Criterion;
+
+/// Applies a filter on `col`: rows whose cell does not match `criterion`
+/// are hidden. Returns the number of visible (matching) rows.
+pub fn filter_rows(sheet: &mut Sheet, col: u32, criterion: &Criterion) -> u32 {
+    let m = sheet.nrows();
+    let mut visible = 0u32;
+    for row in 0..m {
+        sheet.meter().tick(Primitive::CellRead);
+        let v = sheet.value(CellAddr::new(row, col));
+        let keep = criterion.matches(&v);
+        if keep {
+            visible += 1;
+        } else {
+            sheet.meter().tick(Primitive::RowToggle);
+        }
+        sheet.set_row_hidden(row, !keep);
+    }
+    visible
+}
+
+/// Clears the filter, unhiding every row.
+pub fn clear_filter(sheet: &mut Sheet) {
+    let hidden = u64::from(sheet.nrows() - sheet.visible_rows());
+    sheet.meter().bump(Primitive::RowToggle, hidden);
+    sheet.unhide_all_rows();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn states() -> Sheet {
+        let mut s = Sheet::new();
+        for (i, st) in ["SD", "IL", "SD", "CA", "SD"].iter().enumerate() {
+            s.set_value(CellAddr::new(i as u32, 1), *st);
+        }
+        s
+    }
+
+    #[test]
+    fn filters_by_state() {
+        // The paper's experiment: filter by state = SD.
+        let mut s = states();
+        let crit = Criterion::parse(&Value::text("SD"));
+        let visible = filter_rows(&mut s, 1, &crit);
+        assert_eq!(visible, 3);
+        assert!(!s.is_row_hidden(0));
+        assert!(s.is_row_hidden(1));
+        assert!(s.is_row_hidden(3));
+        assert_eq!(s.visible_rows(), 3);
+    }
+
+    #[test]
+    fn refilter_replaces_previous() {
+        let mut s = states();
+        filter_rows(&mut s, 1, &Criterion::parse(&Value::text("SD")));
+        let visible = filter_rows(&mut s, 1, &Criterion::parse(&Value::text("IL")));
+        assert_eq!(visible, 1);
+        assert!(s.is_row_hidden(0));
+        assert!(!s.is_row_hidden(1));
+    }
+
+    #[test]
+    fn clear_restores_all() {
+        let mut s = states();
+        filter_rows(&mut s, 1, &Criterion::parse(&Value::text("CA")));
+        assert_eq!(s.visible_rows(), 1);
+        clear_filter(&mut s);
+        assert_eq!(s.visible_rows(), 5);
+    }
+
+    #[test]
+    fn charges_full_scan() {
+        let mut s = states();
+        let before = s.meter().snapshot();
+        filter_rows(&mut s, 1, &Criterion::parse(&Value::text("SD")));
+        let d = s.meter().snapshot().since(&before);
+        assert_eq!(d.get(Primitive::CellRead), 5);
+        assert_eq!(d.get(Primitive::RowToggle), 2);
+    }
+
+    #[test]
+    fn numeric_criteria() {
+        let mut s = Sheet::new();
+        for i in 0..10u32 {
+            s.set_value(CellAddr::new(i, 0), i);
+        }
+        let visible = filter_rows(&mut s, 0, &Criterion::parse(&Value::text(">=5")));
+        assert_eq!(visible, 5);
+    }
+}

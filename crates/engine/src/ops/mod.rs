@@ -1,0 +1,21 @@
+//! Sheet-level operations: the update and query operations of the paper's
+//! taxonomy (Table 1). Each operation does its real algorithmic work while
+//! charging the meter; recalculation *triggers* (which system recomputes
+//! formulae after which operation) are sequenced by the system profiles in
+//! `ssbench-systems`, not here.
+
+pub mod cond_format;
+pub mod copy_paste;
+pub mod filter;
+pub mod find_replace;
+pub mod pivot;
+pub mod sort;
+pub mod structure;
+
+pub use cond_format::conditional_format;
+pub use copy_paste::copy_paste;
+pub use filter::{clear_filter, filter_rows};
+pub use find_replace::{find_all, find_replace};
+pub use pivot::{pivot, PivotAgg, PivotTable};
+pub use sort::{sort_rows, SortKey, SortOrder};
+pub use structure::{delete_cols, delete_rows, insert_cols, insert_rows};

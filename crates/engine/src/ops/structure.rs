@@ -1,0 +1,333 @@
+//! Structural edits: inserting and deleting whole rows or columns, with
+//! the reference-rewriting semantics of the real systems (references at or
+//! past the insertion point shift; references *into* a deleted row/column
+//! become `#REF!`).
+//!
+//! These are the edits §6 warns make naive indexes fragile: "indexing may
+//! be problematic if it explicitly uses or encodes the row or column
+//! number, because a single change (adding a row) can lead to an update of
+//! the entire index."
+
+use crate::addr::{CellAddr, CellRef};
+use crate::cell::{Cell, CellContent};
+use crate::error::CellError;
+use crate::formula::ast::{Expr, RangeRef};
+use crate::meter::Primitive;
+use crate::sheet::Sheet;
+
+/// Which axis a structural edit operates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    Row,
+    Col,
+}
+
+/// How one coordinate responds to an insertion/deletion at `at`.
+fn shift_coord(coord: u32, at: u32, count: u32, insert: bool) -> Option<u32> {
+    if insert {
+        Some(if coord >= at { coord + count } else { coord })
+    } else if coord < at {
+        Some(coord)
+    } else if coord < at + count {
+        None // inside the deleted band
+    } else {
+        Some(coord - count)
+    }
+}
+
+/// Rewrites one reference for a structural edit; `None` = `#REF!`.
+fn shift_ref(r: CellRef, axis: Axis, at: u32, count: u32, insert: bool) -> Option<CellRef> {
+    let addr = match axis {
+        Axis::Row => CellAddr::new(shift_coord(r.addr.row, at, count, insert)?, r.addr.col),
+        Axis::Col => CellAddr::new(r.addr.row, shift_coord(r.addr.col, at, count, insert)?),
+    };
+    Some(CellRef { addr, ..r })
+}
+
+/// Rewrites a range reference. A range whose endpoints both die is
+/// `#REF!`; a range clipped on one side shrinks to the surviving part
+/// (the real systems' behaviour).
+fn shift_range(r: RangeRef, axis: Axis, at: u32, count: u32, insert: bool) -> Option<RangeRef> {
+    let start = shift_ref(r.start, axis, at, count, insert);
+    let end = shift_ref(r.end, axis, at, count, insert);
+    match (start, end) {
+        (Some(s), Some(e)) => Some(RangeRef { start: s, end: e }),
+        (None, None) => None,
+        // Clip the dead endpoint to the edge of the deleted band.
+        (Some(s), None) => {
+            let mut e = r.end;
+            match axis {
+                Axis::Row => e.addr.row = at.saturating_sub(1).max(s.addr.row),
+                Axis::Col => e.addr.col = at.saturating_sub(1).max(s.addr.col),
+            }
+            let e = shift_ref(e, axis, at, count, insert)?;
+            Some(RangeRef { start: s, end: e })
+        }
+        (None, Some(e)) => {
+            let mut s = r.start;
+            match axis {
+                Axis::Row => s.addr.row = (at + count).min(e.addr.row + count),
+                Axis::Col => s.addr.col = (at + count).min(e.addr.col + count),
+            }
+            let s = shift_ref(s, axis, at, count, insert)?;
+            Some(RangeRef { start: s, end: e })
+        }
+    }
+}
+
+/// Rewrites every reference of an expression for a structural edit.
+fn shift_expr(expr: &Expr, axis: Axis, at: u32, count: u32, insert: bool) -> Expr {
+    match expr {
+        Expr::Ref(r) => match shift_ref(*r, axis, at, count, insert) {
+            Some(adj) => Expr::Ref(adj),
+            None => Expr::Error(CellError::Ref),
+        },
+        Expr::RangeRef(r) => match shift_range(*r, axis, at, count, insert) {
+            Some(adj) => Expr::RangeRef(adj),
+            None => Expr::Error(CellError::Ref),
+        },
+        Expr::Unary(op, e) => Expr::Unary(*op, Box::new(shift_expr(e, axis, at, count, insert))),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(shift_expr(a, axis, at, count, insert)),
+            Box::new(shift_expr(b, axis, at, count, insert)),
+        ),
+        Expr::Call(name, args) => Expr::Call(
+            name.clone(),
+            args.iter().map(|a| shift_expr(a, axis, at, count, insert)).collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Applies a structural edit to the whole sheet: moves cells, rewrites
+/// every formula, and rebuilds the dependency graph. Charges one
+/// `CellMove` per relocated cell — exactly the O(total cells) cost that
+/// makes row-number-encoding indexes expensive to maintain (§6).
+fn restructure(sheet: &mut Sheet, axis: Axis, at: u32, count: u32, insert: bool) {
+    let (nrows, ncols) = (sheet.nrows(), sheet.ncols());
+    if count == 0 || nrows == 0 || ncols == 0 {
+        return;
+    }
+    // Collect the surviving cells with their new coordinates.
+    let (new_rows, new_cols) = match (axis, insert) {
+        (Axis::Row, true) => (nrows + count, ncols),
+        (Axis::Row, false) => (nrows.saturating_sub(count.min(nrows.saturating_sub(at))), ncols),
+        (Axis::Col, true) => (nrows, ncols + count),
+        (Axis::Col, false) => (nrows, ncols.saturating_sub(count.min(ncols.saturating_sub(at)))),
+    };
+    let mut moved: Vec<(CellAddr, Cell)> = Vec::new();
+    for r in 0..nrows {
+        for c in 0..ncols {
+            let old = CellAddr::new(r, c);
+            let coord = match axis {
+                Axis::Row => r,
+                Axis::Col => c,
+            };
+            let Some(new_coord) = shift_coord(coord, at, count, insert) else {
+                continue; // deleted band
+            };
+            let new = match axis {
+                Axis::Row => CellAddr::new(new_coord, c),
+                Axis::Col => CellAddr::new(r, new_coord),
+            };
+            let Some(cell) = sheet.cell(old) else { continue };
+            if cell.is_vacant() && new == old {
+                continue;
+            }
+            let mut cell = cell.clone();
+            if let CellContent::Formula(f) = &mut cell.content {
+                f.expr = shift_expr(&f.expr, axis, at, count, insert);
+            }
+            sheet.meter().tick(Primitive::CellMove);
+            moved.push((new, cell));
+        }
+    }
+    // Rebuild the grid.
+    let mut fresh = Sheet::with_layout(crate::sheet::Layout::RowMajor, new_rows, new_cols);
+    std::mem::swap(sheet, &mut fresh);
+    sheet.ensure_size(new_rows.max(1), new_cols.max(1));
+    // Carry over configuration and accumulated work from the old sheet.
+    sheet.set_lookup_strategy(fresh.lookup_strategy());
+    sheet.meter().absorb(&fresh.meter().snapshot());
+    for (addr, cell) in moved {
+        match cell.content {
+            CellContent::Formula(f) => {
+                sheet.set_formula(addr, f.expr);
+                sheet.cell_mut(addr).style = cell.style;
+                sheet.store_formula_result(addr, f.cached);
+            }
+            CellContent::Value(v) => {
+                if !v.is_empty() || !cell.style.is_plain() {
+                    sheet.set_value(addr, v);
+                    sheet.cell_mut(addr).style = cell.style;
+                }
+            }
+        }
+    }
+}
+
+/// Inserts `count` blank rows before row `at` (0-based).
+pub fn insert_rows(sheet: &mut Sheet, at: u32, count: u32) {
+    restructure(sheet, Axis::Row, at, count, true);
+}
+
+/// Deletes `count` rows starting at row `at`.
+pub fn delete_rows(sheet: &mut Sheet, at: u32, count: u32) {
+    restructure(sheet, Axis::Row, at, count, false);
+}
+
+/// Inserts `count` blank columns before column `at`.
+pub fn insert_cols(sheet: &mut Sheet, at: u32, count: u32) {
+    restructure(sheet, Axis::Col, at, count, true);
+}
+
+/// Deletes `count` columns starting at column `at`.
+pub fn delete_cols(sheet: &mut Sheet, at: u32, count: u32) {
+    restructure(sheet, Axis::Col, at, count, false);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recalc;
+    use crate::value::Value;
+
+    fn a(s: &str) -> CellAddr {
+        CellAddr::parse(s).unwrap()
+    }
+
+    fn sample() -> Sheet {
+        let mut s = Sheet::new();
+        for i in 0..5u32 {
+            s.set_value(CellAddr::new(i, 0), i64::from(i + 1)); // A: 1..5
+        }
+        s.set_formula_str(a("B1"), "=SUM(A1:A5)").unwrap();
+        s.set_formula_str(a("B2"), "=A3*10").unwrap();
+        s.set_formula_str(a("B5"), "=$A$5").unwrap();
+        recalc::recalc_all(&mut s);
+        s
+    }
+
+    #[test]
+    fn insert_rows_shifts_data_and_references() {
+        let mut s = sample();
+        insert_rows(&mut s, 2, 1); // blank row before row 3
+        assert_eq!(s.value(a("A2")), Value::Number(2.0));
+        assert_eq!(s.value(a("A3")), Value::Empty); // the new blank row
+        assert_eq!(s.value(a("A4")), Value::Number(3.0));
+        // SUM(A1:A5) widened to A1:A6; A3*10 became A4*10; the absolute
+        // formula moved from B5 to B6 with its reference shifted.
+        assert_eq!(s.input_text(a("B1")), "=SUM(A1:A6)");
+        assert_eq!(s.input_text(a("B2")), "=A4*10");
+        assert_eq!(s.input_text(a("B6")), "=$A$6");
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("B1")), Value::Number(15.0));
+        assert_eq!(s.value(a("B2")), Value::Number(30.0));
+        assert_eq!(s.value(a("B6")), Value::Number(5.0));
+    }
+
+    #[test]
+    fn delete_row_clips_ranges_and_breaks_direct_refs() {
+        let mut s = sample();
+        delete_rows(&mut s, 2, 1); // delete row 3 (value 3)
+        assert_eq!(s.value(a("A3")), Value::Number(4.0));
+        assert_eq!(s.nrows(), 4);
+        // The range shrinks; the direct reference to the deleted row dies.
+        assert_eq!(s.input_text(a("B1")), "=SUM(A1:A4)");
+        assert_eq!(s.input_text(a("B2")), "=#REF!*10");
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("B1")), Value::Number(12.0)); // 1+2+4+5
+        assert_eq!(s.value(a("B2")), Value::Error(CellError::Ref));
+        // The absolute formula moved up from B5 to B4, reference shifted.
+        assert_eq!(s.input_text(a("B4")), "=$A$4");
+        assert_eq!(s.value(a("B4")), Value::Number(5.0));
+    }
+
+    #[test]
+    fn delete_rows_containing_formulas_removes_them() {
+        let mut s = sample();
+        let before = s.formula_count();
+        delete_rows(&mut s, 0, 2); // rows 1–2 hold B1 and B2
+        assert_eq!(s.formula_count(), before - 2);
+        assert!(s.is_formula(a("B3"))); // old B5 moved up two rows
+        assert_eq!(s.input_text(a("B3")), "=$A$3");
+    }
+
+    #[test]
+    fn insert_cols_shifts_columns() {
+        let mut s = sample();
+        insert_cols(&mut s, 0, 2);
+        assert_eq!(s.value(a("C1")), Value::Number(1.0));
+        assert_eq!(s.input_text(a("D1")), "=SUM(C1:C5)");
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("D1")), Value::Number(15.0));
+    }
+
+    #[test]
+    fn delete_col_kills_dependent_formulas() {
+        let mut s = sample();
+        delete_cols(&mut s, 0, 1); // delete column A
+        // Formulas moved into column A; everything referenced A → #REF!.
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("A1")), Value::Error(CellError::Ref));
+        assert_eq!(s.value(a("A2")), Value::Error(CellError::Ref));
+        assert_eq!(s.ncols(), 1);
+    }
+
+    #[test]
+    fn range_clipped_from_the_top() {
+        let mut s = Sheet::new();
+        for i in 0..4u32 {
+            s.set_value(CellAddr::new(i, 0), i64::from(i + 1));
+        }
+        s.set_formula_str(a("C1"), "=SUM(A2:A4)").unwrap();
+        delete_rows(&mut s, 1, 1); // delete row 2, the range's first row
+        assert_eq!(s.input_text(a("C1")), "=SUM(A2:A3)");
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("C1")), Value::Number(7.0)); // 3+4
+    }
+
+    #[test]
+    fn whole_range_deleted_is_ref_error() {
+        let mut s = Sheet::new();
+        s.set_value(a("A2"), 5);
+        s.set_formula_str(a("C1"), "=SUM(A2:A2)").unwrap();
+        delete_rows(&mut s, 1, 1);
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("C1")), Value::Error(CellError::Ref));
+    }
+
+    #[test]
+    fn structural_edit_charges_cell_moves() {
+        let mut s = sample();
+        let before = s.meter().snapshot();
+        insert_rows(&mut s, 0, 1);
+        let d = s.meter().snapshot().since(&before);
+        // Every non-vacant cell relocated — the §6 index-maintenance cost.
+        assert!(d.get(Primitive::CellMove) >= 8);
+    }
+
+    #[test]
+    fn noop_edits() {
+        let mut s = sample();
+        let snapshot = crate::io::save(&s);
+        insert_rows(&mut s, 3, 0);
+        delete_rows(&mut s, 99, 1);
+        assert_eq!(crate::io::save(&s), snapshot);
+    }
+
+    #[test]
+    fn hash_index_survives_via_rebuild_semantics() {
+        // Demonstrates the §6 hazard: a row insertion invalidates any
+        // index keyed by row number; the engine's grid stays consistent,
+        // so rebuilding after the edit is always correct.
+        let mut s = Sheet::new();
+        for i in 0..10u32 {
+            s.set_value(CellAddr::new(i, 0), i64::from(i % 3));
+        }
+        insert_rows(&mut s, 5, 1);
+        let count = s.eval_str("=COUNTIF(A1:A11,0)").unwrap();
+        assert_eq!(count, Value::Number(4.0));
+    }
+}

@@ -1,0 +1,170 @@
+//! The recalculation engine.
+//!
+//! Spreadsheets keep formula results materialized and recompute them when
+//! inputs change. The two entry points mirror what the benchmarked systems
+//! do:
+//!
+//! * [`recalc_all`] — full recalculation of every formula, in dependency
+//!   order (what happens on open, §4.1, and what the systems fall back to
+//!   after operations like sort, §4.2.1);
+//! * [`recalc_from`] — dirty-set recalculation after specific cells
+//!   changed. Crucially, each dirty formula is recomputed **from
+//!   scratch** — a formula over an m-cell range costs O(m) even for a
+//!   single-cell edit. That is the paper's §5.5 finding; the incremental
+//!   alternative lives in `ssbench-optimized`.
+
+use crate::addr::CellAddr;
+use crate::error::CellError;
+use crate::eval::evaluate;
+use crate::meter::Primitive;
+use crate::sheet::Sheet;
+use crate::value::Value;
+
+/// Summary of one recalculation pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecalcStats {
+    /// Formulae evaluated.
+    pub evaluated: usize,
+    /// Formulae marked `#CIRC!` due to dependency cycles.
+    pub cyclic: usize,
+}
+
+/// Evaluates the formula at `addr` against the sheet's current state and
+/// returns its value; `None` when the cell is not a formula.
+pub fn eval_formula_at(sheet: &Sheet, addr: CellAddr) -> Option<Value> {
+    let expr = sheet.formula_expr(addr)?;
+    let ctx = sheet.eval_ctx(addr);
+    sheet.meter().tick(Primitive::FormulaEval);
+    Some(evaluate(expr, &ctx))
+}
+
+/// Evaluates the given formulae in order, storing results.
+fn run_plan(sheet: &mut Sheet, order: &[CellAddr], cyclic: &[CellAddr]) -> RecalcStats {
+    for &addr in order {
+        if let Some(v) = eval_formula_at(sheet, addr) {
+            sheet.store_cached(addr, v);
+        }
+    }
+    for &addr in cyclic {
+        sheet.store_cached(addr, Value::Error(CellError::Circular));
+    }
+    RecalcStats { evaluated: order.len(), cyclic: cyclic.len() }
+}
+
+/// Fully recalculates every formula on the sheet, precedents first.
+pub fn recalc_all(sheet: &mut Sheet) -> RecalcStats {
+    let plan = sheet.deps().full_order();
+    run_plan(sheet, &plan.order, &plan.cyclic)
+}
+
+/// Recalculates the formulae transitively affected by changes to
+/// `changed`, precedents first.
+pub fn recalc_from(sheet: &mut Sheet, changed: &[CellAddr]) -> RecalcStats {
+    let plan = sheet.deps().dirty_order(changed);
+    run_plan(sheet, &plan.order, &plan.cyclic)
+}
+
+/// The open-time pass: builds the calculation sequence (charging one
+/// `DepBuild` per formula — "Excel first determines a calculation sequence
+/// of the embedded formulae and then recalculates the formulae", §4.1) and
+/// then fully recalculates.
+pub fn open_recalc(sheet: &mut Sheet) -> RecalcStats {
+    sheet.meter().bump(Primitive::DepBuild, sheet.formula_count() as u64);
+    recalc_all(sheet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meter::Primitive;
+
+    fn a(s: &str) -> CellAddr {
+        CellAddr::parse(s).unwrap()
+    }
+
+    #[test]
+    fn recalc_all_orders_chains() {
+        let mut s = Sheet::new();
+        s.set_value(a("A1"), 1);
+        s.set_formula_str(a("B1"), "=A1+1").unwrap();
+        s.set_formula_str(a("C1"), "=B1+1").unwrap();
+        let stats = recalc_all(&mut s);
+        assert_eq!(stats.evaluated, 2);
+        assert_eq!(s.value(a("C1")), Value::Number(3.0));
+    }
+
+    #[test]
+    fn recalc_from_only_touches_dirty() {
+        let mut s = Sheet::new();
+        s.set_value(a("A1"), 1);
+        s.set_value(a("A2"), 1);
+        s.set_formula_str(a("B1"), "=A1+1").unwrap();
+        s.set_formula_str(a("B2"), "=A2+1").unwrap();
+        recalc_all(&mut s);
+        s.set_value(a("A1"), 10);
+        let stats = recalc_from(&mut s, &[a("A1")]);
+        assert_eq!(stats.evaluated, 1);
+        assert_eq!(s.value(a("B1")), Value::Number(11.0));
+        assert_eq!(s.value(a("B2")), Value::Number(2.0));
+    }
+
+    #[test]
+    fn single_cell_edit_recomputes_aggregate_from_scratch() {
+        // The §5.5 behaviour: editing one cell under a COUNTIF re-scans the
+        // whole range.
+        let mut s = Sheet::new();
+        for i in 0..100u32 {
+            s.set_value(CellAddr::new(i, 9), 1); // column J
+        }
+        s.set_formula_str(a("L1"), "=COUNTIF(J1:J100,1)").unwrap();
+        recalc_all(&mut s);
+        assert_eq!(s.value(a("L1")), Value::Number(100.0));
+        let before = s.meter().snapshot();
+        s.set_value(a("J1"), 0);
+        recalc_from(&mut s, &[a("J1")]);
+        let delta = s.meter().snapshot().since(&before);
+        assert_eq!(s.value(a("L1")), Value::Number(99.0));
+        // Full range re-scan: 100 reads, not O(1).
+        assert_eq!(delta.get(Primitive::CellRead), 100);
+        assert_eq!(delta.get(Primitive::FormulaEval), 1);
+    }
+
+    #[test]
+    fn cycles_become_circ_errors() {
+        let mut s = Sheet::new();
+        s.set_formula_str(a("A1"), "=B1+1").unwrap();
+        s.set_formula_str(a("B1"), "=A1+1").unwrap();
+        let stats = recalc_all(&mut s);
+        assert_eq!(stats.cyclic, 2);
+        assert_eq!(s.value(a("A1")), Value::Error(CellError::Circular));
+    }
+
+    #[test]
+    fn open_recalc_charges_dep_build() {
+        let mut s = Sheet::new();
+        s.set_value(a("A1"), 1);
+        s.set_formula_str(a("B1"), "=A1").unwrap();
+        s.set_formula_str(a("B2"), "=A1").unwrap();
+        let before = s.meter().snapshot();
+        open_recalc(&mut s);
+        let delta = s.meter().snapshot().since(&before);
+        assert_eq!(delta.get(Primitive::DepBuild), 2);
+        assert_eq!(delta.get(Primitive::FormulaEval), 2);
+    }
+
+    #[test]
+    fn redundant_formulas_each_pay_full_cost() {
+        // §5.4: n identical COUNTIFs cost n full scans.
+        let mut s = Sheet::new();
+        for i in 0..50u32 {
+            s.set_value(CellAddr::new(i, 9), 1);
+        }
+        for k in 0..5u32 {
+            s.set_formula_str(CellAddr::new(k, 11), "=COUNTIF(J1:J50,1)").unwrap();
+        }
+        let before = s.meter().snapshot();
+        recalc_all(&mut s);
+        let delta = s.meter().snapshot().since(&before);
+        assert_eq!(delta.get(Primitive::CellRead), 5 * 50);
+    }
+}

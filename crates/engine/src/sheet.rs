@@ -1,0 +1,619 @@
+//! The sheet: a grid of cells, its dependency graph, filter state, and the
+//! cost meter. This is the engine's main API surface.
+
+use crate::addr::{CellAddr, CellRef, Range};
+use crate::cell::{Cell, CellContent};
+use crate::depgraph::DepGraph;
+use crate::error::EngineError;
+use crate::eval::context::DEFAULT_NOW_SERIAL;
+use crate::eval::{CellSource, EvalCtx, LookupStrategy};
+use crate::formula::{Expr, NameResolver, RangeRef};
+use crate::grid::{Grid, GridStore};
+use crate::meter::{Meter, Primitive};
+use crate::value::Value;
+
+/// Physical storage layout for a sheet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Layout {
+    /// Row-major storage — the layout the benchmarked systems effectively
+    /// use (§5.2 finds no evidence of columnar layouts).
+    #[default]
+    RowMajor,
+    /// Column-major storage — the database-style alternative.
+    ColumnMajor,
+}
+
+/// A single spreadsheet sheet.
+#[derive(Debug)]
+pub struct Sheet {
+    grid: GridStore,
+    deps: DepGraph,
+    meter: Meter,
+    /// Per-row hidden flags (filter state); empty means nothing hidden.
+    hidden: Vec<bool>,
+    lookup: LookupStrategy,
+    now_serial: f64,
+    /// Named ranges (uppercased name → range).
+    names: NameTable,
+}
+
+/// The sheet's named-range table; implements the parser's name resolver.
+#[derive(Debug, Default)]
+struct NameTable(std::collections::HashMap<String, Range>);
+
+impl NameResolver for NameTable {
+    fn resolve(&self, name: &str) -> Option<RangeRef> {
+        self.0.get(&name.to_ascii_uppercase()).map(|r| RangeRef {
+            start: CellRef::absolute(r.start),
+            end: CellRef::absolute(r.end),
+        })
+    }
+}
+
+impl Sheet {
+    /// An empty row-major sheet.
+    pub fn new() -> Self {
+        Sheet::with_layout(Layout::RowMajor, 0, 0)
+    }
+
+    /// An empty sheet with the given layout and initial extent.
+    pub fn with_layout(layout: Layout, rows: u32, cols: u32) -> Self {
+        let grid = match layout {
+            Layout::RowMajor => GridStore::row_major(rows, cols),
+            Layout::ColumnMajor => GridStore::col_major(rows, cols),
+        };
+        Sheet {
+            grid,
+            deps: DepGraph::new(),
+            meter: Meter::new(),
+            hidden: Vec::new(),
+            lookup: LookupStrategy::default(),
+            now_serial: DEFAULT_NOW_SERIAL,
+            names: NameTable::default(),
+        }
+    }
+
+    // --- introspection -------------------------------------------------
+
+    /// The cost meter.
+    pub fn meter(&self) -> &Meter {
+        &self.meter
+    }
+
+    /// Materialized row count.
+    pub fn nrows(&self) -> u32 {
+        self.grid.nrows()
+    }
+
+    /// Materialized column count.
+    pub fn ncols(&self) -> u32 {
+        self.grid.ncols()
+    }
+
+    /// The used range (`None` for an empty sheet).
+    pub fn used_range(&self) -> Option<Range> {
+        if self.nrows() == 0 || self.ncols() == 0 {
+            None
+        } else {
+            Some(Range::new(
+                CellAddr::new(0, 0),
+                CellAddr::new(self.nrows() - 1, self.ncols() - 1),
+            ))
+        }
+    }
+
+    /// The raw cell at `addr`, when materialized.
+    pub fn cell(&self, addr: CellAddr) -> Option<&Cell> {
+        self.grid.get(addr)
+    }
+
+    /// The displayed value at `addr` (empty outside the grid). Does not
+    /// charge the meter — metered reads go through evaluation contexts and
+    /// operations.
+    pub fn value(&self, addr: CellAddr) -> Value {
+        self.grid.get(addr).map(|c| c.display_value().clone()).unwrap_or(Value::Empty)
+    }
+
+    /// The formula-bar text at `addr`.
+    pub fn input_text(&self, addr: CellAddr) -> String {
+        self.grid.get(addr).map(Cell::input_text).unwrap_or_default()
+    }
+
+    /// Whether `addr` holds a formula.
+    pub fn is_formula(&self, addr: CellAddr) -> bool {
+        self.grid.get(addr).is_some_and(Cell::is_formula)
+    }
+
+    /// Number of formula cells.
+    pub fn formula_count(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// The dependency graph (read-only).
+    pub fn deps(&self) -> &DepGraph {
+        &self.deps
+    }
+
+    /// The parsed expression of the formula at `addr`.
+    pub fn formula_expr(&self, addr: CellAddr) -> Option<&Expr> {
+        match &self.grid.get(addr)?.content {
+            CellContent::Formula(f) => Some(&f.expr),
+            CellContent::Value(_) => None,
+        }
+    }
+
+    // --- configuration --------------------------------------------------
+
+    /// Sets the lookup strategy used by `VLOOKUP`-family evaluation.
+    pub fn set_lookup_strategy(&mut self, lookup: LookupStrategy) {
+        self.lookup = lookup;
+    }
+
+    /// The current lookup strategy.
+    pub fn lookup_strategy(&self) -> LookupStrategy {
+        self.lookup
+    }
+
+    /// Sets the serial returned by `NOW()` (deterministic clock).
+    pub fn set_now_serial(&mut self, serial: f64) {
+        self.now_serial = serial;
+    }
+
+    // --- mutation --------------------------------------------------------
+
+    /// Writes a literal value, unregistering any formula that was there.
+    pub fn set_value(&mut self, addr: CellAddr, v: impl Into<Value>) {
+        self.meter.tick(Primitive::CellWrite);
+        if self.deps.contains(addr) {
+            self.deps.remove(addr);
+        }
+        let cell = self.grid.cell_mut(addr);
+        cell.content = CellContent::Value(v.into());
+    }
+
+    /// Installs a parsed formula (uncomputed until a recalculation runs).
+    pub fn set_formula(&mut self, addr: CellAddr, expr: Expr) {
+        self.meter.tick(Primitive::CellWrite);
+        self.deps.add(addr, &expr);
+        self.grid.set(addr, Cell::formula(expr));
+    }
+
+    /// Parses and installs `src` (with or without a leading `=`),
+    /// resolving any defined named ranges.
+    pub fn set_formula_str(&mut self, addr: CellAddr, src: &str) -> Result<(), EngineError> {
+        let body = src.strip_prefix('=').unwrap_or(src);
+        let expr = crate::formula::parse_with(body, &self.names)?;
+        self.set_formula(addr, expr);
+        Ok(())
+    }
+
+    // --- named ranges ------------------------------------------------------
+
+    /// Defines (or redefines) a named range. Names are case-insensitive,
+    /// must start with a letter or `_`, and must not collide with a cell
+    /// reference (`Q1` is a cell, not a valid name) — the constraints of
+    /// the real systems' name managers.
+    pub fn define_name(&mut self, name: &str, range: Range) -> Result<(), EngineError> {
+        let valid = !name.is_empty()
+            && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            && CellRef::parse(name).is_err();
+        if !valid {
+            return Err(EngineError::Invalid(format!("invalid range name {name:?}")));
+        }
+        self.names.0.insert(name.to_ascii_uppercase(), range);
+        Ok(())
+    }
+
+    /// Looks up a named range.
+    pub fn name_range(&self, name: &str) -> Option<Range> {
+        self.names.0.get(&name.to_ascii_uppercase()).copied()
+    }
+
+    /// Removes a named range; `true` when it existed.
+    pub fn remove_name(&mut self, name: &str) -> bool {
+        self.names.0.remove(&name.to_ascii_uppercase()).is_some()
+    }
+
+    /// Defined names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.names.0.keys().map(String::as_str).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Sets a cell from user input: `=...` becomes a formula, numeric text
+    /// a number, `TRUE`/`FALSE` booleans, everything else text.
+    pub fn set_input(&mut self, addr: CellAddr, input: &str) -> Result<(), EngineError> {
+        if let Some(body) = input.strip_prefix('=') {
+            return self.set_formula_str(addr, body);
+        }
+        let v = if let Ok(n) = input.trim().parse::<f64>() {
+            Value::Number(n)
+        } else {
+            match input.trim().to_ascii_uppercase().as_str() {
+                "TRUE" => Value::Bool(true),
+                "FALSE" => Value::Bool(false),
+                _ => Value::text(input),
+            }
+        };
+        self.set_value(addr, v);
+        Ok(())
+    }
+
+    /// Pre-sizes the grid.
+    pub fn ensure_size(&mut self, rows: u32, cols: u32) {
+        self.grid.ensure_size(rows, cols);
+    }
+
+    /// Stores an evaluated result into a formula cell's cache. Exposed so
+    /// alternative evaluation strategies (the optimized engine's shared
+    /// and incremental computation) can materialize results; a no-op on
+    /// non-formula cells.
+    pub fn store_formula_result(&mut self, addr: CellAddr, v: Value) {
+        if let CellContent::Formula(f) = &mut self.grid.cell_mut(addr).content {
+            f.cached = v;
+        }
+    }
+
+    /// Internal alias used by the recalculation engine.
+    pub(crate) fn store_cached(&mut self, addr: CellAddr, v: Value) {
+        self.store_formula_result(addr, v);
+    }
+
+    /// Mutable cell access for operations (styles, pastes); callers are
+    /// responsible for keeping the dependency graph consistent when they
+    /// change formula content.
+    pub(crate) fn cell_mut(&mut self, addr: CellAddr) -> &mut Cell {
+        self.grid.cell_mut(addr)
+    }
+
+    /// Mutable dependency-graph access for operations.
+    #[allow(dead_code)] // reserved for structural operations
+    pub(crate) fn deps_mut(&mut self) -> &mut DepGraph {
+        &mut self.deps
+    }
+
+    /// Replaces every formula by its cached value (derives the Value-only
+    /// dataset of §3.2).
+    pub fn freeze_all_formulas(&mut self) {
+        let addrs: Vec<CellAddr> = self.deps.formula_addrs().collect();
+        for addr in addrs {
+            self.grid.cell_mut(addr).freeze();
+        }
+        self.deps.clear();
+    }
+
+    /// Reorders rows (new row `i` = old row `perm[i]`), keeping filter
+    /// state aligned and re-registering moved formulae.
+    ///
+    /// As in the real systems, a moved formula's *relative* references are
+    /// rewritten by the row delta (the formula keeps pointing at its own
+    /// row's cells), while *absolute* references stay pinned — exactly the
+    /// distinction behind §6's "detecting what needs recomputation":
+    /// relative same-row formulae keep their value under any row sort;
+    /// absolute ones may not.
+    pub fn permute_rows(&mut self, perm: &[u32]) {
+        self.grid.permute_rows(perm);
+        if !self.hidden.is_empty() {
+            let mut hidden = vec![false; perm.len()];
+            for (i, &p) in perm.iter().enumerate() {
+                hidden[i] = self.hidden.get(p as usize).copied().unwrap_or(false);
+            }
+            self.hidden = hidden;
+        }
+        // Rewrite relative references of every moved formula.
+        for (new_row, &old_row) in perm.iter().enumerate() {
+            let new_row = new_row as u32;
+            if new_row == old_row {
+                continue;
+            }
+            for col in 0..self.ncols() {
+                let addr = CellAddr::new(new_row, col);
+                let adjusted = match &self.grid.get(addr).map(|c| &c.content) {
+                    Some(CellContent::Formula(f)) => Some(
+                        f.expr.adjusted(CellAddr::new(old_row, col), addr),
+                    ),
+                    _ => None,
+                };
+                if let Some(expr) = adjusted {
+                    if let CellContent::Formula(f) = &mut self.grid.cell_mut(addr).content {
+                        f.expr = expr;
+                    }
+                }
+            }
+        }
+        self.rebuild_deps();
+    }
+
+    /// Rebuilds the dependency graph by scanning the grid (used after bulk
+    /// structural changes).
+    pub fn rebuild_deps(&mut self) {
+        self.deps.clear();
+        let Some(range) = self.used_range() else { return };
+        let mut formulas: Vec<(CellAddr, Expr)> = Vec::new();
+        self.grid.for_each_in_range(range, &mut |addr, cell| {
+            if let CellContent::Formula(f) = &cell.content {
+                formulas.push((addr, f.expr.clone()));
+            }
+        });
+        for (addr, expr) in formulas {
+            self.deps.add(addr, &expr);
+        }
+    }
+
+    // --- filter state ----------------------------------------------------
+
+    /// Hides or unhides a row.
+    pub fn set_row_hidden(&mut self, row: u32, hidden: bool) {
+        if self.hidden.len() <= row as usize {
+            self.hidden.resize(self.nrows().max(row + 1) as usize, false);
+        }
+        self.hidden[row as usize] = hidden;
+    }
+
+    /// Whether a row is hidden.
+    pub fn is_row_hidden(&self, row: u32) -> bool {
+        self.hidden.get(row as usize).copied().unwrap_or(false)
+    }
+
+    /// Unhides every row.
+    pub fn unhide_all_rows(&mut self) {
+        self.hidden.clear();
+    }
+
+    /// Number of visible (unhidden) rows.
+    pub fn visible_rows(&self) -> u32 {
+        let hidden = self.hidden.iter().filter(|&&h| h).count() as u32;
+        self.nrows() - hidden.min(self.nrows())
+    }
+
+    // --- evaluation plumbing ----------------------------------------------
+
+    /// An evaluation context for the formula at `current`.
+    pub fn eval_ctx(&self, current: CellAddr) -> EvalCtx<'_> {
+        EvalCtx {
+            cells: self,
+            meter: &self.meter,
+            current,
+            lookup: self.lookup,
+            now_serial: self.now_serial,
+        }
+    }
+
+    /// Evaluates an expression against this sheet without installing it
+    /// (one-shot queries, used heavily by the benchmark harness).
+    pub fn eval_expr(&self, expr: &Expr) -> Value {
+        let ctx = self.eval_ctx(CellAddr::new(0, 0));
+        crate::eval::evaluate(expr, &ctx)
+    }
+
+    /// Parses and evaluates a one-shot formula (named ranges resolve).
+    pub fn eval_str(&self, src: &str) -> Result<Value, EngineError> {
+        let body = src.strip_prefix('=').unwrap_or(src);
+        Ok(self.eval_expr(&crate::formula::parse_with(body, &self.names)?))
+    }
+}
+
+impl Default for Sheet {
+    fn default() -> Self {
+        Sheet::new()
+    }
+}
+
+impl CellSource for Sheet {
+    fn value_at(&self, addr: CellAddr) -> Value {
+        self.value(addr)
+    }
+
+    fn is_formula_at(&self, addr: CellAddr) -> bool {
+        self.is_formula(addr)
+    }
+
+    fn bounds(&self) -> (u32, u32) {
+        (self.nrows(), self.ncols())
+    }
+
+    fn visit_range(&self, range: Range, f: &mut dyn FnMut(CellAddr, &Value, bool)) {
+        self.grid.for_each_in_range(range, &mut |addr, cell| {
+            f(addr, cell.display_value(), cell.is_formula());
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recalc;
+
+    fn a(s: &str) -> CellAddr {
+        CellAddr::parse(s).unwrap()
+    }
+
+    #[test]
+    fn set_and_read_values() {
+        let mut s = Sheet::new();
+        s.set_value(a("B2"), 42);
+        assert_eq!(s.value(a("B2")), Value::Number(42.0));
+        assert_eq!(s.value(a("Z9")), Value::Empty);
+        assert_eq!(s.nrows(), 2);
+        assert_eq!(s.ncols(), 2);
+    }
+
+    #[test]
+    fn set_input_detects_types() {
+        let mut s = Sheet::new();
+        s.set_input(a("A1"), " 3.5 ").unwrap();
+        s.set_input(a("A2"), "true").unwrap();
+        s.set_input(a("A3"), "storm").unwrap();
+        s.set_input(a("A4"), "=1+1").unwrap();
+        assert_eq!(s.value(a("A1")), Value::Number(3.5));
+        assert_eq!(s.value(a("A2")), Value::Bool(true));
+        assert_eq!(s.value(a("A3")), Value::text("storm"));
+        assert!(s.is_formula(a("A4")));
+    }
+
+    #[test]
+    fn formula_lifecycle_and_deps() {
+        let mut s = Sheet::new();
+        s.set_value(a("A1"), 1);
+        s.set_formula_str(a("B1"), "=A1+1").unwrap();
+        assert_eq!(s.formula_count(), 1);
+        // Overwriting with a value unregisters the formula.
+        s.set_value(a("B1"), 9);
+        assert_eq!(s.formula_count(), 0);
+    }
+
+    #[test]
+    fn eval_str_one_shot() {
+        let mut s = Sheet::new();
+        for i in 0..10u32 {
+            s.set_value(CellAddr::new(i, 0), i + 1);
+        }
+        assert_eq!(s.eval_str("=SUM(A1:A10)").unwrap(), Value::Number(55.0));
+        assert_eq!(s.eval_str("COUNTIF(A1:A10,\">5\")").unwrap(), Value::Number(5.0));
+    }
+
+    #[test]
+    fn freeze_all_converts() {
+        let mut s = Sheet::new();
+        s.set_value(a("A1"), 2);
+        s.set_formula_str(a("B1"), "=A1*10").unwrap();
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("B1")), Value::Number(20.0));
+        s.freeze_all_formulas();
+        assert!(!s.is_formula(a("B1")));
+        assert_eq!(s.value(a("B1")), Value::Number(20.0));
+        assert_eq!(s.formula_count(), 0);
+    }
+
+    #[test]
+    fn permute_rows_moves_formulas_and_rebuilds_deps() {
+        let mut s = Sheet::new();
+        s.set_value(a("A1"), 10);
+        s.set_value(a("A2"), 20);
+        s.set_formula_str(a("B2"), "=A2*2").unwrap();
+        recalc::recalc_all(&mut s);
+        s.permute_rows(&[1, 0]);
+        // The formula moved to B1 with its relative reference rewritten to
+        // its new row (real-system sort semantics): =A1*2 over A1=20.
+        assert!(s.is_formula(a("B1")));
+        assert!(!s.is_formula(a("B2")));
+        assert_eq!(s.input_text(a("B1")), "=A1*2");
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("B1")), Value::Number(40.0));
+        // Its value is unchanged by the sort — §6's relative-reference
+        // invariance.
+    }
+
+    #[test]
+    fn hidden_rows_tracking() {
+        let mut s = Sheet::new();
+        for i in 0..5u32 {
+            s.set_value(CellAddr::new(i, 0), i);
+        }
+        s.set_row_hidden(1, true);
+        s.set_row_hidden(3, true);
+        assert!(s.is_row_hidden(1));
+        assert!(!s.is_row_hidden(0));
+        assert_eq!(s.visible_rows(), 3);
+        s.unhide_all_rows();
+        assert_eq!(s.visible_rows(), 5);
+    }
+
+    #[test]
+    fn used_range() {
+        let s = Sheet::new();
+        assert!(s.used_range().is_none());
+        let mut s = Sheet::new();
+        s.set_value(a("C3"), 1);
+        assert_eq!(s.used_range().unwrap(), Range::parse("A1:C3").unwrap());
+    }
+
+    #[test]
+    fn column_major_layout_behaves_identically() {
+        let mut s = Sheet::with_layout(Layout::ColumnMajor, 0, 0);
+        s.set_value(a("A1"), 5);
+        s.set_formula_str(a("B1"), "=A1*3").unwrap();
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("B1")), Value::Number(15.0));
+    }
+}
+
+#[cfg(test)]
+mod name_tests {
+    use super::*;
+    use crate::recalc;
+
+    fn a(s: &str) -> CellAddr {
+        CellAddr::parse(s).unwrap()
+    }
+
+    #[test]
+    fn named_ranges_resolve_in_formulas() {
+        let mut s = Sheet::new();
+        for i in 0..10u32 {
+            s.set_value(CellAddr::new(i, 0), i64::from(i + 1));
+        }
+        s.define_name("Scores", Range::parse("A1:A10").unwrap()).unwrap();
+        s.set_formula_str(a("C1"), "=SUM(Scores)").unwrap();
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("C1")), Value::Number(55.0));
+        // Names are case-insensitive and survive eval_str too.
+        assert_eq!(s.eval_str("=COUNTIF(scores,\">5\")").unwrap(), Value::Number(5.0));
+        assert_eq!(s.name_range("SCORES"), Some(Range::parse("A1:A10").unwrap()));
+    }
+
+    #[test]
+    fn single_cell_name_acts_as_scalar() {
+        let mut s = Sheet::new();
+        s.set_value(a("B2"), 21);
+        // Redefinition is allowed and replaces the previous binding.
+        s.define_name("Rate", Range::parse("B1").unwrap()).unwrap();
+        s.define_name("Rate", Range::parse("B2").unwrap()).unwrap();
+        assert_eq!(s.eval_str("=Rate*2").unwrap(), Value::Number(42.0));
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let mut s = Sheet::new();
+        let r = Range::parse("A1:A3").unwrap();
+        assert!(s.define_name("Q1", r).is_err(), "collides with a cell ref");
+        assert!(s.define_name("", r).is_err());
+        assert!(s.define_name("1up", r).is_err());
+        assert!(s.define_name("has space", r).is_err());
+        assert!(s.define_name("_ok.name2", r).is_ok());
+    }
+
+    #[test]
+    fn unknown_names_still_error() {
+        let mut s = Sheet::new();
+        assert!(s.set_formula_str(a("A1"), "=SUM(NoSuchName)").is_err());
+    }
+
+    #[test]
+    fn remove_and_list_names() {
+        let mut s = Sheet::new();
+        let r = Range::parse("A1:A3").unwrap();
+        s.define_name("beta", r).unwrap();
+        s.define_name("alpha", r).unwrap();
+        assert_eq!(s.names(), ["ALPHA", "BETA"]);
+        assert!(s.remove_name("Beta"));
+        assert!(!s.remove_name("Beta"));
+        assert_eq!(s.names(), ["ALPHA"]);
+    }
+
+    #[test]
+    fn named_ranges_are_absolute_for_copy_paste() {
+        let mut s = Sheet::new();
+        for i in 0..5u32 {
+            s.set_value(CellAddr::new(i, 0), i64::from(i + 1));
+        }
+        s.define_name("Data", Range::parse("A1:A5").unwrap()).unwrap();
+        s.set_formula_str(a("C1"), "=SUM(Data)").unwrap();
+        // Copying the formula keeps the named range pinned.
+        crate::ops::copy_paste(&mut s, Range::parse("C1").unwrap(), a("D7"));
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("D7")), Value::Number(15.0));
+    }
+}

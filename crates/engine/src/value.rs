@@ -1,0 +1,421 @@
+//! The spreadsheet value model: dynamically-typed cell values with the
+//! coercion and comparison semantics shared by Excel, Calc, and Sheets.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::CellError;
+
+/// A cell value. Numbers are IEEE-754 doubles, as in all three benchmarked
+/// systems; dates and percentages are numbers with display styles and do not
+/// need distinct runtime representations for the benchmark workloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// The empty cell. Treated as 0 in arithmetic and "" in text contexts.
+    Empty,
+    /// A floating-point number.
+    Number(f64),
+    /// A text string.
+    Text(String),
+    /// A boolean (`TRUE`/`FALSE`).
+    Bool(bool),
+    /// An in-cell error value.
+    Error(CellError),
+}
+
+impl Value {
+    /// Text constructor convenience.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// True if the value is `Empty`.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Value::Empty)
+    }
+
+    /// True if the value is an error.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Value::Error(_))
+    }
+
+    /// Returns the contained number if this is `Number`.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Coerces to a number following spreadsheet rules:
+    /// numbers pass through, booleans are 1/0, empty is 0, numeric-looking
+    /// text parses, other text is a `#VALUE!` error.
+    pub fn coerce_number(&self) -> Result<f64, CellError> {
+        match self {
+            Value::Number(n) => Ok(*n),
+            Value::Bool(b) => Ok(if *b { 1.0 } else { 0.0 }),
+            Value::Empty => Ok(0.0),
+            Value::Text(s) => s.trim().parse::<f64>().map_err(|_| CellError::Value),
+            Value::Error(e) => Err(*e),
+        }
+    }
+
+    /// Coerces to a boolean: booleans pass through, numbers are `!= 0`,
+    /// `"TRUE"`/`"FALSE"` text parses (case-insensitive), empty is false.
+    pub fn coerce_bool(&self) -> Result<bool, CellError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            Value::Number(n) => Ok(*n != 0.0),
+            Value::Empty => Ok(false),
+            Value::Text(s) => match s.trim().to_ascii_uppercase().as_str() {
+                "TRUE" => Ok(true),
+                "FALSE" => Ok(false),
+                _ => Err(CellError::Value),
+            },
+            Value::Error(e) => Err(*e),
+        }
+    }
+
+    /// Coerces to display text (numbers render trim-trailing-zero style,
+    /// booleans as `TRUE`/`FALSE`, empty as `""`).
+    pub fn coerce_text(&self) -> Result<String, CellError> {
+        match self {
+            Value::Error(e) => Err(*e),
+            other => Ok(other.display()),
+        }
+    }
+
+    /// The user-visible rendering of the value.
+    pub fn display(&self) -> String {
+        match self {
+            Value::Empty => String::new(),
+            Value::Number(n) => format_number(*n),
+            Value::Text(s) => s.clone(),
+            Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_owned(),
+            Value::Error(e) => e.code().to_owned(),
+        }
+    }
+
+    /// Spreadsheet comparison semantics used by sort and by the comparison
+    /// operators: numbers < text < booleans (Excel's total order); text
+    /// compares case-insensitively; empty sorts before everything.
+    ///
+    /// Returns a total order (NaN is grouped with numbers, ordered last
+    /// among them) so it can back a stable sort.
+    pub fn sheet_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Empty => 0,
+                Value::Number(_) => 1,
+                Value::Text(_) => 2,
+                Value::Bool(_) => 3,
+                Value::Error(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Value::Number(a), Value::Number(b)) => {
+                a.partial_cmp(b).unwrap_or_else(|| match (a.is_nan(), b.is_nan()) {
+                    (true, false) => Ordering::Greater,
+                    (false, true) => Ordering::Less,
+                    _ => Ordering::Equal,
+                })
+            }
+            // Purely case-insensitive, consistent with `sheet_eq` (values
+            // differing only in case compare Equal, as in the real
+            // systems' default collation).
+            (Value::Text(a), Value::Text(b)) => a.to_lowercase().cmp(&b.to_lowercase()),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Error(a), Value::Error(b)) => a.code().cmp(b.code()),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+
+    /// Equality as used by `COUNTIF`/`VLOOKUP` exact match and the `=`
+    /// operator: numeric equality for numbers, case-insensitive for text,
+    /// and a number never equals its textual rendering (matching the
+    /// benchmarked systems).
+    pub fn sheet_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Number(a), Value::Number(b)) => a == b,
+            (Value::Text(a), Value::Text(b)) => a.eq_ignore_ascii_case(b),
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Empty, Value::Empty) => true,
+            (Value::Error(a), Value::Error(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(n: i32) -> Self {
+        Value::Number(f64::from(n))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Self {
+        Value::Number(f64::from(n))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl From<CellError> for Value {
+    fn from(e: CellError) -> Self {
+        Value::Error(e)
+    }
+}
+
+/// Formats a number like spreadsheets do in the general format: integers
+/// without a decimal point, others with up to ~15 significant digits and no
+/// trailing zeros.
+pub fn format_number(n: f64) -> String {
+    if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        let s = format!("{n}");
+        s
+    }
+}
+
+/// A criterion as accepted by `COUNTIF`/`SUMIF`: either a comparison
+/// operator with an operand (`">=10"`, `"<>STORM"`) or a bare value matched
+/// with `sheet_eq` (with text wildcards `*`/`?`, as in the real systems).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Criterion {
+    Eq(Value),
+    Ne(Value),
+    Lt(f64),
+    Le(f64),
+    Gt(f64),
+    Ge(f64),
+}
+
+impl Criterion {
+    /// Parses a criterion argument value. Text values may carry a leading
+    /// comparison operator; any other value is an equality criterion.
+    pub fn parse(arg: &Value) -> Criterion {
+        if let Value::Text(s) = arg {
+            let (op, rest): (&str, &str) = if let Some(r) = s.strip_prefix(">=") {
+                (">=", r)
+            } else if let Some(r) = s.strip_prefix("<=") {
+                ("<=", r)
+            } else if let Some(r) = s.strip_prefix("<>") {
+                ("<>", r)
+            } else if let Some(r) = s.strip_prefix('>') {
+                (">", r)
+            } else if let Some(r) = s.strip_prefix('<') {
+                ("<", r)
+            } else if let Some(r) = s.strip_prefix('=') {
+                ("=", r)
+            } else {
+                ("", s)
+            };
+            let num = rest.trim().parse::<f64>().ok();
+            return match (op, num) {
+                (">=", Some(n)) => Criterion::Ge(n),
+                ("<=", Some(n)) => Criterion::Le(n),
+                (">", Some(n)) => Criterion::Gt(n),
+                ("<", Some(n)) => Criterion::Lt(n),
+                ("<>", Some(n)) => Criterion::Ne(Value::Number(n)),
+                ("<>", None) => Criterion::Ne(Value::text(rest)),
+                ("=", Some(n)) => Criterion::Eq(Value::Number(n)),
+                ("=", None) => Criterion::Eq(Value::text(rest)),
+                ("", Some(n)) => Criterion::Eq(Value::Number(n)),
+                _ => Criterion::Eq(Value::text(rest)),
+            };
+        }
+        Criterion::Eq(arg.clone())
+    }
+
+    /// Whether `v` satisfies the criterion.
+    pub fn matches(&self, v: &Value) -> bool {
+        match self {
+            Criterion::Eq(target) => match target {
+                Value::Text(pat) if pat.contains('*') || pat.contains('?') => match v {
+                    Value::Text(s) => wildcard_match(pat, s),
+                    _ => false,
+                },
+                _ => v.sheet_eq(target),
+            },
+            Criterion::Ne(target) => !v.sheet_eq(target),
+            Criterion::Lt(n) => v.as_number().is_some_and(|x| x < *n),
+            Criterion::Le(n) => v.as_number().is_some_and(|x| x <= *n),
+            Criterion::Gt(n) => v.as_number().is_some_and(|x| x > *n),
+            Criterion::Ge(n) => v.as_number().is_some_and(|x| x >= *n),
+        }
+    }
+}
+
+/// Case-insensitive glob match supporting `*` (any run) and `?` (one char),
+/// the wildcard dialect of COUNTIF criteria.
+pub fn wildcard_match(pattern: &str, text: &str) -> bool {
+    fn inner(p: &[char], t: &[char]) -> bool {
+        match (p.first(), t.first()) {
+            (None, None) => true,
+            (Some('*'), _) => inner(&p[1..], t) || (!t.is_empty() && inner(p, &t[1..])),
+            (Some('?'), Some(_)) => inner(&p[1..], &t[1..]),
+            (Some(pc), Some(tc)) => {
+                pc.to_lowercase().eq(tc.to_lowercase()) && inner(&p[1..], &t[1..])
+            }
+            _ => false,
+        }
+    }
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    inner(&p, &t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coerce_number_rules() {
+        assert_eq!(Value::Number(2.5).coerce_number(), Ok(2.5));
+        assert_eq!(Value::Bool(true).coerce_number(), Ok(1.0));
+        assert_eq!(Value::Empty.coerce_number(), Ok(0.0));
+        assert_eq!(Value::text(" 42 ").coerce_number(), Ok(42.0));
+        assert_eq!(Value::text("storm").coerce_number(), Err(CellError::Value));
+        assert_eq!(Value::Error(CellError::Na).coerce_number(), Err(CellError::Na));
+    }
+
+    #[test]
+    fn coerce_bool_rules() {
+        assert_eq!(Value::Bool(true).coerce_bool(), Ok(true));
+        assert_eq!(Value::Number(0.0).coerce_bool(), Ok(false));
+        assert_eq!(Value::Number(-3.0).coerce_bool(), Ok(true));
+        assert_eq!(Value::text("true").coerce_bool(), Ok(true));
+        assert_eq!(Value::text("nope").coerce_bool(), Err(CellError::Value));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Number(3.0).display(), "3");
+        assert_eq!(Value::Number(3.25).display(), "3.25");
+        assert_eq!(Value::Bool(false).display(), "FALSE");
+        assert_eq!(Value::Empty.display(), "");
+        assert_eq!(Value::Error(CellError::Div0).display(), "#DIV/0!");
+    }
+
+    #[test]
+    fn sheet_cmp_type_order() {
+        // numbers < text < booleans, empty first
+        let mut vals = vec![
+            Value::Bool(false),
+            Value::text("apple"),
+            Value::Number(99.0),
+            Value::Empty,
+        ];
+        vals.sort_by(|a, b| a.sheet_cmp(b));
+        assert_eq!(
+            vals,
+            vec![Value::Empty, Value::Number(99.0), Value::text("apple"), Value::Bool(false)]
+        );
+    }
+
+    #[test]
+    fn sheet_cmp_text_case_insensitive() {
+        assert_eq!(Value::text("Apple").sheet_cmp(&Value::text("apple")), Ordering::Equal);
+        assert_eq!(Value::text("apple").sheet_cmp(&Value::text("BANANA")), Ordering::Less);
+    }
+
+    #[test]
+    fn sheet_cmp_nan_total() {
+        let nan = Value::Number(f64::NAN);
+        assert_eq!(nan.sheet_cmp(&nan), Ordering::Equal);
+        assert_eq!(Value::Number(1.0).sheet_cmp(&nan), Ordering::Less);
+    }
+
+    #[test]
+    fn sheet_eq_semantics() {
+        assert!(Value::text("STORM").sheet_eq(&Value::text("storm")));
+        assert!(!Value::Number(1.0).sheet_eq(&Value::text("1")));
+        assert!(Value::Number(1.0).sheet_eq(&Value::Number(1.0)));
+    }
+
+    #[test]
+    fn criterion_parse_operators() {
+        assert_eq!(Criterion::parse(&Value::text(">=10")), Criterion::Ge(10.0));
+        assert_eq!(Criterion::parse(&Value::text("<5.5")), Criterion::Lt(5.5));
+        assert_eq!(Criterion::parse(&Value::text("<>STORM")), Criterion::Ne(Value::text("STORM")));
+        assert_eq!(Criterion::parse(&Value::Number(1.0)), Criterion::Eq(Value::Number(1.0)));
+    }
+
+    #[test]
+    fn criterion_matching() {
+        let c = Criterion::parse(&Value::text(">=10"));
+        assert!(c.matches(&Value::Number(10.0)));
+        assert!(!c.matches(&Value::Number(9.9)));
+        assert!(!c.matches(&Value::text("10"))); // comparisons only match numbers
+        let eq = Criterion::parse(&Value::text("STORM"));
+        assert!(eq.matches(&Value::text("storm")));
+        assert!(!eq.matches(&Value::text("storms")));
+    }
+
+    #[test]
+    fn criterion_wildcards() {
+        let c = Criterion::parse(&Value::text("ST*M"));
+        assert!(c.matches(&Value::text("STORM")));
+        assert!(c.matches(&Value::text("stm")));
+        assert!(!c.matches(&Value::text("storms")));
+        let q = Criterion::parse(&Value::text("h?il"));
+        assert!(q.matches(&Value::text("HAIL")));
+        assert!(!q.matches(&Value::text("hail!")));
+    }
+
+    #[test]
+    fn wildcard_edge_cases() {
+        assert!(wildcard_match("*", ""));
+        assert!(wildcard_match("**a", "ba"));
+        assert!(!wildcard_match("?", ""));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_number(1_000_000.0), "1000000");
+        assert_eq!(format_number(0.5), "0.5");
+        assert_eq!(format_number(-2.0), "-2");
+    }
+}

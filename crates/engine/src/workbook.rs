@@ -1,0 +1,177 @@
+//! A workbook: an ordered collection of named sheets. The pivot experiment
+//! (§4.3.2) inserts its result "in a new worksheet", which is the trigger
+//! the paper suspects causes formula recomputation in Excel and Sheets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::EngineError;
+use crate::io::{self, SheetData};
+use crate::sheet::{Layout, Sheet};
+
+/// A serializable workbook document: named sheet documents in order.
+/// Serialize with any serde format (the harness uses JSON).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WorkbookData {
+    pub sheets: Vec<(String, SheetData)>,
+}
+
+/// An ordered collection of named sheets.
+#[derive(Debug, Default)]
+pub struct Workbook {
+    sheets: Vec<(String, Sheet)>,
+}
+
+impl Workbook {
+    /// An empty workbook.
+    pub fn new() -> Self {
+        Workbook::default()
+    }
+
+    /// A workbook containing one sheet named `Sheet1`.
+    pub fn with_sheet(sheet: Sheet) -> Self {
+        let mut wb = Workbook::new();
+        wb.sheets.push(("Sheet1".to_owned(), sheet));
+        wb
+    }
+
+    /// Number of sheets.
+    pub fn len(&self) -> usize {
+        self.sheets.len()
+    }
+
+    /// True when there are no sheets.
+    pub fn is_empty(&self) -> bool {
+        self.sheets.is_empty()
+    }
+
+    /// Sheet names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.sheets.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Appends a sheet; fails on duplicate names.
+    pub fn insert(&mut self, name: impl Into<String>, sheet: Sheet) -> Result<(), EngineError> {
+        let name = name.into();
+        if self.get(&name).is_some() {
+            return Err(EngineError::Invalid(format!("duplicate sheet name {name:?}")));
+        }
+        self.sheets.push((name, sheet));
+        Ok(())
+    }
+
+    /// Removes a sheet by name, returning it.
+    pub fn remove(&mut self, name: &str) -> Option<Sheet> {
+        let idx = self.sheets.iter().position(|(n, _)| n == name)?;
+        Some(self.sheets.remove(idx).1)
+    }
+
+    /// Borrows a sheet by name.
+    pub fn get(&self, name: &str) -> Option<&Sheet> {
+        self.sheets.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Mutably borrows a sheet by name.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Sheet> {
+        self.sheets.iter_mut().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Iterates `(name, sheet)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Sheet)> {
+        self.sheets.iter().map(|(n, s)| (n.as_str(), s))
+    }
+
+    /// Serializes every sheet to its document form.
+    pub fn to_data(&self) -> WorkbookData {
+        WorkbookData {
+            sheets: self.sheets.iter().map(|(n, s)| (n.clone(), io::save(s))).collect(),
+        }
+    }
+
+    /// Materializes a workbook from its document form, recalculating
+    /// every sheet's formulae (the open semantics of §4.1, per sheet).
+    pub fn from_data(data: &WorkbookData) -> Result<Self, EngineError> {
+        let mut wb = Workbook::new();
+        for (name, sheet_data) in &data.sheets {
+            let mut sheet = io::open(sheet_data, Layout::RowMajor)?;
+            crate::recalc::open_recalc(&mut sheet);
+            wb.insert(name.clone(), sheet)?;
+        }
+        Ok(wb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut wb = Workbook::with_sheet(Sheet::new());
+        assert_eq!(wb.len(), 1);
+        wb.insert("Pivot", Sheet::new()).unwrap();
+        assert_eq!(wb.names(), ["Sheet1", "Pivot"]);
+        assert!(wb.get("Pivot").is_some());
+        assert!(wb.get_mut("Sheet1").is_some());
+        assert!(wb.remove("Pivot").is_some());
+        assert_eq!(wb.len(), 1);
+        assert!(wb.remove("Pivot").is_none());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut wb = Workbook::with_sheet(Sheet::new());
+        assert!(wb.insert("Sheet1", Sheet::new()).is_err());
+    }
+
+    #[test]
+    fn iteration_order_is_insertion_order() {
+        let mut wb = Workbook::new();
+        wb.insert("b", Sheet::new()).unwrap();
+        wb.insert("a", Sheet::new()).unwrap();
+        let names: Vec<&str> = wb.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["b", "a"]);
+    }
+
+    #[test]
+    fn workbook_data_round_trip() {
+        use crate::addr::CellAddr;
+        use crate::value::Value;
+        let mut data_sheet = Sheet::new();
+        data_sheet.set_value(CellAddr::new(0, 0), 40);
+        data_sheet.set_value(CellAddr::new(1, 0), 2);
+        let mut summary = Sheet::new();
+        summary.set_formula_str(CellAddr::new(0, 0), "=40+2").unwrap();
+        let mut wb = Workbook::with_sheet(data_sheet);
+        wb.insert("Summary", summary).unwrap();
+
+        let data = wb.to_data();
+        assert_eq!(data.sheets.len(), 2);
+        let restored = Workbook::from_data(&data).unwrap();
+        assert_eq!(restored.names(), ["Sheet1", "Summary"]);
+        // Formulae were recalculated on open.
+        assert_eq!(
+            restored.get("Summary").unwrap().value(CellAddr::new(0, 0)),
+            Value::Number(42.0)
+        );
+        // Round-trips stably.
+        assert_eq!(restored.to_data(), data);
+    }
+
+    #[test]
+    fn workbook_data_serde_round_trip() {
+        let mut sheet = Sheet::new();
+        sheet.set_value(crate::addr::CellAddr::new(0, 0), "hello");
+        let wb = Workbook::with_sheet(sheet);
+        let data = wb.to_data();
+        // serde round trip through a self-describing format stand-in.
+        let tokens = serde_json_like(&data);
+        assert!(tokens.contains("Sheet1"));
+        assert!(tokens.contains("hello"));
+    }
+
+    /// Minimal structural check without pulling a JSON dependency into the
+    /// engine: uses the Debug rendering of the serializable struct.
+    fn serde_json_like(data: &WorkbookData) -> String {
+        format!("{data:?}")
+    }
+}

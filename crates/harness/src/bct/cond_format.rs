@@ -1,0 +1,53 @@
+//! Figure 4 — the conditional-formatting experiment (§4.2.2): color the
+//! cells of column K green where the value is 1. Excel triggers no
+//! recomputation; Calc and Google Sheets do; Sheets formats only the
+//! visible window.
+
+use ssbench_engine::prelude::{Criterion, Value};
+use ssbench_systems::OpClass;
+use ssbench_workload::schema::FORMULA_COL_START;
+use ssbench_workload::Variant;
+
+use crate::bct::sweep;
+use crate::config::RunConfig;
+use crate::series::ExperimentResult;
+
+/// Runs the Figure 4 experiment.
+pub fn fig4_cond_format(cfg: &RunConfig) -> ExperimentResult {
+    let mut result = ExperimentResult::new("fig4", "Conditional formatting (§4.2.2)");
+    let criterion = Criterion::parse(&Value::Number(1.0));
+    sweep(
+        &mut result,
+        cfg,
+        OpClass::CondFormat,
+        &[Variant::FormulaValue, Variant::ValueOnly],
+        5,
+        &mut |sys, sheet, _rows| sys.conditional_format(sheet, FORMULA_COL_START, &criterion),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_shapes_match_paper() {
+        let mut cfg = RunConfig::quick();
+        cfg.scale = 0.05;
+        let r = fig4_cond_format(&cfg);
+        // Excel: F ≈ V (no recomputation).
+        let ef = r.series("Excel (F)").unwrap().last().unwrap();
+        let ev = r.series("Excel (V)").unwrap().last().unwrap();
+        assert!((ef.ms - ev.ms).abs() / ev.ms < 0.2, "Excel F≈V: {} vs {}", ef.ms, ev.ms);
+        // Calc: F well above V (unnecessary recomputation).
+        let cf = r.series("Calc (F)").unwrap().last().unwrap();
+        let cv = r.series("Calc (V)").unwrap().last().unwrap();
+        assert!(cf.ms > cv.ms * 2.0, "Calc F ({}) ≫ V ({})", cf.ms, cv.ms);
+        // Sheets V is ~flat (lazy formatting).
+        let gv = r.series("Google Sheets (V)").unwrap();
+        let first = gv.points.first().unwrap().ms;
+        let last = gv.points.last().unwrap().ms;
+        assert!(last / first < 1.3, "Sheets V flat: {first} → {last}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 7 — the aggregate experiment (§4.3.3): `=COUNTIF(K1:Km,1)`,
+//! the representative conditional aggregate. On Formula-value the scanned
+//! K-cells are themselves formulae, triggering per-cell revalidation.
+
+use ssbench_systems::OpClass;
+use ssbench_workload::schema::FORMULA_COL_START;
+use ssbench_workload::Variant;
+
+use crate::bct::sweep;
+use crate::config::RunConfig;
+use crate::series::ExperimentResult;
+
+/// Runs the Figure 7 experiment.
+pub fn fig7_countif(cfg: &RunConfig) -> ExperimentResult {
+    let mut result = ExperimentResult::new("fig7", "COUNTIF over column K (§4.3.3)");
+    sweep(
+        &mut result,
+        cfg,
+        OpClass::Aggregate,
+        &[Variant::FormulaValue, Variant::ValueOnly],
+        5,
+        &mut |sys, sheet, rows| sys.countif(sheet, FORMULA_COL_START, rows, "1").1,
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn countif_ordering_matches_paper() {
+        let mut cfg = RunConfig::quick();
+        cfg.scale = 0.1;
+        let r = fig7_countif(&cfg);
+        // Execution-time order: Excel < Calc < Google Sheets (§4.3.3).
+        let e = r.series("Excel (V)").unwrap().last().unwrap();
+        let c = r.series("Calc (V)").unwrap().last().unwrap();
+        let g = r.series("Google Sheets (V)").unwrap();
+        let g_at = |x: u32| g.points.iter().find(|p| p.x == x).unwrap().ms;
+        assert!(e.ms < c.ms, "Excel {} < Calc {}", e.ms, c.ms);
+        // Compare at a common size (Sheets is capped).
+        let common = g.points.last().unwrap().x;
+        let c_common =
+            r.series("Calc (V)").unwrap().points.iter().find(|p| p.x == common).unwrap().ms;
+        assert!(g_at(common) > c_common, "Sheets slowest at {common} rows");
+        // Formula-value costs more than Value-only for Excel and Calc.
+        for sys in ["Excel", "Calc"] {
+            let f = r.series(&format!("{sys} (F)")).unwrap().last().unwrap();
+            let v = r.series(&format!("{sys} (V)")).unwrap().last().unwrap();
+            assert!(f.ms > v.ms, "{sys} F > V");
+        }
+    }
+}

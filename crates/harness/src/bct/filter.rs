@@ -1,0 +1,58 @@
+//! Figure 5 — the filter experiment (§4.3.1): filter the sheet by
+//! `state = "SD"`. Excel shows the paper's mysterious superlinear trend on
+//! Formula-value; Calc and Sheets avoid the recomputation but are slower
+//! on Value-only.
+
+use ssbench_engine::prelude::{Criterion, Value};
+use ssbench_systems::OpClass;
+use ssbench_workload::schema::{FILTER_STATE, STATE_COL};
+use ssbench_workload::Variant;
+
+use crate::bct::sweep;
+use crate::config::RunConfig;
+use crate::series::ExperimentResult;
+
+/// Runs the Figure 5 experiment.
+pub fn fig5_filter(cfg: &RunConfig) -> ExperimentResult {
+    let mut result = ExperimentResult::new("fig5", "Filter by state = SD (§4.3.1)");
+    let criterion = Criterion::parse(&Value::text(FILTER_STATE));
+    sweep(
+        &mut result,
+        cfg,
+        OpClass::Filter,
+        &[Variant::FormulaValue, Variant::ValueOnly],
+        5,
+        &mut |sys, sheet, _rows| sys.filter(sheet, STATE_COL, &criterion).1,
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn excel_superlinear_on_formula_value() {
+        let mut cfg = RunConfig::quick();
+        cfg.scale = 0.1; // sizes to 50k so the superlinear term shows
+        let r = fig5_filter(&cfg);
+        let f = r.series("Excel (F)").unwrap();
+        let v = r.series("Excel (V)").unwrap();
+        // Superlinearity: F time ratio between last and mid size exceeds
+        // the size ratio.
+        let mid = f.points[f.points.len() / 2];
+        let last = f.points.last().unwrap();
+        let time_ratio = last.ms / mid.ms;
+        let size_ratio = f64::from(last.x) / f64::from(mid.x);
+        assert!(
+            time_ratio > size_ratio,
+            "superlinear: time ×{time_ratio:.2} vs size ×{size_ratio:.2}"
+        );
+        // And F ≫ V for Excel.
+        assert!(last.ms > v.points.last().unwrap().ms * 3.0);
+        // Calc F ≈ V (no recalculation).
+        let cf = r.series("Calc (F)").unwrap().last().unwrap();
+        let cv = r.series("Calc (V)").unwrap().last().unwrap();
+        assert!(cf.ms < cv.ms * 1.5, "Calc F ({}) close to V ({})", cf.ms, cv.ms);
+    }
+}

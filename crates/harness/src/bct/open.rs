@@ -1,0 +1,78 @@
+//! Figure 2 — the open (data load) experiment (§4.1): time to load a
+//! saved document of `m` rows into memory. Desktop systems parse every
+//! cell and recalculate; Google Sheets loads the visible window lazily
+//! but still resolves formula dependencies for the whole file.
+
+use ssbench_systems::{OpClass, SimSystem, ALL_SYSTEMS, INTERACTIVITY_BOUND_MS};
+use ssbench_workload::Variant;
+
+use crate::bct::series_label;
+use crate::config::RunConfig;
+use crate::grow::GrowingDoc;
+use crate::series::{ExperimentResult, Series};
+
+/// Runs the Figure 2 experiment.
+pub fn fig2_open(cfg: &RunConfig) -> ExperimentResult {
+    let mut result = ExperimentResult::new("fig2", "Open (data load, §4.1)");
+    // Opening is deterministic per system; one trial per size suffices
+    // and keeps the full-file parse affordable at 500k rows.
+    let protocol = cfg.protocol.capped(2);
+    for kind in ALL_SYSTEMS {
+        let sys = SimSystem::with_seed(kind, cfg.seed);
+        let sizes = cfg.sizes(sys.max_rows(OpClass::Open));
+        for variant in [Variant::FormulaValue, Variant::ValueOnly] {
+            let mut doc = GrowingDoc::new(variant, cfg.seed);
+            let mut series = Series::new(series_label(kind, variant), kind);
+            let mut past = 0usize;
+            for &rows in &sizes {
+                let data = doc.ensure(rows);
+                let ms = protocol.measure(|| sys.open_doc(data).1);
+                series.push(rows, ms);
+                if ms > INTERACTIVITY_BOUND_MS {
+                    past += 1;
+                    if cfg.stop_after_violation.is_some_and(|k| past > k) {
+                        break;
+                    }
+                }
+            }
+            result.series.push(series);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssbench_systems::SystemKind;
+
+    #[test]
+    fn open_shapes_match_paper() {
+        let mut cfg = RunConfig::quick();
+        cfg.scale = 0.05; // sizes 8 .. 25000
+        let r = fig2_open(&cfg);
+        assert_eq!(r.series.len(), 6);
+        // Desktop F opens grow with size; Google Sheets V is flat.
+        let excel_f = r.series("Excel (F)").unwrap();
+        let first = excel_f.points.first().unwrap().ms;
+        let last = excel_f.points.last().unwrap().ms;
+        assert!(last > first * 5.0, "Excel (F) grows: {first} → {last}");
+        let g_v = r.series("Google Sheets (V)").unwrap();
+        let times: Vec<f64> = g_v.points.iter().map(|p| p.ms).collect();
+        let spread = times.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            / times.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(spread < 1.5, "Sheets V open is ~flat, spread {spread}");
+        // Sheets F grows linearly despite lazy load (§4.1).
+        let g_f = r.series("Google Sheets (F)").unwrap();
+        assert!(
+            g_f.points.last().unwrap().ms > g_v.points.last().unwrap().ms * 2.0,
+            "dependency resolution dominates Sheets F open"
+        );
+        // All three violate interactivity from small sizes.
+        for s in &r.series {
+            if s.system == SystemKind::GSheets {
+                assert_eq!(s.violation_x(), Some(s.points[0].x), "{}", s.label);
+            }
+        }
+    }
+}

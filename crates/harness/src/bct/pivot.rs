@@ -1,0 +1,46 @@
+//! Figure 6 — the pivot-table experiment (§4.3.2): sum of storms per
+//! state, written to a new worksheet. Calc is by far the fastest and is
+//! unaffected by embedded formulae; Excel and Sheets recompute on the
+//! worksheet insert.
+
+use ssbench_systems::OpClass;
+use ssbench_workload::schema::{MEASURE_COL, STATE_COL};
+use ssbench_workload::Variant;
+
+use crate::bct::sweep;
+use crate::config::RunConfig;
+use crate::series::ExperimentResult;
+
+/// Runs the Figure 6 experiment.
+pub fn fig6_pivot(cfg: &RunConfig) -> ExperimentResult {
+    let mut result = ExperimentResult::new("fig6", "Pivot table: storms per state (§4.3.2)");
+    sweep(
+        &mut result,
+        cfg,
+        OpClass::Pivot,
+        &[Variant::FormulaValue, Variant::ValueOnly],
+        5,
+        &mut |sys, sheet, _rows| sys.pivot(sheet, STATE_COL, MEASURE_COL).1,
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calc_wins_pivot_and_ignores_formulas() {
+        let mut cfg = RunConfig::quick();
+        cfg.scale = 0.1;
+        let r = fig6_pivot(&cfg);
+        let cv = r.series("Calc (V)").unwrap().last().unwrap();
+        let ev = r.series("Excel (V)").unwrap().last().unwrap();
+        assert!(cv.ms < ev.ms, "Calc ({}) beats Excel ({}) on large pivots", cv.ms, ev.ms);
+        // Calc F ≈ V; Excel F > V.
+        let cf = r.series("Calc (F)").unwrap().last().unwrap();
+        assert!((cf.ms - cv.ms).abs() / cv.ms < 0.1);
+        let ef = r.series("Excel (F)").unwrap().last().unwrap();
+        assert!(ef.ms > ev.ms);
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 3 — the sort experiment (§4.2.1): sort the whole sheet by
+//! column A (unique integers). All three systems recalculate embedded
+//! formulae after sorting, which dominates Formula-value latency.
+
+use ssbench_systems::OpClass;
+use ssbench_workload::schema::KEY_COL;
+use ssbench_workload::Variant;
+
+use crate::bct::sweep;
+use crate::config::RunConfig;
+use crate::series::ExperimentResult;
+
+/// Runs the Figure 3 experiment.
+pub fn fig3_sort(cfg: &RunConfig) -> ExperimentResult {
+    let mut result = ExperimentResult::new("fig3", "Sort (§4.2.1)");
+    sweep(
+        &mut result,
+        cfg,
+        OpClass::Sort,
+        &[Variant::FormulaValue, Variant::ValueOnly],
+        3, // physical row moves make trials expensive; 3 suffice (deterministic)
+        &mut |sys, sheet, _rows| sys.sort(sheet, KEY_COL),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_formula_value_is_slower_and_data_stays_sorted() {
+        let mut cfg = RunConfig::quick();
+        cfg.scale = 0.02;
+        let r = fig3_sort(&cfg);
+        for sys in ["Excel", "Calc"] {
+            let f = r.series(&format!("{sys} (F)")).unwrap().last().unwrap();
+            let v = r.series(&format!("{sys} (V)")).unwrap().last().unwrap();
+            assert_eq!(f.x, v.x);
+            assert!(f.ms > v.ms, "{sys}: F ({}) must exceed V ({})", f.ms, v.ms);
+        }
+        // Google Sheets capped at 50k rows (scaled).
+        let g = r.series("Google Sheets (V)").unwrap();
+        assert!(g.points.last().unwrap().x <= 1_000);
+    }
+}

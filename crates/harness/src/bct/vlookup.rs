@@ -1,0 +1,88 @@
+//! Figure 8 — the lookup experiment (§4.3.4): `VLOOKUP(X, A:B, 2, …)`
+//! with X = 200,000 on the Value-only dataset (sorted by column A), with
+//! the match parameter swept over exact (FALSE) and approximate (TRUE).
+//! Excel early-exits exact scans and binary-searches approximate ones;
+//! Calc and Sheets always scan everything.
+
+use ssbench_systems::{OpClass, SimSystem, ALL_SYSTEMS, INTERACTIVITY_BOUND_MS};
+use ssbench_workload::Variant;
+
+use crate::config::RunConfig;
+use crate::grow::GrowingSheet;
+use crate::series::{ExperimentResult, Series};
+
+/// The looked-up key (§4.3.4: "we search for a value of X = 200000");
+/// scaled along with the dataset sizes.
+pub const LOOKUP_KEY: u32 = 200_000;
+
+/// Runs the Figure 8 experiment.
+pub fn fig8_vlookup(cfg: &RunConfig) -> ExperimentResult {
+    let mut result =
+        ExperimentResult::new("fig8", "VLOOKUP, exact vs approximate match (§4.3.4)");
+    let protocol = cfg.protocol.capped(5);
+    let key = f64::from(cfg.scaled(LOOKUP_KEY));
+    for kind in ALL_SYSTEMS {
+        let sys = SimSystem::with_seed(kind, cfg.seed);
+        let sizes = cfg.sizes(sys.max_rows(OpClass::Lookup));
+        // Value-only dataset exclusively (§4.3.4's design choice).
+        let mut grow = GrowingSheet::new(Variant::ValueOnly, cfg.seed);
+        for approx in [false, true] {
+            let label = format!(
+                "{} Sorted-{}",
+                kind.name(),
+                if approx { "TRUE" } else { "FALSE" }
+            );
+            let mut series = Series::new(label, kind);
+            let mut past = 0usize;
+            for &rows in &sizes {
+                let sheet = grow.ensure(rows);
+                let ms = protocol.measure(|| sys.vlookup(sheet, key, rows, 1, approx).1);
+                series.push(rows, ms);
+                if ms > INTERACTIVITY_BOUND_MS {
+                    past += 1;
+                    if cfg.stop_after_violation.is_some_and(|k| past > k) {
+                        break;
+                    }
+                }
+            }
+            result.series.push(series);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_strategies_match_paper() {
+        let mut cfg = RunConfig::quick();
+        cfg.scale = 0.05; // key = 10k, sizes to 25k
+        let r = fig8_vlookup(&cfg);
+        assert_eq!(r.series.len(), 6);
+        // Excel approximate match is ~constant (binary search).
+        let ea = r.series("Excel Sorted-TRUE").unwrap();
+        let spread =
+            ea.points.last().unwrap().ms / ea.points.first().unwrap().ms;
+        assert!(spread < 1.6, "Excel TRUE flat, spread {spread}");
+        // Excel exact match flattens once the key is found (sizes past
+        // the key row cost the same).
+        let ef = r.series("Excel Sorted-FALSE").unwrap();
+        let at_key: Vec<&crate::series::Point> =
+            ef.points.iter().filter(|p| p.x >= 10_000).collect();
+        if at_key.len() >= 2 {
+            let ratio = at_key.last().unwrap().ms / at_key[0].ms;
+            assert!(ratio < 1.3, "early exit flattens: {ratio}");
+        }
+        // Calc scans everything in both modes: TRUE ≈ FALSE, linear.
+        let ct = r.series("Calc Sorted-TRUE").unwrap().last().unwrap();
+        let cf = r.series("Calc Sorted-FALSE").unwrap().last().unwrap();
+        assert!((ct.ms - cf.ms).abs() / cf.ms < 0.15, "Calc both modes alike");
+        assert!(cf.ms > ef.points.last().unwrap().ms, "Calc much slower than Excel");
+        // Sheets: both modes alike too.
+        let gt = r.series("Google Sheets Sorted-TRUE").unwrap().last().unwrap();
+        let gf = r.series("Google Sheets Sorted-FALSE").unwrap().last().unwrap();
+        assert!((gt.ms - gf.ms).abs() / gf.ms < 0.3);
+    }
+}

@@ -1,0 +1,59 @@
+//! Runs everything: Table 1 (taxonomy), all BCT figures, Table 2, and all
+//! OOT figures.
+//!
+//! ```text
+//! cargo run --release -p ssbench-harness --bin all -- [--scale F] [--trials N]
+//!     [--paper-protocol] [--quick] [--seed N] [--out DIR]
+//! ```
+
+use ssbench_harness::{bct, oot, report, table2, taxonomy, RunConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, rest) = match RunConfig::from_args(&args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let charts = rest.iter().any(|a| a == "--charts");
+    eprintln!(
+        "Full benchmark — scale {}, {} trial(s), seed {}",
+        cfg.scale, cfg.protocol.trials, cfg.seed
+    );
+
+    println!("Table 1 — Categorizing Spreadsheet Operations");
+    println!("{}", taxonomy::render_table1());
+
+    let bct_results = bct::run_all(&cfg);
+    for r in &bct_results {
+        println!("{}", report::render(r));
+        if charts {
+            println!("{}", ssbench_harness::chart::render_chart(r));
+        }
+    }
+
+    let table = table2::from_results(&bct_results);
+    println!("Table 2 — % of documented scalability limit at first 500 ms violation");
+    if cfg.scale != 1.0 {
+        println!("(percentages distorted by --scale {}; run at scale 1 for Table 2)", cfg.scale);
+    }
+    println!("{table}");
+
+    let oot_results = oot::run_all(&cfg);
+    for r in &oot_results {
+        println!("{}", report::render(r));
+        if charts {
+            println!("{}", ssbench_harness::chart::render_chart(r));
+        }
+    }
+
+    let mut all = bct_results;
+    all.extend(oot_results);
+    match report::write_outputs(&cfg, &all) {
+        Ok(0) => {}
+        Ok(n) => eprintln!("wrote {n} result files"),
+        Err(e) => eprintln!("failed writing outputs: {e}"),
+    }
+}

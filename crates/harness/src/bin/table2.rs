@@ -1,0 +1,50 @@
+//! Reproduces Table 2 — the interactivity summary — by running each BCT
+//! sweep until one size past its first violation, then prints the
+//! reproduced table alongside the paper's published values.
+//!
+//! ```text
+//! cargo run --release -p ssbench-harness --bin table2 -- [--scale F] …
+//! ```
+//!
+//! Percentages are only meaningful at `--scale 1` (the default), because
+//! they are fractions of the systems' *absolute* scalability limits.
+
+use ssbench_harness::{table2, RunConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, _) = match RunConfig::from_args(&args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if cfg.scale != 1.0 {
+        eprintln!(
+            "warning: --scale {} distorts Table-2 percentages (limits are absolute)",
+            cfg.scale
+        );
+    }
+    eprintln!("Reproducing Table 2 (stop-after-violation sweeps)…");
+    let (table, results) = table2::compute(&cfg);
+    println!("Table 2 — % of documented scalability limit at first 500 ms violation");
+    println!("{table}");
+    println!("Paper's published Table 2 for comparison:");
+    for (op, cells) in table2::paper_table2() {
+        let fmt_cell = |c: Option<f64>| match c {
+            Some(p) if p >= 1.0 => format!("{p:>8.1}"),
+            Some(p) => format!("{p:>8.3}"),
+            None => format!("{:>8}", "×"),
+        };
+        let f: String = cells[0].iter().map(|&c| fmt_cell(c)).collect();
+        let v: String = cells[1].iter().map(|&c| fmt_cell(c)).collect();
+        println!("{op:<24}|{f} |{v}");
+    }
+    if let Some(dir) = &cfg.out_dir {
+        std::fs::create_dir_all(dir).expect("create out dir");
+        std::fs::write(dir.join("table2.txt"), table.to_string()).expect("write table2");
+        ssbench_harness::report::write_outputs(&cfg, &results).expect("write figures");
+        eprintln!("wrote outputs to {}", dir.display());
+    }
+}

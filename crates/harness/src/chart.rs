@@ -1,0 +1,198 @@
+//! ASCII chart rendering: draws each reproduced figure as a line chart in
+//! the terminal, so a run visually mirrors the paper's plots (series
+//! shapes, crossovers, and the 500 ms interactivity line).
+
+use ssbench_systems::INTERACTIVITY_BOUND_MS;
+
+use crate::series::ExperimentResult;
+
+/// Plot dimensions.
+const WIDTH: usize = 72;
+const HEIGHT: usize = 20;
+
+/// Glyphs assigned to series, in order.
+const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&', '$', '~', '^', '='];
+
+/// Renders the experiment as an ASCII line chart with a legend and the
+/// 500 ms interactivity rule. The y axis is log-scaled (the measured
+/// times span five orders of magnitude, as in the paper's figures).
+pub fn render_chart(result: &ExperimentResult) -> String {
+    let mut points: Vec<(usize, f64, f64)> = Vec::new(); // (series, x, ms)
+    for (si, series) in result.series.iter().enumerate() {
+        for p in &series.points {
+            if p.ms > 0.0 {
+                points.push((si, f64::from(p.x), p.ms));
+            }
+        }
+    }
+    if points.is_empty() {
+        return format!("== {} — {} ==\n(no data)\n", result.id, result.title);
+    }
+    let x_min = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let x_max = points.iter().map(|p| p.1).fold(0.0f64, f64::max);
+    let y_min = points.iter().map(|p| p.2).fold(f64::INFINITY, f64::min);
+    let y_max = points.iter().map(|p| p.2).fold(0.0f64, f64::max);
+    let (ly_min, ly_max) = (log_floor(y_min), log_ceil(y_max));
+
+    let mut grid = vec![vec![' '; WIDTH]; HEIGHT];
+    // The interactivity rule.
+    if INTERACTIVITY_BOUND_MS >= y_min && INTERACTIVITY_BOUND_MS <= y_max {
+        let row = y_to_row(INTERACTIVITY_BOUND_MS, ly_min, ly_max);
+        for cell in &mut grid[row] {
+            *cell = '·';
+        }
+    }
+    // Series points (later series draw over earlier on collisions).
+    for &(si, x, ms) in &points {
+        let col = x_to_col(x, x_min, x_max);
+        let row = y_to_row(ms, ly_min, ly_max);
+        grid[row][col] = GLYPHS[si % GLYPHS.len()];
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("== {} — {} ==\n", result.id, result.title));
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format_time(10f64.powf(ly_max))
+        } else if r == HEIGHT - 1 {
+            format_time(10f64.powf(ly_min))
+        } else if r == y_to_row(INTERACTIVITY_BOUND_MS, ly_min, ly_max)
+            && INTERACTIVITY_BOUND_MS >= y_min
+            && INTERACTIVITY_BOUND_MS <= y_max
+        {
+            "500ms".to_owned()
+        } else {
+            String::new()
+        };
+        out.push_str(&format!("{label:>8} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(WIDTH)));
+    out.push_str(&format!(
+        "{:>8}  {:<w$}{:>12}\n",
+        "",
+        format_x(x_min),
+        format_x(x_max),
+        w = WIDTH - 12
+    ));
+    out.push_str(&format!("x: {}\n", result.x_unit));
+    for (si, series) in result.series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], series.label));
+    }
+    out
+}
+
+fn log_floor(v: f64) -> f64 {
+    v.max(1e-3).log10().floor()
+}
+
+fn log_ceil(v: f64) -> f64 {
+    let l = v.max(1e-3).log10().ceil();
+    if l == log_floor(v) {
+        l + 1.0
+    } else {
+        l
+    }
+}
+
+fn x_to_col(x: f64, x_min: f64, x_max: f64) -> usize {
+    if x_max <= x_min {
+        return 0;
+    }
+    let frac = (x - x_min) / (x_max - x_min);
+    ((frac * (WIDTH - 1) as f64).round() as usize).min(WIDTH - 1)
+}
+
+fn y_to_row(ms: f64, ly_min: f64, ly_max: f64) -> usize {
+    let l = ms.max(1e-3).log10().clamp(ly_min, ly_max);
+    let frac = (l - ly_min) / (ly_max - ly_min).max(1e-9);
+    // Row 0 is the top (largest value).
+    ((1.0 - frac) * (HEIGHT - 1) as f64).round() as usize
+}
+
+fn format_time(ms: f64) -> String {
+    if ms >= 60_000.0 {
+        format!("{:.0}min", ms / 60_000.0)
+    } else if ms >= 1_000.0 {
+        format!("{:.0}s", ms / 1_000.0)
+    } else if ms >= 1.0 {
+        format!("{ms:.0}ms")
+    } else {
+        format!("{ms:.2}ms")
+    }
+}
+
+fn format_x(x: f64) -> String {
+    if x >= 1_000.0 {
+        format!("{:.0}k", x / 1_000.0)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+    use ssbench_systems::SystemKind;
+
+    fn fixture() -> ExperimentResult {
+        let mut r = ExperimentResult::new("figX", "Chart fixture");
+        let mut a = Series::new("Excel (V)", SystemKind::Excel);
+        let mut b = Series::new("Calc (V)", SystemKind::Calc);
+        for i in 1..=10u32 {
+            a.push(i * 10_000, f64::from(i) * 10.0);
+            b.push(i * 10_000, f64::from(i) * 120.0);
+        }
+        r.series.push(a);
+        r.series.push(b);
+        r
+    }
+
+    #[test]
+    fn chart_contains_series_glyphs_and_legend() {
+        let chart = render_chart(&fixture());
+        assert!(chart.contains("== figX"));
+        assert!(chart.contains('*'), "first series glyph");
+        assert!(chart.contains('o'), "second series glyph");
+        assert!(chart.contains("* Excel (V)"));
+        assert!(chart.contains("o Calc (V)"));
+        assert!(chart.contains("x: rows"));
+    }
+
+    #[test]
+    fn interactivity_rule_drawn_when_in_range() {
+        let chart = render_chart(&fixture());
+        assert!(chart.contains("500ms"));
+        assert!(chart.contains('·'));
+    }
+
+    #[test]
+    fn empty_result_renders_placeholder() {
+        let r = ExperimentResult::new("fig0", "empty");
+        assert!(render_chart(&r).contains("(no data)"));
+    }
+
+    #[test]
+    fn axis_labels_format() {
+        assert_eq!(format_time(120_000.0), "2min");
+        assert_eq!(format_time(2_500.0), "2s"); // {:.0} rounds half to even
+        assert_eq!(format_time(45.0), "45ms");
+        assert_eq!(format_time(0.5), "0.50ms");
+        assert_eq!(format_x(500_000.0), "500k");
+        assert_eq!(format_x(150.0), "150");
+    }
+
+    #[test]
+    fn rows_and_cols_stay_in_bounds() {
+        for ms in [0.001, 0.5, 500.0, 1e6] {
+            let r = y_to_row(ms, -1.0, 6.0);
+            assert!(r < HEIGHT);
+        }
+        for x in [0.0, 150.0, 500_000.0] {
+            assert!(x_to_col(x, 0.0, 500_000.0) < WIDTH);
+        }
+        assert_eq!(x_to_col(5.0, 5.0, 5.0), 0, "degenerate x range");
+    }
+}

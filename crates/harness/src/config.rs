@@ -1,0 +1,155 @@
+//! Run configuration shared by every experiment.
+
+use std::path::PathBuf;
+
+use crate::timing::Protocol;
+
+/// Configuration for a benchmark run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Scales every dataset size (1.0 = the paper's sizes). Smoke runs and
+    /// CI use small scales; shapes are preserved because the cost model is
+    /// linear in the measured counts.
+    pub scale: f64,
+    /// Trial protocol.
+    pub protocol: Protocol,
+    /// When set, a size sweep stops this many sizes after the
+    /// interactivity bound is first violated (used by the Table 2 runner,
+    /// which only needs the violation points).
+    pub stop_after_violation: Option<usize>,
+    /// Seed for dataset generation and the Sheets noise stream.
+    pub seed: u64,
+    /// Directory for CSV/JSON result files (`None` = print only).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl RunConfig {
+    /// Full paper-scale run.
+    pub fn full() -> Self {
+        RunConfig {
+            scale: 1.0,
+            protocol: Protocol::DEFAULT,
+            stop_after_violation: None,
+            seed: ssbench_workload::DEFAULT_SEED,
+            out_dir: None,
+        }
+    }
+
+    /// Fast smoke run (used by tests): tiny sizes, single trials.
+    pub fn quick() -> Self {
+        RunConfig {
+            scale: 0.01,
+            protocol: Protocol::SINGLE,
+            stop_after_violation: None,
+            seed: ssbench_workload::DEFAULT_SEED,
+            out_dir: None,
+        }
+    }
+
+    /// Applies the scale to a row count (min 10 rows).
+    pub fn scaled(&self, rows: u32) -> u32 {
+        ((f64::from(rows) * self.scale).round() as u32).max(10)
+    }
+
+    /// The BCT size sweep for a system capped at `max_rows`, scaled.
+    pub fn sizes(&self, max_rows: Option<u32>) -> Vec<u32> {
+        let cap = max_rows.unwrap_or(u32::MAX);
+        let mut out: Vec<u32> = ssbench_workload::sample_sizes()
+            .into_iter()
+            .filter(|&n| n <= cap)
+            .map(|n| self.scaled(n))
+            .collect();
+        out.dedup();
+        out
+    }
+
+    /// Parses CLI-style arguments (`--scale 0.1`, `--trials 10`,
+    /// `--paper-protocol`, `--stop-after-violation N`, `--seed N`,
+    /// `--out DIR`). Unknown arguments are returned for the caller.
+    pub fn from_args(args: &[String]) -> Result<(Self, Vec<String>), String> {
+        fn take_value<'a>(
+            name: &str,
+            it: &mut impl Iterator<Item = &'a String>,
+        ) -> Result<String, String> {
+            it.next().map(|s| s.to_owned()).ok_or_else(|| format!("{name} needs a value"))
+        }
+        let mut cfg = RunConfig::full();
+        let mut rest = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    cfg.scale = take_value("--scale", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--scale: {e}"))?;
+                }
+                "--trials" => {
+                    cfg.protocol.trials = take_value("--trials", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--trials: {e}"))?;
+                }
+                "--paper-protocol" => cfg.protocol = Protocol::PAPER,
+                "--quick" => {
+                    cfg.scale = 0.01;
+                    cfg.protocol = Protocol::SINGLE;
+                }
+                "--stop-after-violation" => {
+                    cfg.stop_after_violation = Some(
+                        take_value("--stop-after-violation", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("--stop-after-violation: {e}"))?,
+                    );
+                }
+                "--seed" => {
+                    cfg.seed = take_value("--seed", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--out" => {
+                    cfg.out_dir = Some(PathBuf::from(take_value("--out", &mut it)?));
+                }
+                other => rest.push(other.to_owned()),
+            }
+        }
+        Ok((cfg, rest))
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_sizes_have_floor() {
+        let cfg = RunConfig::quick();
+        assert!(cfg.sizes(None).iter().all(|&n| n >= 10));
+        let full = RunConfig::full();
+        assert_eq!(*full.sizes(None).last().unwrap(), 500_000);
+        assert_eq!(*full.sizes(Some(90_000)).last().unwrap(), 90_000);
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> =
+            ["--scale", "0.5", "--trials", "7", "--seed", "9", "extra"].iter().map(|s| s.to_string()).collect();
+        let (cfg, rest) = RunConfig::from_args(&args).unwrap();
+        assert_eq!(cfg.scale, 0.5);
+        assert_eq!(cfg.protocol.trials, 7);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(rest, vec!["extra"]);
+    }
+
+    #[test]
+    fn arg_parsing_flags() {
+        let args: Vec<String> = ["--paper-protocol"].iter().map(|s| s.to_string()).collect();
+        let (cfg, _) = RunConfig::from_args(&args).unwrap();
+        assert_eq!(cfg.protocol, Protocol::PAPER);
+        assert!(RunConfig::from_args(&["--scale".to_string()]).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! # ssbench-harness
+//!
+//! The benchmark harness reproducing every table and figure of
+//! *Benchmarking Spreadsheet Systems* (SIGMOD 2020):
+//!
+//! * [`bct`] — the seven Basic Complexity Testing experiments
+//!   (Figures 2–8);
+//! * [`oot`] — the six Optimization Opportunities Testing experiments
+//!   (Figures 9–14), each with an extra "Optimized" counterfactual series
+//!   from `ssbench-optimized`;
+//! * [`table2`] — the interactivity summary (Table 2);
+//! * [`taxonomy`] — the operation taxonomy (Table 1);
+//! * [`timing`] — the paper's trial protocol (§3.3);
+//! * [`report`] — text/CSV/JSON rendering; [`chart`] — ASCII line charts.
+//!
+//! Binaries: `bct`, `oot`, `table2`, and `all`, each accepting
+//! `--scale F`, `--trials N`, `--paper-protocol`, `--quick`, `--seed N`,
+//! `--out DIR`.
+
+pub mod bct;
+pub mod chart;
+pub mod config;
+pub mod grow;
+pub mod oot;
+pub mod report;
+pub mod series;
+pub mod table2;
+pub mod taxonomy;
+pub mod timing;
+
+pub use config::RunConfig;
+pub use series::{ExperimentResult, Point, Series};
+pub use timing::{trimmed_mean, Protocol, Stats};
+
+/// Runs everything: BCT then OOT. Returns all figure results; Table 2 can
+/// be derived from the BCT subset via [`table2::from_results`].
+pub fn run_everything(cfg: &RunConfig) -> Vec<ExperimentResult> {
+    let mut results = bct::run_all(cfg);
+    results.extend(oot::run_all(cfg));
+    results
+}

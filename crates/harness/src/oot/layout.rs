@@ -1,0 +1,120 @@
+//! Figure 10 — in-memory data layout (§5.2): sequential vs random
+//! scripted access to one column. In all three systems the two patterns
+//! cost the same (per-cell API overhead dominates — no columnar layout).
+//! The extra "Optimized" series measures a *real* typed columnar scan on
+//! the wall clock, where sequential locality genuinely wins.
+
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ssbench_optimized::{ColumnarTable, TypedColumn};
+use ssbench_systems::{SystemKind, ALL_SYSTEMS};
+use ssbench_workload::schema::KEY_COL;
+use ssbench_workload::Variant;
+
+use crate::config::RunConfig;
+use crate::grow::GrowingSheet;
+use crate::series::{ExperimentResult, Series};
+
+/// The paper's row counts: 100k/300k/500k for the desktop systems,
+/// 20k/50k/80k for Google Sheets.
+pub fn sizes_for(kind: SystemKind) -> [u32; 3] {
+    match kind {
+        SystemKind::Excel | SystemKind::Calc => [100_000, 300_000, 500_000],
+        SystemKind::GSheets => [20_000, 50_000, 80_000],
+    }
+}
+
+/// Runs the Figure 10 experiment.
+pub fn fig10_layout(cfg: &RunConfig) -> ExperimentResult {
+    let mut result =
+        ExperimentResult::new("fig10", "Sequential vs random column access (§5.2)");
+    let protocol = cfg.protocol.capped(3);
+    for kind in ALL_SYSTEMS {
+        let sys = ssbench_systems::SimSystem::with_seed(kind, cfg.seed);
+        let mut grow = GrowingSheet::new(Variant::ValueOnly, cfg.seed);
+        let mut seq = Series::new(format!("{} Sequential", kind.name()), kind);
+        let mut rnd = Series::new(format!("{} Random", kind.name()), kind);
+        for (i, &rows) in sizes_for(kind).iter().enumerate() {
+            let rows = cfg.scaled(rows);
+            let sheet = grow.ensure(rows);
+            let ms_seq = protocol.measure(|| sys.sequential_access(sheet, KEY_COL, rows));
+            let ms_rnd = protocol
+                .measure(|| sys.random_access(sheet, KEY_COL, rows, cfg.seed ^ i as u64));
+            seq.push(rows, ms_seq);
+            rnd.push(rows, ms_rnd);
+        }
+        result.series.push(seq);
+        result.series.push(rnd);
+    }
+    // Beyond the paper: real wall-clock scans over a typed columnar
+    // projection — the layout the systems lack.
+    let mut grow = GrowingSheet::new(Variant::ValueOnly, cfg.seed);
+    let mut seq = Series::new("Columnar Sequential (wall-clock)", SystemKind::Excel);
+    let mut rnd = Series::new("Columnar Random (wall-clock)", SystemKind::Excel);
+    for &rows in &sizes_for(SystemKind::Excel) {
+        let rows = cfg.scaled(rows);
+        let sheet = grow.ensure(rows);
+        let table = ColumnarTable::from_sheet(sheet);
+        let col = table.column(KEY_COL as usize);
+        assert!(matches!(col, TypedColumn::Numbers(_)));
+        let mut order: Vec<u32> = (0..rows).collect();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.random_range(0..=i));
+        }
+        // Repeat the scan enough to rise above timer resolution.
+        let reps = 32;
+        let t0 = Instant::now();
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            acc += col.sum_sequential();
+        }
+        let ms_seq = t0.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+        let t1 = Instant::now();
+        for _ in 0..reps {
+            acc += col.sum_in_order(&order);
+        }
+        let ms_rnd = t1.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+        assert!(acc.is_finite());
+        seq.push(rows, ms_seq);
+        rnd.push(rows, ms_rnd);
+    }
+    result.series.push(seq);
+    result.series.push(rnd);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn systems_show_no_layout_benefit() {
+        let mut cfg = RunConfig::quick();
+        cfg.scale = 0.05;
+        let r = fig10_layout(&cfg);
+        for kind in ["Excel", "Calc", "Google Sheets"] {
+            let s = r.series(&format!("{kind} Sequential")).unwrap().last().unwrap();
+            let d = r.series(&format!("{kind} Random")).unwrap().last().unwrap();
+            let ratio = d.ms / s.ms;
+            assert!(
+                (0.8..1.25).contains(&ratio),
+                "{kind}: sequential ≈ random, got ×{ratio:.2}"
+            );
+        }
+        // The columnar series exist and are orders of magnitude below the
+        // scripted-access times.
+        let col_seq = r.series("Columnar Sequential (wall-clock)").unwrap().last().unwrap();
+        let excel_seq = r.series("Excel Sequential").unwrap().last().unwrap();
+        assert!(col_seq.ms < excel_seq.ms);
+    }
+
+    #[test]
+    fn paper_sizes() {
+        assert_eq!(sizes_for(SystemKind::Calc), [100_000, 300_000, 500_000]);
+        assert_eq!(sizes_for(SystemKind::GSheets), [20_000, 50_000, 80_000]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Figure 12 — redundant computation (§5.4): five identical instances of
+//! `COUNTIF(J1:Jm,1)` cost ≈5× a single instance in every system — no
+//! formula-equality detection. The "Optimized" series answers the five
+//! instances through the formula memo (one scan + four cache hits).
+
+use ssbench_engine::meter::Primitive;
+use ssbench_engine::prelude::*;
+use ssbench_optimized::FormulaMemo;
+use ssbench_systems::{OpClass, SimSystem, SystemKind, ALL_SYSTEMS};
+use ssbench_workload::schema::MEASURE_COL;
+use ssbench_workload::Variant;
+
+use crate::config::RunConfig;
+use crate::grow::GrowingSheet;
+use crate::series::{ExperimentResult, Series};
+
+/// Number of identical instances (§5.4 uses five).
+pub const INSTANCES: usize = 5;
+
+fn countif_expr(rows: u32) -> Expr {
+    let range = Range::column_segment(MEASURE_COL, 0, rows - 1);
+    parse(&format!("COUNTIF({},1)", range.to_a1())).expect("static formula")
+}
+
+/// Runs the Figure 12 experiment.
+pub fn fig12_redundant(cfg: &RunConfig) -> ExperimentResult {
+    let mut result =
+        ExperimentResult::new("fig12", "Redundant computation: 5 identical COUNTIFs (§5.4)");
+    let protocol = cfg.protocol.capped(3);
+    for kind in ALL_SYSTEMS {
+        let sys = SimSystem::with_seed(kind, cfg.seed);
+        let sizes = cfg.sizes(sys.max_rows(OpClass::Aggregate));
+        let mut grow = GrowingSheet::new(Variant::ValueOnly, cfg.seed);
+        let mut single = Series::new(format!("{} Single formula", kind.name()), kind);
+        let mut multiple =
+            Series::new(format!("{} Multiple formulae (5)", kind.name()), kind);
+        for &rows in &sizes {
+            let sheet = grow.ensure(rows);
+            let expr = countif_expr(rows);
+            let ms_single = protocol.measure(|| {
+                sys.measure(sheet, OpClass::Aggregate, |s| {
+                    s.meter().tick(Primitive::FormulaEval);
+                    s.eval_expr(&expr)
+                })
+                .1
+            });
+            let ms_multi = protocol.measure(|| {
+                sys.measure(sheet, OpClass::Aggregate, |s| {
+                    for _ in 0..INSTANCES {
+                        s.meter().tick(Primitive::FormulaEval);
+                        s.eval_expr(&expr);
+                    }
+                })
+                .1
+            });
+            single.push(rows, ms_single);
+            multiple.push(rows, ms_multi);
+        }
+        result.series.push(single);
+        result.series.push(multiple);
+    }
+    // Beyond the paper: the memoized five instances (Excel cost model).
+    let sys = SimSystem::with_seed(SystemKind::Excel, cfg.seed);
+    let sizes = cfg.sizes(None);
+    let mut grow = GrowingSheet::new(Variant::ValueOnly, cfg.seed);
+    let mut optimized = Series::new("Optimized (memoized ×5)", SystemKind::Excel);
+    for &rows in &sizes {
+        let sheet = grow.ensure(rows);
+        let expr = countif_expr(rows);
+        let (_, ms) = sys.measure(sheet, OpClass::Aggregate, |s| {
+            let mut memo = FormulaMemo::new();
+            for _ in 0..INSTANCES {
+                s.meter().tick(Primitive::FormulaEval);
+                memo.eval(s, &expr);
+            }
+            assert_eq!(memo.stats(), ((INSTANCES - 1) as u64, 1));
+        });
+        optimized.push(rows, ms);
+    }
+    result.series.push(optimized);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_instances_cost_five_times_one() {
+        let mut cfg = RunConfig::quick();
+        cfg.scale = 0.05;
+        let r = fig12_redundant(&cfg);
+        for kind in ["Excel", "Calc"] {
+            let one = r.series(&format!("{kind} Single formula")).unwrap().last().unwrap();
+            let five =
+                r.series(&format!("{kind} Multiple formulae (5)")).unwrap().last().unwrap();
+            let ratio = five.ms / one.ms;
+            assert!(
+                (3.5..5.5).contains(&ratio),
+                "{kind}: 5 instances ≈ 5×, got ×{ratio:.2}"
+            );
+        }
+        // Memoized: close to a single instance, far below five.
+        let one = r.series("Excel Single formula").unwrap().last().unwrap();
+        let five = r.series("Excel Multiple formulae (5)").unwrap().last().unwrap();
+        let opt = r.series("Optimized (memoized ×5)").unwrap().last().unwrap();
+        assert!(opt.ms < five.ms / 2.0, "memoized {} ≪ repeated {}", opt.ms, five.ms);
+        assert!(opt.ms < one.ms * 2.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Rendering and persistence of experiment results: aligned text tables
+//! (the "same rows/series the paper reports"), CSV, and JSON records.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use crate::config::RunConfig;
+use crate::series::ExperimentResult;
+
+/// Renders one experiment as an aligned text table: one row per x value,
+/// one column per series; `-` marks sizes a series did not reach (quota
+/// caps or early stop).
+pub fn render(result: &ExperimentResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} — {} (simulated ms) ==", result.id, result.title);
+    let xs = result.xs();
+    let labels: Vec<&str> = result.series.iter().map(|s| s.label.as_str()).collect();
+    let width = labels.iter().map(|l| l.len().max(10) + 2).collect::<Vec<_>>();
+    let _ = write!(out, "{:>10}", result.x_unit);
+    for (label, w) in labels.iter().zip(&width) {
+        let _ = write!(out, "{label:>w$}");
+    }
+    out.push('\n');
+    for x in xs {
+        let _ = write!(out, "{x:>10}");
+        for (series, w) in result.series.iter().zip(&width) {
+            match series.points.iter().find(|p| p.x == x) {
+                Some(p) => {
+                    let _ = write!(out, "{:>w$}", format_ms(p.ms));
+                }
+                None => {
+                    let _ = write!(out, "{:>w$}", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    // Interactivity summary line.
+    let _ = writeln!(out, "{:>10}", "— 500 ms violation —");
+    let _ = write!(out, "{:>10}", "at");
+    for (series, w) in result.series.iter().zip(&width) {
+        let text = match series.violation_x() {
+            Some(x) => x.to_string(),
+            None => "never".to_owned(),
+        };
+        let _ = write!(out, "{text:>w$}");
+    }
+    out.push('\n');
+    out
+}
+
+/// Formats a simulated time compactly.
+fn format_ms(ms: f64) -> String {
+    if ms >= 10_000.0 {
+        format!("{:.1}s", ms / 1000.0)
+    } else if ms >= 100.0 {
+        format!("{ms:.0}")
+    } else if ms >= 1.0 {
+        format!("{ms:.1}")
+    } else {
+        format!("{ms:.3}")
+    }
+}
+
+/// Renders one experiment as CSV (`x,label,ms` long format).
+pub fn to_csv(result: &ExperimentResult) -> String {
+    let mut out = String::from("x,series,ms\n");
+    for series in &result.series {
+        for p in &series.points {
+            let _ = writeln!(out, "{},{},{}", p.x, escape_csv(&series.label), p.ms);
+        }
+    }
+    out
+}
+
+fn escape_csv(field: &str) -> String {
+    if field.contains([',', '"']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Writes `{id}.csv` and `{id}.json` for every result into
+/// `cfg.out_dir` (no-op when unset). Returns the number of files written.
+pub fn write_outputs(cfg: &RunConfig, results: &[ExperimentResult]) -> std::io::Result<usize> {
+    let Some(dir) = &cfg.out_dir else { return Ok(0) };
+    fs::create_dir_all(dir)?;
+    let mut written = 0;
+    for r in results {
+        write_one(dir, r)?;
+        written += 2;
+    }
+    Ok(written)
+}
+
+fn write_one(dir: &Path, r: &ExperimentResult) -> std::io::Result<()> {
+    fs::write(dir.join(format!("{}.csv", r.id)), to_csv(r))?;
+    let json = serde_json::to_string_pretty(r).expect("results serialize");
+    fs::write(dir.join(format!("{}.json", r.id)), json)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+    use ssbench_systems::SystemKind;
+
+    fn fixture() -> ExperimentResult {
+        let mut r = ExperimentResult::new("fig0", "Fixture");
+        let mut a = Series::new("Excel (V)", SystemKind::Excel);
+        a.push(150, 12.5);
+        a.push(6_000, 600.0);
+        let mut b = Series::new("Calc (V)", SystemKind::Calc);
+        b.push(150, 499.0);
+        r.series.push(a);
+        r.series.push(b);
+        r
+    }
+
+    #[test]
+    fn render_aligns_and_marks_missing() {
+        let text = render(&fixture());
+        assert!(text.contains("Excel (V)"));
+        assert!(text.contains("12.5"));
+        // Calc has no 6000 point → dash.
+        let line: &str = text.lines().find(|l| l.trim_start().starts_with("6000")).unwrap();
+        assert!(line.trim_end().ends_with('-'), "{line:?}");
+        // Violation summary.
+        assert!(text.contains("never"));
+        assert!(text.contains("6000"));
+    }
+
+    #[test]
+    fn csv_long_format() {
+        let csv = to_csv(&fixture());
+        assert!(csv.starts_with("x,series,ms\n"));
+        assert!(csv.contains("150,Excel (V),12.5"));
+        assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(escape_csv("plain"), "plain");
+        assert_eq!(escape_csv("a,b"), "\"a,b\"");
+        assert_eq!(escape_csv("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn write_outputs_creates_files() {
+        let dir = std::env::temp_dir().join("ssbench_report_test");
+        let _ = fs::remove_dir_all(&dir);
+        let mut cfg = RunConfig::quick();
+        cfg.out_dir = Some(dir.clone());
+        let n = write_outputs(&cfg, &[fixture()]).unwrap();
+        assert_eq!(n, 2);
+        assert!(dir.join("fig0.csv").exists());
+        assert!(dir.join("fig0.json").exists());
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn format_ms_ranges() {
+        assert_eq!(format_ms(0.1234), "0.123");
+        assert_eq!(format_ms(42.0), "42.0");
+        assert_eq!(format_ms(420.0), "420");
+        assert_eq!(format_ms(42_000.0), "42.0s");
+    }
+}

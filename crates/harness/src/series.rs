@@ -1,0 +1,140 @@
+//! Result structures: data series per figure, with interactivity-bound
+//! detection (§4: "we further evaluate when … the execution time for a
+//! given formula violates the interactivity bound of 500 ms and at what
+//! data size").
+
+use serde::Serialize;
+
+use ssbench_systems::{SystemKind, INTERACTIVITY_BOUND_MS};
+
+/// One measured point of a series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Point {
+    /// Dataset row count (or, for the fig-14 sweep, formula-instance
+    /// count).
+    pub x: u32,
+    /// Simulated milliseconds (trimmed mean over trials).
+    pub ms: f64,
+}
+
+/// One line of a figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Chart label, e.g. `"Excel (F)"` or `"Sorted-TRUE"`.
+    pub label: String,
+    /// The system measured.
+    #[serde(serialize_with = "ser_system")]
+    pub system: SystemKind,
+    pub points: Vec<Point>,
+}
+
+fn ser_system<S: serde::Serializer>(k: &SystemKind, s: S) -> Result<S::Ok, S::Error> {
+    s.serialize_str(k.name())
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>, system: SystemKind) -> Self {
+        Series { label: label.into(), system, points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: u32, ms: f64) {
+        self.points.push(Point { x, ms });
+    }
+
+    /// The smallest x whose measured time violates the interactivity
+    /// bound; `None` when the bound is never violated.
+    pub fn violation_x(&self) -> Option<u32> {
+        self.points.iter().find(|p| p.ms > INTERACTIVITY_BOUND_MS).map(|p| p.x)
+    }
+
+    /// The last measured point.
+    pub fn last(&self) -> Option<Point> {
+        self.points.last().copied()
+    }
+}
+
+/// The result of one experiment: a reproduced figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentResult {
+    /// Paper artifact id, e.g. `"fig3"`.
+    pub id: String,
+    /// Human title, e.g. `"Sort (§4.2.1)"`.
+    pub title: String,
+    /// Unit of the x axis (`"rows"` or `"instances"`).
+    pub x_unit: String,
+    pub series: Vec<Series>,
+}
+
+impl ExperimentResult {
+    /// Creates an empty result.
+    pub fn new(id: &str, title: &str) -> Self {
+        ExperimentResult {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            x_unit: "rows".to_owned(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Finds a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// All distinct x values across series, sorted.
+    pub fn xs(&self) -> Vec<u32> {
+        let mut xs: Vec<u32> =
+            self.series.iter().flat_map(|s| s.points.iter().map(|p| p.x)).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        xs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_detection() {
+        let mut s = Series::new("Excel (V)", SystemKind::Excel);
+        s.push(150, 10.0);
+        s.push(6_000, 480.0);
+        s.push(10_000, 520.0);
+        s.push(20_000, 900.0);
+        assert_eq!(s.violation_x(), Some(10_000));
+        let mut ok = Series::new("Excel (V)", SystemKind::Excel);
+        ok.push(500_000, 60.0);
+        assert_eq!(ok.violation_x(), None);
+    }
+
+    #[test]
+    fn xs_merges_series() {
+        let mut r = ExperimentResult::new("fig0", "test");
+        let mut a = Series::new("a", SystemKind::Excel);
+        a.push(1, 0.0);
+        a.push(3, 0.0);
+        let mut b = Series::new("b", SystemKind::Calc);
+        b.push(2, 0.0);
+        b.push(3, 0.0);
+        r.series.push(a);
+        r.series.push(b);
+        assert_eq!(r.xs(), vec![1, 2, 3]);
+        assert!(r.series("a").is_some());
+        assert!(r.series("zzz").is_none());
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let mut r = ExperimentResult::new("fig7", "COUNTIF");
+        let mut s = Series::new("Calc (F)", SystemKind::Calc);
+        s.push(150, 2.5);
+        r.series.push(s);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"fig7\""));
+        assert!(json.contains("\"Calc (F)\""));
+        assert!(json.contains("\"Calc\""));
+    }
+}

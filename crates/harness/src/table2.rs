@@ -1,0 +1,265 @@
+//! Table 2 — the BCT summary: "for each experiment, we show at what
+//! percentage of their documented scalability limits Excel (E), Calc (C),
+//! and Google Sheets (G) violate the interactivity bound. A value of 100%
+//! indicates the bound wasn't violated." (§4.4)
+
+use std::fmt;
+
+use ssbench_systems::{SystemKind, ALL_SYSTEMS};
+use ssbench_workload::schema::NUM_COLS;
+use ssbench_workload::Variant;
+
+use crate::bct::{self, series_label};
+use crate::config::RunConfig;
+use crate::series::ExperimentResult;
+
+/// One cell of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Table2Cell {
+    /// Violated at this percentage of the scalability limit.
+    Pct(f64),
+    /// Never violated within the tested range (reported as 100%).
+    NeverViolated,
+    /// The paper did not run this combination (VLOOKUP on Formula-value).
+    NotRun,
+}
+
+impl Table2Cell {
+    /// Numeric value for comparisons (100 for never, None for not-run).
+    pub fn as_pct(&self) -> Option<f64> {
+        match self {
+            Table2Cell::Pct(p) => Some(*p),
+            Table2Cell::NeverViolated => Some(100.0),
+            Table2Cell::NotRun => None,
+        }
+    }
+}
+
+impl fmt::Display for Table2Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Table2Cell::Pct(p) => write!(f, "{}", fmt_pct(*p)),
+            Table2Cell::NeverViolated => write!(f, "100"),
+            Table2Cell::NotRun => write!(f, "×"),
+        }
+    }
+}
+
+/// Formats a percentage in the paper's style: `7`, `3.4`, `2.04`, `0.015`.
+fn fmt_pct(p: f64) -> String {
+    let s = if p >= 10.0 {
+        format!("{p:.1}")
+    } else if p >= 1.0 {
+        format!("{p:.2}")
+    } else {
+        format!("{p:.3}")
+    };
+    // Trim trailing zeros (and a dangling dot).
+    if s.contains('.') {
+        s.trim_end_matches('0').trim_end_matches('.').to_owned()
+    } else {
+        s
+    }
+}
+
+/// One row (operation) of Table 2: `[variant][system]` cells in the order
+/// F/V × E/C/G.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    pub op: String,
+    pub cells: [[Table2Cell; 3]; 2],
+}
+
+/// The reproduced Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2 {
+    /// A row by operation name.
+    pub fn row(&self, op: &str) -> Option<&Table2Row> {
+        self.rows.iter().find(|r| r.op == op)
+    }
+
+    /// Cell lookup by operation/variant/system.
+    pub fn cell(&self, op: &str, variant: Variant, system: SystemKind) -> Option<Table2Cell> {
+        let vi = match variant {
+            Variant::FormulaValue => 0,
+            Variant::ValueOnly => 1,
+        };
+        let si = ALL_SYSTEMS.iter().position(|&k| k == system)?;
+        Some(self.row(op)?.cells[vi][si])
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<24}|{:>8}{:>8}{:>8} |{:>8}{:>8}{:>8}",
+            "", "E (%)", "C (%)", "G (%)", "E (%)", "C (%)", "G (%)"
+        )?;
+        writeln!(
+            f,
+            "{:<24}|{:^24} |{:^24}",
+            "Operation", "Formula-value", "Value-only"
+        )?;
+        writeln!(f, "{}", "-".repeat(76))?;
+        for row in &self.rows {
+            write!(f, "{:<24}|", row.op)?;
+            for cell in &row.cells[0] {
+                write!(f, "{:>8}", cell.to_string())?;
+            }
+            write!(f, " |")?;
+            for cell in &row.cells[1] {
+                write!(f, "{:>8}", cell.to_string())?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Converts a violation row count into the paper's percentage for a
+/// system (rows of the 1M-row limit for desktop; cells of the 5M-cell
+/// limit for Sheets, §4.4).
+pub fn violation_percent(kind: SystemKind, rows: u32) -> f64 {
+    kind.scalability_limit().percent_of_limit(rows, NUM_COLS)
+}
+
+/// The Table-2 operation rows, in the paper's order, with the experiment
+/// id that produces each.
+pub const TABLE2_OPS: [(&str, &str); 7] = [
+    ("Open", "fig2"),
+    ("Sort", "fig3"),
+    ("Conditional Formatting", "fig4"),
+    ("Filter", "fig5"),
+    ("Pivot Table", "fig6"),
+    ("COUNTIF", "fig7"),
+    ("VLOOKUP", "fig8"),
+];
+
+/// Derives Table 2 from already-run BCT results.
+pub fn from_results(results: &[ExperimentResult]) -> Table2 {
+    let find = |id: &str| results.iter().find(|r| r.id == id);
+    let mut rows = Vec::new();
+    for (op, fig) in TABLE2_OPS {
+        let mut cells = [[Table2Cell::NotRun; 3]; 2];
+        if let Some(result) = find(fig) {
+            for (si, &kind) in ALL_SYSTEMS.iter().enumerate() {
+                if fig == "fig8" {
+                    // VLOOKUP: Value-only, exact-match series; the paper
+                    // marks Formula-value as not run.
+                    let label = format!("{} Sorted-FALSE", kind.name());
+                    if let Some(series) = result.series(&label) {
+                        cells[1][si] = match series.violation_x() {
+                            Some(rows) => Table2Cell::Pct(violation_percent(kind, rows)),
+                            None => Table2Cell::NeverViolated,
+                        };
+                    }
+                } else {
+                    for (vi, variant) in
+                        [Variant::FormulaValue, Variant::ValueOnly].into_iter().enumerate()
+                    {
+                        let label = series_label(kind, variant);
+                        if let Some(series) = result.series(&label) {
+                            cells[vi][si] = match series.violation_x() {
+                                Some(rows) => Table2Cell::Pct(violation_percent(kind, rows)),
+                                None => Table2Cell::NeverViolated,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        rows.push(Table2Row { op: op.to_owned(), cells });
+    }
+    Table2 { rows }
+}
+
+/// Runs the seven BCT experiments (stopping each sweep one size after its
+/// first violation) and derives Table 2.
+pub fn compute(cfg: &RunConfig) -> (Table2, Vec<ExperimentResult>) {
+    let mut cfg = cfg.clone();
+    if cfg.stop_after_violation.is_none() {
+        cfg.stop_after_violation = Some(1);
+    }
+    let results = bct::run_all(&cfg);
+    (from_results(&results), results)
+}
+
+/// The paper's published Table 2, for paper-vs-measured comparison.
+/// `None` encodes "×" (not run).
+pub fn paper_table2() -> Vec<(&'static str, [[Option<f64>; 3]; 2])> {
+    vec![
+        ("Open", [[Some(0.6), Some(0.015), Some(0.05)], [Some(0.6), Some(0.015), Some(0.05)]]),
+        ("Sort", [[Some(1.0), Some(0.6), Some(3.4)], [Some(7.0), Some(1.0), Some(2.04)]]),
+        (
+            "Conditional Formatting",
+            [[Some(100.0), Some(8.0), Some(17.0)], [Some(100.0), Some(100.0), Some(100.0)]],
+        ),
+        ("Filter", [[Some(4.0), Some(12.0), Some(3.4)], [Some(100.0), Some(20.0), Some(6.8)]]),
+        (
+            "Pivot Table",
+            [[Some(5.0), Some(34.0), Some(3.4)], [Some(5.0), Some(33.0), Some(6.8)]],
+        ),
+        ("COUNTIF", [[Some(100.0), Some(11.0), Some(3.4)], [Some(100.0), Some(100.0), Some(3.4)]]),
+        ("VLOOKUP", [[None, None, None], [Some(100.0), Some(5.0), Some(23.8)]]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    #[test]
+    fn percent_conversions_match_paper_rules() {
+        assert!((violation_percent(SystemKind::Excel, 70_000) - 7.0).abs() < 1e-9);
+        assert!((violation_percent(SystemKind::Calc, 6_000) - 0.6).abs() < 1e-9);
+        assert!((violation_percent(SystemKind::GSheets, 10_000) - 3.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_results_maps_series_to_cells() {
+        let mut fig7 = ExperimentResult::new("fig7", "COUNTIF");
+        let mut s = Series::new("Excel (F)", SystemKind::Excel);
+        s.push(500_000, 90.0); // never violated
+        fig7.series.push(s);
+        let mut s = Series::new("Calc (F)", SystemKind::Calc);
+        s.push(100_000, 480.0);
+        s.push(110_000, 510.0);
+        fig7.series.push(s);
+        let t = from_results(&[fig7]);
+        assert_eq!(
+            t.cell("COUNTIF", Variant::FormulaValue, SystemKind::Excel),
+            Some(Table2Cell::NeverViolated)
+        );
+        assert_eq!(
+            t.cell("COUNTIF", Variant::FormulaValue, SystemKind::Calc),
+            Some(Table2Cell::Pct(11.0))
+        );
+        // Missing experiments render as NotRun.
+        assert_eq!(
+            t.cell("Sort", Variant::ValueOnly, SystemKind::Excel),
+            Some(Table2Cell::NotRun)
+        );
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let t = from_results(&[]);
+        let text = t.to_string();
+        for (op, _) in TABLE2_OPS {
+            assert!(text.contains(op), "{op}");
+        }
+    }
+
+    #[test]
+    fn paper_reference_is_complete() {
+        let p = paper_table2();
+        assert_eq!(p.len(), 7);
+        assert_eq!(p[6].1[0], [None, None, None]); // VLOOKUP F not run
+    }
+}

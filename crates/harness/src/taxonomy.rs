@@ -1,0 +1,256 @@
+//! Table 1 — the taxonomy of spreadsheet operations, encoded as data so
+//! the harness can print it and tests can check experiment coverage
+//! against it.
+
+use std::fmt;
+
+/// High-level operation category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    DataLoad,
+    Update,
+    Query,
+}
+
+impl Category {
+    /// Display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Category::DataLoad => "Data Load",
+            Category::Update => "Update",
+            Category::Query => "Query",
+        }
+    }
+}
+
+/// Expected asymptotic complexity (Table 1's last column); `m` rows, `n`
+/// columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Complexity {
+    Constant,
+    MN,
+    MLogM,
+    /// Lookup: O(mx·nx·my·ny).
+    CrossProduct,
+}
+
+impl fmt::Display for Complexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Complexity::Constant => "O(1)",
+            Complexity::MN => "O(mn)",
+            Complexity::MLogM => "O(m log m)",
+            Complexity::CrossProduct => "O(mx nx my ny)",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct TaxonomyEntry {
+    pub category: Category,
+    pub sub_category: &'static str,
+    pub example: &'static str,
+    pub input: &'static str,
+    pub output: &'static str,
+    pub complexity: Complexity,
+    /// Whether the paper benchmarks this row (grey rows are excluded).
+    pub benchmarked: bool,
+    /// The experiment id that covers it, when benchmarked.
+    pub experiment: Option<&'static str>,
+}
+
+/// The full Table 1.
+pub fn table1() -> Vec<TaxonomyEntry> {
+    use Category::*;
+    use Complexity::*;
+    vec![
+        TaxonomyEntry {
+            category: DataLoad,
+            sub_category: "—",
+            example: "Open, Import",
+            input: "Filename",
+            output: "Range (m × n)",
+            complexity: MN,
+            benchmarked: true,
+            experiment: Some("fig2"),
+        },
+        TaxonomyEntry {
+            category: Update,
+            sub_category: "—",
+            example: "Find and Replace",
+            input: "Range (m × n), Value X and Y",
+            output: "Updated cells",
+            complexity: MN,
+            benchmarked: true,
+            experiment: Some("fig9"),
+        },
+        TaxonomyEntry {
+            category: Update,
+            sub_category: "—",
+            example: "Copy-Paste",
+            input: "Range (m × n)",
+            output: "Range (m × n)",
+            complexity: MN,
+            // §4.2: "results for copy-paste were found to be similar to
+            // find-and-replace, and is therefore excluded".
+            benchmarked: false,
+            experiment: None,
+        },
+        TaxonomyEntry {
+            category: Update,
+            sub_category: "—",
+            example: "Sort",
+            input: "Range (m × n)",
+            output: "Range (m × n)",
+            complexity: MLogM,
+            benchmarked: true,
+            experiment: Some("fig3"),
+        },
+        TaxonomyEntry {
+            category: Update,
+            sub_category: "—",
+            example: "Conditional Formatting",
+            input: "Range (m × n), Condition",
+            output: "Updated cells",
+            complexity: MN,
+            benchmarked: true,
+            experiment: Some("fig4"),
+        },
+        TaxonomyEntry {
+            category: Query,
+            sub_category: "Simple",
+            example: "Add or Sub",
+            input: "Value",
+            output: "Value",
+            complexity: Constant,
+            benchmarked: false, // excluded: constant-size input (§3.1)
+            experiment: None,
+        },
+        TaxonomyEntry {
+            category: Query,
+            sub_category: "Simple",
+            example: "Now()",
+            input: "×",
+            output: "Value",
+            complexity: Constant,
+            benchmarked: false,
+            experiment: None,
+        },
+        TaxonomyEntry {
+            category: Query,
+            sub_category: "Select",
+            example: "Filter",
+            input: "Range (m × n), Condition",
+            output: "List",
+            complexity: MN,
+            benchmarked: true,
+            experiment: Some("fig5"),
+        },
+        TaxonomyEntry {
+            category: Query,
+            sub_category: "Report",
+            example: "Pivot Table",
+            input: "Range (m × n), Condition",
+            output: "Aggregate Table",
+            complexity: MN,
+            benchmarked: true,
+            experiment: Some("fig6"),
+        },
+        TaxonomyEntry {
+            category: Query,
+            sub_category: "Aggregate",
+            example: "SUM, AVG, COUNT",
+            input: "Range (m × n)",
+            output: "Value",
+            complexity: MN,
+            benchmarked: true,
+            experiment: Some("fig7"),
+        },
+        TaxonomyEntry {
+            category: Query,
+            sub_category: "Aggregate",
+            example: "Conditional Variants",
+            input: "Range (m × n), Condition",
+            output: "Value",
+            complexity: MN,
+            benchmarked: true,
+            experiment: Some("fig7"),
+        },
+        TaxonomyEntry {
+            category: Query,
+            sub_category: "Lookup",
+            example: "Vlookup, Switch",
+            input: "Range X (mx × nx), Value, Range Y (my × ny)",
+            output: "Value",
+            complexity: CrossProduct,
+            benchmarked: true,
+            experiment: Some("fig8"),
+        },
+    ]
+}
+
+/// Renders Table 1 as text.
+pub fn render_table1() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:<12} {:<24} {:<14} {:<12}\n",
+        "Category", "Sub-category", "Example", "Complexity", "Benchmarked"
+    ));
+    out.push_str(&"-".repeat(76));
+    out.push('\n');
+    for e in table1() {
+        out.push_str(&format!(
+            "{:<10} {:<12} {:<24} {:<14} {:<12}\n",
+            e.category.name(),
+            e.sub_category,
+            e.example,
+            e.complexity.to_string(),
+            if e.benchmarked {
+                e.experiment.unwrap_or("yes")
+            } else {
+                "no (grey)"
+            },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmarked_row_names_an_experiment() {
+        for e in table1() {
+            assert_eq!(e.benchmarked, e.experiment.is_some(), "{}", e.example);
+        }
+    }
+
+    #[test]
+    fn simple_queries_are_excluded() {
+        let t = table1();
+        let simple: Vec<_> = t.iter().filter(|e| e.sub_category == "Simple").collect();
+        assert_eq!(simple.len(), 2);
+        assert!(simple.iter().all(|e| !e.benchmarked));
+        assert!(simple.iter().all(|e| e.complexity == Complexity::Constant));
+    }
+
+    #[test]
+    fn experiments_cover_all_seven_bct_figures() {
+        let t = table1();
+        let mut figs: Vec<&str> = t.iter().filter_map(|e| e.experiment).collect();
+        figs.sort_unstable();
+        figs.dedup();
+        assert_eq!(figs, ["fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]);
+    }
+
+    #[test]
+    fn render_includes_all_rows() {
+        let text = render_table1();
+        assert!(text.contains("Pivot Table"));
+        assert!(text.contains("O(m log m)"));
+        assert!(text.contains("no (grey)"));
+    }
+}

@@ -1,0 +1,128 @@
+//! The measurement protocol of §3.3: "for each experiment, we ran ten
+//! trials … we report the average run time of eight trials while removing
+//! the maximum and minimum reported time."
+
+/// Trial protocol: how many trials to run and how many extremes to trim
+/// from each end before averaging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Protocol {
+    /// Trials per measurement.
+    pub trials: usize,
+    /// Values dropped from each end (min and max) before averaging.
+    pub trim: usize,
+}
+
+impl Protocol {
+    /// The paper's protocol: 10 trials, trimmed mean of 8.
+    pub const PAPER: Protocol = Protocol { trials: 10, trim: 1 };
+
+    /// The default protocol: 5 trials, trimmed mean of 3 — sufficient
+    /// because the desktop profiles are deterministic (only the Google
+    /// Sheets profile carries seeded noise).
+    pub const DEFAULT: Protocol = Protocol { trials: 5, trim: 1 };
+
+    /// Single-shot protocol for heavyweight deterministic experiments.
+    pub const SINGLE: Protocol = Protocol { trials: 1, trim: 0 };
+
+    /// Caps the trial count (used by heavyweight experiments).
+    pub fn capped(self, max_trials: usize) -> Protocol {
+        let trials = self.trials.min(max_trials);
+        let trim = if trials > 2 * self.trim { self.trim } else { 0 };
+        Protocol { trials, trim }
+    }
+
+    /// Runs `f` `trials` times and returns the trimmed mean.
+    pub fn measure(&self, mut f: impl FnMut() -> f64) -> f64 {
+        let samples: Vec<f64> = (0..self.trials.max(1)).map(|_| f()).collect();
+        trimmed_mean(&samples, self.trim)
+    }
+}
+
+/// The trimmed mean: drops `trim` smallest and `trim` largest samples,
+/// averaging the rest. Falls back to the plain mean when too few samples
+/// remain.
+pub fn trimmed_mean(samples: &[f64], trim: usize) -> f64 {
+    assert!(!samples.is_empty(), "at least one sample required");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let kept: &[f64] = if sorted.len() > 2 * trim {
+        &sorted[trim..sorted.len() - trim]
+    } else {
+        &sorted
+    };
+    kept.iter().sum::<f64>() / kept.len() as f64
+}
+
+/// Summary statistics over a sample set (used in reports).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub stddev: f64,
+}
+
+impl Stats {
+    /// Computes statistics over the samples.
+    pub fn of(samples: &[f64]) -> Stats {
+        assert!(!samples.is_empty());
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        Stats {
+            mean,
+            min: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            stddev: var.sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        // The paper's protocol on 10 samples: drop min and max.
+        let samples = [100.0, 1.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0];
+        assert_eq!(trimmed_mean(&samples, 1), 5.0);
+    }
+
+    #[test]
+    fn trimmed_mean_small_samples_fall_back() {
+        assert_eq!(trimmed_mean(&[4.0], 1), 4.0);
+        assert_eq!(trimmed_mean(&[2.0, 4.0], 1), 3.0);
+    }
+
+    #[test]
+    fn protocol_measure_counts_trials() {
+        let mut calls = 0;
+        let t = Protocol::PAPER.measure(|| {
+            calls += 1;
+            calls as f64
+        });
+        assert_eq!(calls, 10);
+        // samples 1..=10, trimmed of 1 and 10 → mean of 2..=9 = 5.5
+        assert_eq!(t, 5.5);
+    }
+
+    #[test]
+    fn capped_protocol() {
+        let p = Protocol::PAPER.capped(3);
+        assert_eq!(p.trials, 3);
+        assert_eq!(p.trim, 1);
+        let p = Protocol::PAPER.capped(1);
+        assert_eq!(p.trials, 1);
+        assert_eq!(p.trim, 0);
+    }
+
+    #[test]
+    fn stats_of_samples() {
+        let s = Stats::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.stddev - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+}

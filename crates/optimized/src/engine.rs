@@ -1,0 +1,258 @@
+//! `OptimizedSheet`: a sheet wrapped with the §6 optimization stack —
+//! lazily-built, edit-maintained column indexes, a token index, a formula
+//! memo table, and delta-maintained aggregates — behind one coherent API.
+//! This is what a "database-style" spreadsheet layer looks like over the
+//! same grid substrate.
+
+use std::collections::HashMap;
+
+use ssbench_engine::prelude::*;
+
+use crate::incremental::{AggKind, IncrementalRegistry};
+use crate::index::{find_replace_indexed, HashIndex, InvertedIndex, SortedIndex};
+use crate::memo::FormulaMemo;
+
+/// A sheet with database-style optimizations layered on top.
+pub struct OptimizedSheet {
+    sheet: Sheet,
+    hash_indexes: HashMap<u32, HashIndex>,
+    sorted_indexes: HashMap<u32, SortedIndex>,
+    inverted: Option<InvertedIndex>,
+    memo: FormulaMemo,
+    incrementals: IncrementalRegistry,
+}
+
+impl OptimizedSheet {
+    /// Wraps an existing sheet. Indexes build lazily on first use.
+    pub fn new(sheet: Sheet) -> Self {
+        OptimizedSheet {
+            sheet,
+            hash_indexes: HashMap::new(),
+            sorted_indexes: HashMap::new(),
+            inverted: None,
+            memo: FormulaMemo::new(),
+            incrementals: IncrementalRegistry::new(),
+        }
+    }
+
+    /// The wrapped sheet.
+    pub fn sheet(&self) -> &Sheet {
+        &self.sheet
+    }
+
+    /// Mutable access to the wrapped sheet. Direct mutation bypasses
+    /// index maintenance; prefer [`OptimizedSheet::set_value`].
+    pub fn sheet_mut(&mut self) -> &mut Sheet {
+        &mut self.sheet
+    }
+
+    /// Consumes the wrapper, returning the sheet.
+    pub fn into_sheet(self) -> Sheet {
+        self.sheet
+    }
+
+    /// Writes a value, maintaining every structure: hash indexes move the
+    /// row's posting, the token index reindexes the cell, the memo drops
+    /// conflicting entries, and incremental aggregates apply the delta.
+    pub fn set_value(&mut self, addr: CellAddr, v: impl Into<Value>) {
+        let new = v.into();
+        let old = self.sheet.value(addr);
+        if let Some(idx) = self.hash_indexes.get_mut(&addr.col) {
+            idx.update(addr.row, &old, &new);
+        }
+        // Sorted indexes are rebuilt lazily on next use after an edit.
+        self.sorted_indexes.remove(&addr.col);
+        if let Some(inv) = self.inverted.as_mut() {
+            if let Value::Text(s) = &old {
+                inv.unindex_cell(addr, s);
+            }
+            if let Value::Text(s) = &new {
+                inv.index_cell(addr, s);
+            }
+        }
+        self.memo.invalidate(addr);
+        self.incrementals.edit(&mut self.sheet, addr, new);
+    }
+
+    /// The hash index over `col`, building it on first use.
+    pub fn hash_index(&mut self, col: u32) -> &HashIndex {
+        self.hash_indexes
+            .entry(col)
+            .or_insert_with(|| HashIndex::build(&self.sheet, col))
+    }
+
+    /// The sorted index over `col`, building it on first use.
+    pub fn sorted_index(&mut self, col: u32) -> &SortedIndex {
+        self.sorted_indexes
+            .entry(col)
+            .or_insert_with(|| SortedIndex::build(&self.sheet, col))
+    }
+
+    /// The token index, building it on first use.
+    pub fn inverted_index(&mut self) -> &InvertedIndex {
+        if self.inverted.is_none() {
+            self.inverted = Some(InvertedIndex::build(&self.sheet));
+        }
+        self.inverted.as_ref().expect("just built")
+    }
+
+    /// `COUNTIF(col, = value)` in O(1) via the hash index (§5.1).
+    pub fn countif_eq(&mut self, col: u32, value: &Value) -> u64 {
+        self.hash_index(col).count(value)
+    }
+
+    /// Exact-match `VLOOKUP` in O(1) via the hash index.
+    pub fn vlookup_exact(&mut self, needle: &Value, key_col: u32, result_col: u32) -> Value {
+        match self.hash_index(key_col).first_row(needle) {
+            Some(row) => self.sheet.value(CellAddr::new(row, result_col)),
+            None => Value::Error(CellError::Na),
+        }
+    }
+
+    /// Approximate-match `VLOOKUP` in O(log m) via the sorted index.
+    pub fn vlookup_approx(&mut self, needle: &Value, key_col: u32, result_col: u32) -> Value {
+        match self.sorted_index(key_col).le(needle) {
+            Some(row) => self.sheet.value(CellAddr::new(row, result_col)),
+            None => Value::Error(CellError::Na),
+        }
+    }
+
+    /// Token-indexed find-and-replace (§5.1.2).
+    pub fn find_replace(&mut self, needle: &str, replacement: &str) -> u32 {
+        self.inverted_index();
+        let inv = self.inverted.as_mut().expect("built above");
+        find_replace_indexed(&mut self.sheet, inv, needle, replacement)
+    }
+
+    /// Token-indexed find: near-constant even (especially) for absent
+    /// needles.
+    pub fn find_token(&mut self, needle: &str) -> Vec<CellAddr> {
+        self.inverted_index().find_token(needle).to_vec()
+    }
+
+    /// Memoized one-shot evaluation (§5.4): identical formulae are
+    /// answered from cache.
+    pub fn eval_memoized(&mut self, src: &str) -> Result<Value, EngineError> {
+        let body = src.strip_prefix('=').unwrap_or(src);
+        let expr = parse(body)?;
+        Ok(self.memo.eval(&self.sheet, &expr))
+    }
+
+    /// Memo statistics `(hits, misses)`.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        self.memo.stats()
+    }
+
+    /// Registers a delta-maintained aggregate materializing into
+    /// `formula_cell` (§5.5).
+    pub fn register_incremental(&mut self, formula_cell: CellAddr, range: Range, kind: AggKind) {
+        self.incrementals.register(&mut self.sheet, formula_cell, range, kind);
+    }
+
+    /// Number of maintained aggregates.
+    pub fn incremental_count(&self) -> usize {
+        self.incrementals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssbench_engine::meter::Primitive;
+
+    fn base_sheet() -> Sheet {
+        let mut s = Sheet::new();
+        for i in 0..500u32 {
+            s.set_value(CellAddr::new(i, 0), i64::from(i + 1)); // A: 1..=500
+            s.set_value(CellAddr::new(i, 1), format!("state{}", i % 50)); // B
+            s.set_value(CellAddr::new(i, 9), i64::from(i % 2)); // J
+        }
+        s
+    }
+
+    #[test]
+    fn indexed_countif_matches_scan_without_rescanning() {
+        let mut o = OptimizedSheet::new(base_sheet());
+        let scan = o.sheet().eval_str("=COUNTIF(J1:J500,1)").unwrap();
+        assert_eq!(o.countif_eq(9, &Value::Number(1.0)) as f64, scan.as_number().unwrap());
+        // Second query: zero engine reads.
+        let before = o.sheet().meter().snapshot();
+        let _ = o.countif_eq(9, &Value::Number(0.0));
+        let d = o.sheet().meter().snapshot().since(&before);
+        assert_eq!(d.get(Primitive::CellRead), 0);
+    }
+
+    #[test]
+    fn indexed_vlookups_match_formula_semantics() {
+        let mut o = OptimizedSheet::new(base_sheet());
+        let exact = o.vlookup_exact(&Value::Number(321.0), 0, 1);
+        let formula = o.sheet().eval_str("=VLOOKUP(321,A1:B500,2,FALSE)").unwrap();
+        assert_eq!(exact, formula);
+        let approx = o.vlookup_approx(&Value::Number(321.5), 0, 1);
+        let formula = o.sheet().eval_str("=VLOOKUP(321.5,A1:B500,2,TRUE)").unwrap();
+        assert_eq!(approx, formula);
+        assert_eq!(
+            o.vlookup_exact(&Value::Number(9999.0), 0, 1),
+            Value::Error(CellError::Na)
+        );
+    }
+
+    #[test]
+    fn edits_keep_indexes_consistent() {
+        let mut o = OptimizedSheet::new(base_sheet());
+        assert_eq!(o.countif_eq(9, &Value::Number(1.0)), 250);
+        o.set_value(CellAddr::new(0, 9), 1); // J1: 0 → 1
+        assert_eq!(o.countif_eq(9, &Value::Number(1.0)), 251);
+        // Sorted index rebuilt after edit.
+        o.set_value(CellAddr::new(0, 0), 10_000);
+        assert_eq!(o.vlookup_approx(&Value::Number(20_000.0), 0, 1), o.sheet().value(CellAddr::new(0, 1)));
+    }
+
+    #[test]
+    fn memoization_via_facade() {
+        let mut o = OptimizedSheet::new(base_sheet());
+        let v1 = o.eval_memoized("=COUNTIF(J1:J500,1)").unwrap();
+        let v2 = o.eval_memoized("=COUNTIF(J1:J500,1)").unwrap();
+        assert_eq!(v1, v2);
+        assert_eq!(o.memo_stats(), (1, 1));
+        // Edit inside the range invalidates (J2 holds 1; flip it to 0).
+        o.set_value(CellAddr::new(1, 9), 0);
+        let v3 = o.eval_memoized("=COUNTIF(J1:J500,1)").unwrap();
+        assert_eq!(v3, Value::Number(249.0));
+    }
+
+    #[test]
+    fn incremental_aggregate_via_facade() {
+        let mut o = OptimizedSheet::new(base_sheet());
+        let cell = CellAddr::new(0, 20);
+        o.sheet_mut().set_formula_str(cell, "=COUNTIF(J1:J500,1)").unwrap();
+        o.register_incremental(
+            cell,
+            Range::column_segment(9, 0, 499),
+            AggKind::CountIf(Criterion::parse(&Value::Number(1.0))),
+        );
+        assert_eq!(o.sheet().value(cell), Value::Number(250.0));
+        let before = o.sheet().meter().snapshot();
+        o.set_value(CellAddr::new(1, 9), 0); // J2: 1 → 0, the §5.5 edit
+        let d = o.sheet().meter().snapshot().since(&before);
+        assert_eq!(o.sheet().value(cell), Value::Number(249.0));
+        assert_eq!(d.get(Primitive::CellRead), 0, "O(1) maintenance");
+        assert_eq!(o.incremental_count(), 1);
+    }
+
+    #[test]
+    fn find_replace_via_token_index() {
+        let mut o = OptimizedSheet::new(base_sheet());
+        let hits = o.find_token("state7");
+        assert_eq!(hits.len(), 10);
+        let changed = o.find_replace("state7", "gone");
+        assert_eq!(changed, 10);
+        assert!(o.find_token("state7").is_empty());
+        assert_eq!(o.find_token("gone").len(), 10);
+        // Absent needle: constant time, no scan.
+        let before = o.sheet().meter().snapshot();
+        assert!(o.find_token("nonexistent").is_empty());
+        let d = o.sheet().meter().snapshot().since(&before);
+        assert_eq!(d.get(Primitive::CellRead), 0);
+    }
+}

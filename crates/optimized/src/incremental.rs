@@ -1,0 +1,274 @@
+//! Incremental view maintenance for aggregates (§5.5): keep the
+//! materialized result and apply the *delta* of each cell edit instead of
+//! recomputing from scratch — "perhaps the easiest to implement for
+//! spreadsheet systems" (§6). Single-cell updates become O(1); the
+//! commercial systems all pay O(m).
+//!
+//! `AVERAGEIF`-style aggregates additionally keep the matching count, as
+//! §6 prescribes ("we may want to additionally maintain the count of the
+//! number of cells that meet that condition in addition to the average").
+
+use ssbench_engine::prelude::*;
+
+/// Which aggregate is maintained.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggKind {
+    Sum,
+    Count,
+    Average,
+    /// Conditional variants carry their criterion.
+    CountIf(Criterion),
+    SumIf(Criterion),
+    AverageIf(Criterion),
+}
+
+/// A delta-maintained aggregate over one column segment.
+#[derive(Debug, Clone)]
+pub struct IncrementalAggregate {
+    kind: AggKind,
+    /// The watched region (single column).
+    range: Range,
+    /// Running sum of contributing values.
+    sum: f64,
+    /// Running count of contributing values.
+    count: u64,
+}
+
+impl IncrementalAggregate {
+    /// Builds the aggregate with one O(m) scan; every subsequent update is
+    /// O(1).
+    pub fn build(sheet: &Sheet, range: Range, kind: AggKind) -> Self {
+        let mut agg =
+            IncrementalAggregate { kind, range, sum: 0.0, count: 0 };
+        let ctx = sheet.eval_ctx(range.start);
+        ctx.read_range(range, &mut |_, v| {
+            if let Some((s, c)) = agg.contribution(v) {
+                agg.sum += s;
+                agg.count += c;
+            }
+        });
+        agg
+    }
+
+    /// What `v` contributes as `(sum, count)`, or `None` if nothing.
+    fn contribution(&self, v: &Value) -> Option<(f64, u64)> {
+        let n = v.as_number();
+        match &self.kind {
+            AggKind::Sum | AggKind::Average => n.map(|x| (x, 1)),
+            AggKind::Count => n.map(|_| (0.0, 1)),
+            AggKind::CountIf(c) => c.matches(v).then_some((0.0, 1)),
+            AggKind::SumIf(c) | AggKind::AverageIf(c) => {
+                if c.matches(v) {
+                    n.map(|x| (x, 1))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Applies one cell edit in O(1). Returns `true` when the edit was
+    /// inside the watched region.
+    pub fn apply_edit(&mut self, addr: CellAddr, old: &Value, new: &Value) -> bool {
+        if !self.range.contains(addr) {
+            return false;
+        }
+        if let Some((s, c)) = self.contribution(old) {
+            self.sum -= s;
+            self.count -= c;
+        }
+        if let Some((s, c)) = self.contribution(new) {
+            self.sum += s;
+            self.count += c;
+        }
+        true
+    }
+
+    /// The current aggregate value.
+    pub fn value(&self) -> Value {
+        match self.kind {
+            AggKind::Sum | AggKind::SumIf(_) => Value::Number(self.sum),
+            AggKind::Count | AggKind::CountIf(_) => Value::Number(self.count as f64),
+            AggKind::Average | AggKind::AverageIf(_) => {
+                if self.count == 0 {
+                    Value::Error(CellError::Div0)
+                } else {
+                    Value::Number(self.sum / self.count as f64)
+                }
+            }
+        }
+    }
+
+    /// The watched region.
+    pub fn range(&self) -> Range {
+        self.range
+    }
+}
+
+/// A registry of incremental aggregates bound to formula cells: routes
+/// each edit to the affected aggregates and refreshes their cached
+/// results.
+#[derive(Debug, Default)]
+pub struct IncrementalRegistry {
+    entries: Vec<(CellAddr, IncrementalAggregate)>,
+}
+
+impl IncrementalRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        IncrementalRegistry::default()
+    }
+
+    /// Registers an aggregate materializing into `formula_cell`.
+    pub fn register(&mut self, sheet: &mut Sheet, formula_cell: CellAddr, range: Range, kind: AggKind) {
+        let agg = IncrementalAggregate::build(sheet, range, kind);
+        sheet.store_formula_result(formula_cell, agg.value());
+        self.entries.push((formula_cell, agg));
+    }
+
+    /// Number of maintained aggregates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Performs an edit through the registry: O(#affected aggregates),
+    /// not O(data). Returns how many aggregates were refreshed.
+    pub fn edit(&mut self, sheet: &mut Sheet, addr: CellAddr, new: Value) -> usize {
+        let old = sheet.value(addr);
+        sheet.set_value(addr, new.clone());
+        let mut touched = 0;
+        for (cell, agg) in &mut self.entries {
+            if agg.apply_edit(addr, &old, &new) {
+                sheet.store_formula_result(*cell, agg.value());
+                touched += 1;
+            }
+        }
+        touched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssbench_engine::meter::Primitive;
+
+    fn sheet() -> Sheet {
+        let mut s = Sheet::new();
+        for i in 0..200u32 {
+            s.set_value(CellAddr::new(i, 9), i64::from(i % 2)); // J: 0,1,0,1…
+        }
+        s
+    }
+
+    fn col_j(n: u32) -> Range {
+        Range::column_segment(9, 0, n - 1)
+    }
+
+    #[test]
+    fn countif_matches_full_recompute_under_edits() {
+        let mut s = sheet();
+        let crit = Criterion::parse(&Value::Number(1.0));
+        let mut agg = IncrementalAggregate::build(&s, col_j(200), AggKind::CountIf(crit));
+        assert_eq!(agg.value(), Value::Number(100.0));
+        // Flip J2 (row 1) from 1 to 0 — the paper's exact experiment.
+        let addr = CellAddr::new(1, 9);
+        let old = s.value(addr);
+        s.set_value(addr, 0);
+        agg.apply_edit(addr, &old, &Value::Number(0.0));
+        assert_eq!(agg.value(), Value::Number(99.0));
+        // Cross-check against a fresh scan.
+        let check = s.eval_str("=COUNTIF(J1:J200,1)").unwrap();
+        assert_eq!(agg.value(), check);
+    }
+
+    #[test]
+    fn update_is_constant_cost() {
+        let mut s = sheet();
+        let crit = Criterion::parse(&Value::Number(1.0));
+        let mut agg = IncrementalAggregate::build(&s, col_j(200), AggKind::CountIf(crit));
+        let before = s.meter().snapshot();
+        let addr = CellAddr::new(1, 9);
+        let old = s.value(addr);
+        s.set_value(addr, 0);
+        agg.apply_edit(addr, &old, &Value::Number(0.0));
+        let d = s.meter().snapshot().since(&before);
+        assert_eq!(d.get(Primitive::CellRead), 0, "no re-scan");
+    }
+
+    #[test]
+    fn sum_average_kinds() {
+        let mut s = Sheet::new();
+        for i in 0..10u32 {
+            s.set_value(CellAddr::new(i, 0), i64::from(i + 1));
+        }
+        let r = Range::column_segment(0, 0, 9);
+        let mut sum = IncrementalAggregate::build(&s, r, AggKind::Sum);
+        let mut avg = IncrementalAggregate::build(&s, r, AggKind::Average);
+        let mut cnt = IncrementalAggregate::build(&s, r, AggKind::Count);
+        assert_eq!(sum.value(), Value::Number(55.0));
+        assert_eq!(avg.value(), Value::Number(5.5));
+        assert_eq!(cnt.value(), Value::Number(10.0));
+        let addr = CellAddr::new(0, 0);
+        let old = s.value(addr);
+        s.set_value(addr, 101);
+        for agg in [&mut sum, &mut avg, &mut cnt] {
+            agg.apply_edit(addr, &old, &Value::Number(101.0));
+        }
+        assert_eq!(sum.value(), Value::Number(155.0));
+        assert_eq!(avg.value(), Value::Number(15.5));
+        assert_eq!(cnt.value(), Value::Number(10.0));
+    }
+
+    #[test]
+    fn averageif_keeps_condition_count() {
+        let mut s = sheet();
+        let crit = Criterion::parse(&Value::Number(1.0));
+        let mut agg =
+            IncrementalAggregate::build(&s, col_j(200), AggKind::AverageIf(crit));
+        assert_eq!(agg.value(), Value::Number(1.0));
+        // Remove every matching value → Div0, maintained incrementally.
+        for i in 0..200u32 {
+            let addr = CellAddr::new(i, 9);
+            let old = s.value(addr);
+            if old == Value::Number(1.0) {
+                s.set_value(addr, 0);
+                agg.apply_edit(addr, &old, &Value::Number(0.0));
+            }
+        }
+        assert_eq!(agg.value(), Value::Error(CellError::Div0));
+    }
+
+    #[test]
+    fn edits_outside_range_ignored() {
+        let s = sheet();
+        let crit = Criterion::parse(&Value::Number(1.0));
+        let mut agg = IncrementalAggregate::build(&s, col_j(100), AggKind::CountIf(crit));
+        let untouched =
+            agg.apply_edit(CellAddr::new(150, 9), &Value::Number(1.0), &Value::Number(0.0));
+        assert!(!untouched);
+        assert_eq!(agg.value(), Value::Number(50.0));
+    }
+
+    #[test]
+    fn registry_routes_edits_and_refreshes_caches() {
+        let mut s = sheet();
+        let f1 = CellAddr::new(0, 20);
+        let f2 = CellAddr::new(1, 20);
+        s.set_formula_str(f1, "=COUNTIF(J1:J200,1)").unwrap();
+        s.set_formula_str(f2, "=SUM(J1:J200)").unwrap();
+        let mut reg = IncrementalRegistry::new();
+        let crit = Criterion::parse(&Value::Number(1.0));
+        reg.register(&mut s, f1, col_j(200), AggKind::CountIf(crit));
+        reg.register(&mut s, f2, col_j(200), AggKind::Sum);
+        assert_eq!(s.value(f1), Value::Number(100.0));
+        let touched = reg.edit(&mut s, CellAddr::new(1, 9), Value::Number(0.0));
+        assert_eq!(touched, 2);
+        assert_eq!(s.value(f1), Value::Number(99.0));
+        assert_eq!(s.value(f2), Value::Number(99.0));
+    }
+}

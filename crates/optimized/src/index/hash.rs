@@ -1,0 +1,136 @@
+//! A hash index over one column: value → row postings. Gives O(1)
+//! `COUNTIF(col, v)` and exact-match `VLOOKUP` — the §5.1 optimization the
+//! paper finds absent from all three systems.
+
+use std::collections::HashMap;
+
+use ssbench_engine::prelude::*;
+
+use crate::key::ValueKey;
+
+/// Hash index over one column of a sheet.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    postings: HashMap<ValueKey, Vec<u32>>,
+    rows: u32,
+}
+
+impl HashIndex {
+    /// Builds the index over `col` of `sheet` in one O(m) pass.
+    pub fn build(sheet: &Sheet, col: u32) -> Self {
+        let mut idx = HashIndex::default();
+        for row in 0..sheet.nrows() {
+            idx.insert(row, &sheet.value(CellAddr::new(row, col)));
+        }
+        idx.rows = sheet.nrows();
+        idx
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> u32 {
+        self.rows
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Registers `value` at `row` (index maintenance on append/build).
+    pub fn insert(&mut self, row: u32, value: &Value) {
+        self.postings.entry(ValueKey::of(value)).or_default().push(row);
+        self.rows = self.rows.max(row + 1);
+    }
+
+    /// Applies a cell edit: moves `row` from `old`'s postings to `new`'s.
+    /// O(posting length) — effectively O(1) for selective columns.
+    pub fn update(&mut self, row: u32, old: &Value, new: &Value) {
+        let old_key = ValueKey::of(old);
+        let new_key = ValueKey::of(new);
+        if old_key == new_key {
+            return;
+        }
+        if let Some(list) = self.postings.get_mut(&old_key) {
+            if let Some(pos) = list.iter().position(|&r| r == row) {
+                list.swap_remove(pos);
+            }
+            if list.is_empty() {
+                self.postings.remove(&old_key);
+            }
+        }
+        self.postings.entry(new_key).or_default().push(row);
+    }
+
+    /// All rows holding `value` (unsorted). O(1) + postings length.
+    pub fn rows_for(&self, value: &Value) -> &[u32] {
+        self.postings.get(&ValueKey::of(value)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `COUNTIF(col, value)` in O(1).
+    pub fn count(&self, value: &Value) -> u64 {
+        self.rows_for(value).len() as u64
+    }
+
+    /// Exact-match `VLOOKUP`: the first (lowest) row holding `value`.
+    pub fn first_row(&self, value: &Value) -> Option<u32> {
+        self.rows_for(value).iter().copied().min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sheet() -> Sheet {
+        let mut s = Sheet::new();
+        for (i, v) in ["SD", "IL", "SD", "CA", "sd"].iter().enumerate() {
+            s.set_value(CellAddr::new(i as u32, 1), *v);
+        }
+        s
+    }
+
+    #[test]
+    fn build_and_count() {
+        let idx = HashIndex::build(&sheet(), 1);
+        assert_eq!(idx.len(), 5);
+        assert_eq!(idx.count(&Value::text("SD")), 3); // case-insensitive
+        assert_eq!(idx.count(&Value::text("IL")), 1);
+        assert_eq!(idx.count(&Value::text("TX")), 0);
+        assert_eq!(idx.distinct(), 3);
+    }
+
+    #[test]
+    fn first_row_is_lowest() {
+        let idx = HashIndex::build(&sheet(), 1);
+        assert_eq!(idx.first_row(&Value::text("sd")), Some(0));
+        assert_eq!(idx.first_row(&Value::text("CA")), Some(3));
+        assert_eq!(idx.first_row(&Value::text("TX")), None);
+    }
+
+    #[test]
+    fn update_moves_postings() {
+        let mut idx = HashIndex::build(&sheet(), 1);
+        idx.update(0, &Value::text("SD"), &Value::text("TX"));
+        assert_eq!(idx.count(&Value::text("SD")), 2);
+        assert_eq!(idx.count(&Value::text("TX")), 1);
+        assert_eq!(idx.first_row(&Value::text("SD")), Some(2));
+        // No-op update.
+        idx.update(1, &Value::text("IL"), &Value::text("il"));
+        assert_eq!(idx.count(&Value::text("IL")), 1);
+    }
+
+    #[test]
+    fn numeric_keys() {
+        let mut s = Sheet::new();
+        for i in 0..100u32 {
+            s.set_value(CellAddr::new(i, 0), i64::from(i % 10));
+        }
+        let idx = HashIndex::build(&s, 0);
+        assert_eq!(idx.count(&Value::Number(3.0)), 10);
+    }
+}

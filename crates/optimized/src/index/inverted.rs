@@ -1,0 +1,194 @@
+//! An inverted token index over all text cells of a sheet — the §5.1.2
+//! optimization ("inverted indexing of tokens can make it near-constant
+//! time") that turns find-and-replace from O(m·n) into
+//! O(postings-of-needle), and makes searching for an *absent* value O(1).
+//!
+//! Granularity is the token (maximal alphanumeric run), the same unit
+//! text search engines index; whole-cell matches are also indexed so the
+//! common "find a value" case needs one probe.
+
+use std::collections::HashMap;
+
+use ssbench_engine::prelude::*;
+
+/// Inverted index over the text cells of a sheet.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    /// lower-cased token → cells containing it.
+    postings: HashMap<String, Vec<CellAddr>>,
+    /// Number of indexed cells (for stats).
+    indexed_cells: u64,
+}
+
+/// Splits text into maximal alphanumeric tokens, lower-cased.
+pub fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_lowercase)
+}
+
+impl InvertedIndex {
+    /// Builds the index over every text cell of `sheet`: one O(cells)
+    /// pass at build time buys near-constant search forever after.
+    pub fn build(sheet: &Sheet) -> Self {
+        let mut idx = InvertedIndex::default();
+        let Some(range) = sheet.used_range() else { return idx };
+        for addr in range.iter() {
+            if let Value::Text(s) = sheet.value(addr) {
+                idx.index_cell(addr, &s);
+            }
+        }
+        idx
+    }
+
+    /// Indexes one cell's text.
+    pub fn index_cell(&mut self, addr: CellAddr, text: &str) {
+        self.indexed_cells += 1;
+        for token in tokenize(text) {
+            let list = self.postings.entry(token).or_default();
+            if list.last() != Some(&addr) {
+                list.push(addr);
+            }
+        }
+    }
+
+    /// Removes one cell's text from the index (edit maintenance).
+    pub fn unindex_cell(&mut self, addr: CellAddr, text: &str) {
+        self.indexed_cells = self.indexed_cells.saturating_sub(1);
+        for token in tokenize(text) {
+            if let Some(list) = self.postings.get_mut(&token) {
+                list.retain(|&a| a != addr);
+                if list.is_empty() {
+                    self.postings.remove(&token);
+                }
+            }
+        }
+    }
+
+    /// Cells whose text contains `needle` as a token. O(1) hash probe —
+    /// in particular, a *nonexistent* needle returns instantly, the exact
+    /// contrast to §5.1.2's linear-time finding.
+    pub fn find_token(&self, needle: &str) -> &[CellAddr] {
+        self.postings
+            .get(&needle.to_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of distinct tokens.
+    pub fn distinct_tokens(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Number of cells indexed.
+    pub fn indexed_cells(&self) -> u64 {
+        self.indexed_cells
+    }
+}
+
+/// Index-accelerated find-and-replace: probes the index instead of
+/// scanning, rewrites only the posted cells, and maintains the index.
+/// Token-granular: `needle` must be a whole token.
+pub fn find_replace_indexed(
+    sheet: &mut Sheet,
+    index: &mut InvertedIndex,
+    needle: &str,
+    replacement: &str,
+) -> u32 {
+    let hits: Vec<CellAddr> = index.find_token(needle).to_vec();
+    let mut changed = 0;
+    for addr in hits {
+        let Value::Text(old) = sheet.value(addr) else { continue };
+        let new_text = replace_token(&old, needle, replacement);
+        if new_text != old {
+            index.unindex_cell(addr, &old);
+            index.index_cell(addr, &new_text);
+            sheet.set_value(addr, Value::Text(new_text));
+            changed += 1;
+        }
+    }
+    changed
+}
+
+/// Replaces whole-token occurrences of `needle` (case-insensitive) in
+/// `text`.
+fn replace_token(text: &str, needle: &str, replacement: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut token = String::new();
+    let flush = |token: &mut String, out: &mut String| {
+        if !token.is_empty() {
+            if token.eq_ignore_ascii_case(needle) {
+                out.push_str(replacement);
+            } else {
+                out.push_str(token);
+            }
+            token.clear();
+        }
+    };
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            token.push(c);
+        } else {
+            flush(&mut token, &mut out);
+            out.push(c);
+        }
+    }
+    flush(&mut token, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sheet() -> Sheet {
+        let mut s = Sheet::new();
+        for (i, t) in ["STORM warning", "calm", "storm, then HAIL", "hail"].iter().enumerate() {
+            s.set_value(CellAddr::new(i as u32, 0), *t);
+        }
+        s.set_value(CellAddr::new(4, 0), 42); // numbers not indexed
+        s
+    }
+
+    #[test]
+    fn tokenization() {
+        let tokens: Vec<String> = tokenize("STORM, then-hail 2x").collect();
+        assert_eq!(tokens, ["storm", "then", "hail", "2x"]);
+    }
+
+    #[test]
+    fn build_and_find() {
+        let idx = InvertedIndex::build(&sheet());
+        assert_eq!(idx.find_token("storm").len(), 2);
+        assert_eq!(idx.find_token("HAIL").len(), 2);
+        assert_eq!(idx.find_token("tornado").len(), 0); // absent: O(1)
+        assert_eq!(idx.indexed_cells(), 4);
+        assert!(idx.distinct_tokens() >= 5);
+    }
+
+    #[test]
+    fn find_replace_via_index() {
+        let mut s = sheet();
+        let mut idx = InvertedIndex::build(&s);
+        let changed = find_replace_indexed(&mut s, &mut idx, "storm", "WIND");
+        assert_eq!(changed, 2);
+        assert_eq!(s.value(CellAddr::new(0, 0)), Value::text("WIND warning"));
+        assert_eq!(s.value(CellAddr::new(2, 0)), Value::text("WIND, then HAIL"));
+        // The index was maintained.
+        assert_eq!(idx.find_token("storm").len(), 0);
+        assert_eq!(idx.find_token("wind").len(), 2);
+    }
+
+    #[test]
+    fn replace_is_whole_token_only() {
+        assert_eq!(replace_token("storms storm", "storm", "X"), "storms X");
+        assert_eq!(replace_token("a-storm-b", "STORM", "X"), "a-X-b");
+    }
+
+    #[test]
+    fn unindex_then_absent() {
+        let mut idx = InvertedIndex::build(&sheet());
+        idx.unindex_cell(CellAddr::new(1, 0), "calm");
+        assert_eq!(idx.find_token("calm").len(), 0);
+    }
+}

@@ -1,0 +1,10 @@
+//! Column and token indexes (§5.1): the structures whose absence the OOT
+//! indexing experiments demonstrate in all three commercial systems.
+
+pub mod hash;
+pub mod inverted;
+pub mod sorted;
+
+pub use hash::HashIndex;
+pub use inverted::{find_replace_indexed, tokenize, InvertedIndex};
+pub use sorted::SortedIndex;

@@ -1,0 +1,131 @@
+//! A sorted (binary-searchable) index over one column: the structure
+//! behind O(log m) approximate-match `VLOOKUP` and range predicates —
+//! what §4.3.4 infers Excel does internally for `Sorted=TRUE`, generalized
+//! so it also serves exact matches and unsorted data.
+
+use std::cmp::Ordering;
+
+use ssbench_engine::prelude::*;
+
+/// Sorted `(value, row)` pairs over one column.
+#[derive(Debug, Clone, Default)]
+pub struct SortedIndex {
+    entries: Vec<(Value, u32)>,
+}
+
+impl SortedIndex {
+    /// Builds the index over `col` of `sheet`: O(m log m).
+    pub fn build(sheet: &Sheet, col: u32) -> Self {
+        let mut entries: Vec<(Value, u32)> = (0..sheet.nrows())
+            .map(|row| (sheet.value(CellAddr::new(row, col)), row))
+            .collect();
+        entries.sort_by(|(a, ra), (b, rb)| a.sheet_cmp(b).then(ra.cmp(rb)));
+        SortedIndex { entries }
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Index of the first entry ≥ `v` (lower bound). O(log m).
+    fn lower_bound(&self, v: &Value) -> usize {
+        self.entries.partition_point(|(e, _)| e.sheet_cmp(v) == Ordering::Less)
+    }
+
+    /// Index one past the last entry ≤ `v` (upper bound). O(log m).
+    fn upper_bound(&self, v: &Value) -> usize {
+        self.entries.partition_point(|(e, _)| e.sheet_cmp(v) != Ordering::Greater)
+    }
+
+    /// The row of the largest value ≤ `v` — approximate-match `VLOOKUP`
+    /// in O(log m).
+    pub fn le(&self, v: &Value) -> Option<u32> {
+        let ub = self.upper_bound(v);
+        if ub == 0 {
+            None
+        } else {
+            Some(self.entries[ub - 1].1)
+        }
+    }
+
+    /// The lowest row whose value equals `v` exactly. O(log m + ties).
+    pub fn eq_first_row(&self, v: &Value) -> Option<u32> {
+        let lo = self.lower_bound(v);
+        let hi = self.upper_bound(v);
+        self.entries[lo..hi].iter().map(|&(_, r)| r).min()
+    }
+
+    /// Count of entries equal to `v`. O(log m).
+    pub fn count_eq(&self, v: &Value) -> u64 {
+        (self.upper_bound(v) - self.lower_bound(v)) as u64
+    }
+
+    /// Count of numeric entries in `[lo, hi]` (inclusive). O(log m) —
+    /// the index form of `COUNTIF(col, ">=lo")`-style predicates.
+    pub fn count_between(&self, lo: f64, hi: f64) -> u64 {
+        let a = self.lower_bound(&Value::Number(lo));
+        let b = self.upper_bound(&Value::Number(hi));
+        b.saturating_sub(a) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sheet_with(values: &[i64]) -> Sheet {
+        let mut s = Sheet::new();
+        for (i, &v) in values.iter().enumerate() {
+            s.set_value(CellAddr::new(i as u32, 0), v);
+        }
+        s
+    }
+
+    #[test]
+    fn le_is_approximate_match() {
+        let idx = SortedIndex::build(&sheet_with(&[10, 20, 30, 40]), 0);
+        assert_eq!(idx.le(&Value::Number(25.0)), Some(1));
+        assert_eq!(idx.le(&Value::Number(40.0)), Some(3));
+        assert_eq!(idx.le(&Value::Number(5.0)), None);
+    }
+
+    #[test]
+    fn works_on_unsorted_data() {
+        let idx = SortedIndex::build(&sheet_with(&[30, 10, 40, 20]), 0);
+        assert_eq!(idx.le(&Value::Number(25.0)), Some(3)); // value 20 at row 3
+        assert_eq!(idx.eq_first_row(&Value::Number(40.0)), Some(2));
+    }
+
+    #[test]
+    fn counts() {
+        let idx = SortedIndex::build(&sheet_with(&[1, 2, 2, 3, 3, 3]), 0);
+        assert_eq!(idx.count_eq(&Value::Number(3.0)), 3);
+        assert_eq!(idx.count_eq(&Value::Number(9.0)), 0);
+        assert_eq!(idx.count_between(2.0, 3.0), 5);
+        assert_eq!(idx.count_between(4.0, 9.0), 0);
+    }
+
+    #[test]
+    fn eq_first_row_picks_lowest_row_among_ties() {
+        let idx = SortedIndex::build(&sheet_with(&[5, 3, 5, 3]), 0);
+        assert_eq!(idx.eq_first_row(&Value::Number(5.0)), Some(0));
+        assert_eq!(idx.eq_first_row(&Value::Number(3.0)), Some(1));
+    }
+
+    #[test]
+    fn text_ordering_case_insensitive() {
+        let mut s = Sheet::new();
+        for (i, t) in ["banana", "Apple", "cherry"].iter().enumerate() {
+            s.set_value(CellAddr::new(i as u32, 0), *t);
+        }
+        let idx = SortedIndex::build(&s, 0);
+        assert_eq!(idx.eq_first_row(&Value::text("APPLE")), Some(1));
+        assert_eq!(idx.count_eq(&Value::text("CHERRY")), 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Hashable normalization of cell values, used as index keys.
+//!
+//! `Value` itself is not `Hash`/`Eq` (IEEE floats); `ValueKey` normalizes
+//! values the way the engine's `sheet_eq` compares them: numbers by
+//! canonical bit pattern (with `-0.0 → 0.0` and NaN collapsed), text
+//! case-insensitively.
+
+use ssbench_engine::prelude::*;
+
+/// A hashable, equality-normalized view of a cell value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ValueKey {
+    Empty,
+    /// Canonicalized bit pattern of the number.
+    Number(u64),
+    /// Lower-cased text.
+    Text(String),
+    Bool(bool),
+    /// The error code.
+    Error(&'static str),
+}
+
+impl ValueKey {
+    /// Normalizes a value into its key.
+    pub fn of(v: &Value) -> ValueKey {
+        match v {
+            Value::Empty => ValueKey::Empty,
+            Value::Number(n) => {
+                let canon = if n.is_nan() {
+                    f64::NAN.to_bits()
+                } else if *n == 0.0 {
+                    0.0f64.to_bits()
+                } else {
+                    n.to_bits()
+                };
+                ValueKey::Number(canon)
+            }
+            Value::Text(s) => ValueKey::Text(s.to_lowercase()),
+            Value::Bool(b) => ValueKey::Bool(*b),
+            Value::Error(e) => ValueKey::Error(e.code()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_follow_sheet_eq() {
+        assert_eq!(ValueKey::of(&Value::text("STORM")), ValueKey::of(&Value::text("storm")));
+        assert_eq!(ValueKey::of(&Value::Number(0.0)), ValueKey::of(&Value::Number(-0.0)));
+        assert_ne!(ValueKey::of(&Value::Number(1.0)), ValueKey::of(&Value::text("1")));
+        assert_eq!(
+            ValueKey::of(&Value::Number(f64::NAN)),
+            ValueKey::of(&Value::Number(f64::NAN))
+        );
+    }
+
+    #[test]
+    fn keys_usable_in_hashmap() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(ValueKey::of(&Value::text("Storm")), 1);
+        assert_eq!(m.get(&ValueKey::of(&Value::text("sTORM"))), Some(&1));
+    }
+}

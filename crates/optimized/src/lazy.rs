@@ -1,0 +1,164 @@
+//! Viewport-prioritized (lazy) loading (§4.1, §6): materialize the
+//! visible window first and the rest on demand — the optimization Google
+//! Sheets already applies to value data, generalized here so it also
+//! serves formulae (which Sheets does *not* do: "fails to do so for
+//! sheets with embedded formulae").
+
+use ssbench_engine::io::SheetData;
+use ssbench_engine::prelude::*;
+
+/// A lazily-materialized view over a saved document.
+#[derive(Debug)]
+pub struct LazyViewport {
+    doc: SheetData,
+    sheet: Sheet,
+    /// Which row blocks are materialized.
+    loaded: Vec<bool>,
+    /// Rows per block.
+    block_rows: u32,
+}
+
+impl LazyViewport {
+    /// Opens the document lazily: nothing is parsed yet.
+    pub fn new(doc: SheetData, block_rows: u32) -> Self {
+        let blocks = (doc.nrows() as u32).div_ceil(block_rows.max(1)) as usize;
+        LazyViewport {
+            doc,
+            sheet: Sheet::new(),
+            loaded: vec![false; blocks],
+            block_rows: block_rows.max(1),
+        }
+    }
+
+    /// Total rows in the backing document.
+    pub fn total_rows(&self) -> u32 {
+        self.doc.nrows() as u32
+    }
+
+    /// Number of materialized rows so far.
+    pub fn loaded_rows(&self) -> u32 {
+        self.loaded.iter().filter(|&&b| b).count() as u32 * self.block_rows
+    }
+
+    /// Ensures every row in `rows` is materialized, parsing at most the
+    /// missing blocks. Returns how many rows were newly parsed.
+    pub fn ensure_rows(&mut self, rows: std::ops::Range<u32>) -> u32 {
+        let mut parsed = 0;
+        if rows.is_empty() {
+            return 0;
+        }
+        let first_block = (rows.start / self.block_rows) as usize;
+        let last_block = ((rows.end - 1) / self.block_rows) as usize;
+        for block in first_block..=last_block.min(self.loaded.len().saturating_sub(1)) {
+            if self.loaded[block] {
+                continue;
+            }
+            let r0 = block as u32 * self.block_rows;
+            let r1 = (r0 + self.block_rows).min(self.total_rows());
+            for r in r0..r1 {
+                for (c, text) in self.doc.rows[r as usize].iter().enumerate() {
+                    self.sheet.meter().tick(Primitive::CellParse);
+                    if !text.is_empty() {
+                        self.sheet
+                            .set_input(CellAddr::new(r, c as u32), text)
+                            .expect("document cell parses");
+                    }
+                }
+                parsed += 1;
+            }
+            self.loaded[block] = true;
+        }
+        parsed
+    }
+
+    /// Reads a cell, materializing its block on demand.
+    pub fn value(&mut self, addr: CellAddr) -> Value {
+        self.ensure_rows(addr.row..addr.row + 1);
+        self.sheet.value(addr)
+    }
+
+    /// Scrolls the viewport to `top_row`, materializing one window, and
+    /// recomputing any formulae inside it (viewport-prioritized formula
+    /// computation — the part "done by none of the systems", §4.1).
+    pub fn scroll_to(&mut self, top_row: u32, window_rows: u32) -> u32 {
+        let parsed = self.ensure_rows(top_row..top_row.saturating_add(window_rows));
+        // Recalculate only the formulas of the window.
+        let dirty: Vec<CellAddr> = self
+            .sheet
+            .deps()
+            .formula_addrs()
+            .filter(|a| a.row >= top_row && a.row < top_row + window_rows)
+            .collect();
+        for addr in dirty {
+            if let Some(v) = recalc::eval_formula_at(&self.sheet, addr) {
+                self.sheet.store_formula_result(addr, v);
+            }
+        }
+        parsed
+    }
+
+    /// The fully- or partially-materialized sheet.
+    pub fn sheet(&self) -> &Sheet {
+        &self.sheet
+    }
+}
+
+use ssbench_engine::meter::Primitive;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rows: u32) -> SheetData {
+        SheetData {
+            rows: (0..rows)
+                .map(|r| vec![format!("{}", r + 1), format!("=A{}*2", r + 1)])
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn nothing_parsed_until_accessed() {
+        let lv = LazyViewport::new(doc(1000), 50);
+        assert_eq!(lv.loaded_rows(), 0);
+        assert_eq!(lv.total_rows(), 1000);
+    }
+
+    #[test]
+    fn access_materializes_only_the_block() {
+        let mut lv = LazyViewport::new(doc(1000), 50);
+        let v = lv.value(CellAddr::new(7, 0));
+        assert_eq!(v, Value::Number(8.0));
+        assert_eq!(lv.loaded_rows(), 50);
+        let parses = lv.sheet().meter().snapshot().get(Primitive::CellParse);
+        assert_eq!(parses, 100); // 50 rows × 2 cols
+    }
+
+    #[test]
+    fn scroll_computes_window_formulas() {
+        let mut lv = LazyViewport::new(doc(1000), 50);
+        lv.scroll_to(100, 50);
+        assert_eq!(lv.sheet().value(CellAddr::new(100, 1)), Value::Number(202.0));
+        // Rows outside the window are untouched.
+        assert_eq!(lv.sheet().value(CellAddr::new(400, 1)), Value::Empty);
+        assert_eq!(lv.loaded_rows(), 50);
+    }
+
+    #[test]
+    fn repeated_access_parses_once() {
+        let mut lv = LazyViewport::new(doc(200), 50);
+        lv.value(CellAddr::new(0, 0));
+        let p1 = lv.sheet().meter().snapshot().get(Primitive::CellParse);
+        lv.value(CellAddr::new(10, 0));
+        let p2 = lv.sheet().meter().snapshot().get(Primitive::CellParse);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn ranges_spanning_blocks() {
+        let mut lv = LazyViewport::new(doc(200), 50);
+        let parsed = lv.ensure_rows(40..110);
+        assert_eq!(parsed, 150); // blocks 0,1,2
+        assert_eq!(lv.loaded_rows(), 150);
+    }
+}

@@ -1,0 +1,159 @@
+//! Redundant-computation elimination (§5.4): a memo table keyed by the
+//! canonical formula text ("hashing the formulae and identifying
+//! matches"). N identical formulae cost one evaluation plus N−1 cache
+//! hits; edits invalidate only the entries whose referenced regions
+//! contain the edited cell.
+
+use std::collections::HashMap;
+
+use ssbench_engine::depgraph::Precedents;
+use ssbench_engine::prelude::*;
+
+/// A memoized formula result and the regions it depends on.
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    value: Value,
+    cells: Vec<CellAddr>,
+    ranges: Vec<Range>,
+}
+
+/// The formula memo table.
+#[derive(Debug, Clone, Default)]
+pub struct FormulaMemo {
+    entries: HashMap<String, MemoEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl FormulaMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        FormulaMemo::default()
+    }
+
+    /// Evaluates `expr` against `sheet`, reusing a cached result when an
+    /// identical formula (by canonical text) was evaluated since the last
+    /// conflicting edit.
+    pub fn eval(&mut self, sheet: &Sheet, expr: &Expr) -> Value {
+        let key = print(expr);
+        if let Some(entry) = self.entries.get(&key) {
+            self.hits += 1;
+            return entry.value.clone();
+        }
+        self.misses += 1;
+        let value = sheet.eval_expr(expr);
+        let prec = Precedents::of(expr);
+        self.entries.insert(
+            key,
+            MemoEntry { value: value.clone(), cells: prec.cells, ranges: prec.ranges },
+        );
+        value
+    }
+
+    /// Invalidates every cached result whose referenced region contains
+    /// `addr` (call on each cell edit).
+    pub fn invalidate(&mut self, addr: CellAddr) {
+        self.entries.retain(|_, e| {
+            !(e.cells.contains(&addr) || e.ranges.iter().any(|r| r.contains(addr)))
+        });
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Cache statistics `(hits, misses)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of live cached formulae.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssbench_engine::meter::Primitive;
+
+    fn sheet() -> Sheet {
+        let mut s = Sheet::new();
+        for i in 0..100u32 {
+            s.set_value(CellAddr::new(i, 9), i64::from(i % 2)); // column J
+        }
+        s
+    }
+
+    #[test]
+    fn identical_formulas_evaluate_once() {
+        let s = sheet();
+        let mut memo = FormulaMemo::new();
+        let expr = parse("COUNTIF(J1:J100,1)").unwrap();
+        let before = s.meter().snapshot();
+        let v1 = memo.eval(&s, &expr);
+        let mid = s.meter().snapshot();
+        for _ in 0..4 {
+            assert_eq!(memo.eval(&s, &expr), v1);
+        }
+        let after = s.meter().snapshot();
+        // First eval scans 100 cells; the four repeats scan nothing.
+        assert_eq!(mid.since(&before).get(Primitive::CellRead), 100);
+        assert_eq!(after.since(&mid).get(Primitive::CellRead), 0);
+        assert_eq!(memo.stats(), (4, 1));
+        assert_eq!(v1, Value::Number(50.0));
+    }
+
+    #[test]
+    fn canonicalization_identifies_spelling_variants() {
+        let s = sheet();
+        let mut memo = FormulaMemo::new();
+        memo.eval(&s, &parse("countif( J1:J100 , 1 )").unwrap());
+        memo.eval(&s, &parse("COUNTIF(J1:J100,1)").unwrap());
+        assert_eq!(memo.stats(), (1, 1));
+    }
+
+    #[test]
+    fn edit_inside_range_invalidates() {
+        let mut s = sheet();
+        let mut memo = FormulaMemo::new();
+        let expr = parse("COUNTIF(J1:J100,1)").unwrap();
+        assert_eq!(memo.eval(&s, &expr), Value::Number(50.0));
+        s.set_value(CellAddr::new(0, 9), 1); // J1: 0 → 1
+        memo.invalidate(CellAddr::new(0, 9));
+        assert_eq!(memo.eval(&s, &expr), Value::Number(51.0));
+        assert_eq!(memo.stats(), (0, 2));
+    }
+
+    #[test]
+    fn edit_outside_range_preserves_cache() {
+        let mut s = sheet();
+        let mut memo = FormulaMemo::new();
+        let expr = parse("COUNTIF(J1:J100,1)").unwrap();
+        memo.eval(&s, &expr);
+        s.set_value(CellAddr::new(0, 0), 999); // column A: unrelated
+        memo.invalidate(CellAddr::new(0, 0));
+        memo.eval(&s, &expr);
+        assert_eq!(memo.stats(), (1, 1));
+    }
+
+    #[test]
+    fn cell_precedents_invalidate_too() {
+        let mut s = sheet();
+        s.set_value(CellAddr::new(0, 0), 10);
+        let mut memo = FormulaMemo::new();
+        let expr = parse("A1*2").unwrap();
+        assert_eq!(memo.eval(&s, &expr), Value::Number(20.0));
+        s.set_value(CellAddr::new(0, 0), 11);
+        memo.invalidate(CellAddr::new(0, 0));
+        assert_eq!(memo.eval(&s, &expr), Value::Number(22.0));
+        assert_eq!(memo.len(), 1);
+    }
+}

@@ -1,0 +1,278 @@
+//! Progressive (asynchronous-style) recalculation — the §6 "additional
+//! optimizations": "spreadsheet systems operate synchronously; they remain
+//! unresponsive while performing computation … recent work has employed
+//! asynchronous computation to make spreadsheets more interactive,
+//! covering up in-progress formula computation with a progress bar", plus
+//! online-aggregation-style early estimates ("depicting confidence
+//! intervals for formulae currently under progress").
+//!
+//! This module provides the two single-threaded building blocks those
+//! designs need (the paper's experiments are single-threaded, §3.3):
+//!
+//! * [`ProgressiveRecalc`] — a resumable recalculation that processes
+//!   formulae in bounded work slices, viewport first, so a UI thread could
+//!   interleave input handling between slices;
+//! * [`OnlineAggregate`] — a scan-in-slices aggregate that exposes a
+//!   running estimate with a conservative error bound after every slice.
+
+use ssbench_engine::prelude::*;
+
+/// A resumable, viewport-prioritized recalculation.
+///
+/// The plan orders dirty formulae so that those inside the visible window
+/// run first (the prioritization §4.1 notes none of the systems do for
+/// formulae), then the rest in dependency order. `step(budget)` evaluates
+/// up to `budget` formulae and returns control.
+pub struct ProgressiveRecalc {
+    queue: std::collections::VecDeque<CellAddr>,
+    total: usize,
+    done: usize,
+}
+
+impl ProgressiveRecalc {
+    /// Plans a full recalculation of `sheet`, viewport rows first.
+    pub fn plan_full(sheet: &Sheet, viewport_rows: std::ops::Range<u32>) -> Self {
+        let plan = sheet.deps().full_order();
+        Self::from_order(plan.order, viewport_rows)
+    }
+
+    /// Plans the recalculation triggered by edits to `changed`.
+    pub fn plan_dirty(
+        sheet: &Sheet,
+        changed: &[CellAddr],
+        viewport_rows: std::ops::Range<u32>,
+    ) -> Self {
+        let plan = sheet.deps().dirty_order(changed);
+        Self::from_order(plan.order, viewport_rows)
+    }
+
+    /// Stable-partitions an evaluation order so viewport formulae come
+    /// first. Stability preserves dependency order *within* each part;
+    /// cross-part dependencies (a viewport formula depending on an
+    /// off-screen one) are handled by `step` falling back to on-demand
+    /// evaluation of stale inputs — in this simplified model, by the fact
+    /// that formula caches hold previous values, exactly the "progress
+    /// bar over stale data" behaviour of the anti-freeze design.
+    fn from_order(order: Vec<CellAddr>, viewport_rows: std::ops::Range<u32>) -> Self {
+        let total = order.len();
+        let (vis, rest): (Vec<CellAddr>, Vec<CellAddr>) =
+            order.into_iter().partition(|a| viewport_rows.contains(&a.row));
+        let mut queue = std::collections::VecDeque::with_capacity(total);
+        queue.extend(vis);
+        queue.extend(rest);
+        ProgressiveRecalc { queue, total, done: 0 }
+    }
+
+    /// Evaluates up to `budget` queued formulae. Returns the number
+    /// evaluated (0 = finished).
+    pub fn step(&mut self, sheet: &mut Sheet, budget: usize) -> usize {
+        let mut n = 0;
+        while n < budget {
+            let Some(addr) = self.queue.pop_front() else { break };
+            if let Some(v) = recalc::eval_formula_at(sheet, addr) {
+                sheet.store_formula_result(addr, v);
+            }
+            n += 1;
+        }
+        self.done += n;
+        n
+    }
+
+    /// Fraction of the plan completed, in `[0, 1]` — the progress bar.
+    pub fn progress(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.done as f64 / self.total as f64
+        }
+    }
+
+    /// Whether every planned formula has been evaluated.
+    pub fn is_finished(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Formulae remaining.
+    pub fn remaining(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A running estimate of an aggregate over a column, refined one slice at
+/// a time — online aggregation in miniature.
+#[derive(Debug)]
+pub struct OnlineAggregate {
+    col: u32,
+    next_row: u32,
+    end_row: u32,
+    criterion: Option<Criterion>,
+    matched: u64,
+    scanned: u64,
+}
+
+impl OnlineAggregate {
+    /// A progressive `COUNTIF(col[start..=end], criterion)`; pass `None`
+    /// for an unconditional `COUNT`-of-rows.
+    pub fn countif(col: u32, start_row: u32, end_row: u32, criterion: Option<Criterion>) -> Self {
+        OnlineAggregate { col, next_row: start_row, end_row, criterion, matched: 0, scanned: 0 }
+    }
+
+    /// Scans up to `budget` further rows. Returns rows scanned
+    /// (0 = finished).
+    pub fn step(&mut self, sheet: &Sheet, budget: u32) -> u32 {
+        let mut n = 0;
+        while n < budget && self.next_row <= self.end_row {
+            let v = sheet.value(CellAddr::new(self.next_row, self.col));
+            let hit = match &self.criterion {
+                Some(c) => c.matches(&v),
+                None => !v.is_empty(),
+            };
+            if hit {
+                self.matched += 1;
+            }
+            self.next_row += 1;
+            self.scanned += 1;
+            n += 1;
+        }
+        n
+    }
+
+    /// Total rows in the scan.
+    pub fn total_rows(&self) -> u64 {
+        u64::from(self.end_row - (self.next_row - self.scanned as u32)) + 1
+    }
+
+    /// The current estimate with a *sure* interval: scaling the observed
+    /// match rate to the full range, bounded by the best/worst cases for
+    /// the unscanned remainder. The final estimate is exact.
+    pub fn estimate(&self) -> Estimate {
+        let total = self.total_rows();
+        let remaining = total - self.scanned;
+        let rate = if self.scanned == 0 {
+            0.5
+        } else {
+            self.matched as f64 / self.scanned as f64
+        };
+        Estimate {
+            value: self.matched as f64 + rate * remaining as f64,
+            lower: self.matched as f64,
+            upper: (self.matched + remaining) as f64,
+            exact: remaining == 0,
+        }
+    }
+
+    /// Whether the scan has covered the whole range.
+    pub fn is_finished(&self) -> bool {
+        self.next_row > self.end_row
+    }
+}
+
+/// A progressive estimate with hard bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Rate-scaled point estimate.
+    pub value: f64,
+    /// Guaranteed lower bound (matches already seen).
+    pub lower: f64,
+    /// Guaranteed upper bound (every unscanned row matches).
+    pub upper: f64,
+    /// True once the whole range has been scanned.
+    pub exact: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sheet_with_formulas(rows: u32) -> Sheet {
+        let mut s = Sheet::new();
+        for i in 0..rows {
+            s.set_value(CellAddr::new(i, 0), i64::from(i + 1));
+            s.set_formula_str(CellAddr::new(i, 1), &format!("=A{}*2", i + 1)).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn progressive_recalc_finishes_and_matches_full() {
+        let mut a = sheet_with_formulas(100);
+        let mut b = sheet_with_formulas(100);
+        recalc::recalc_all(&mut a);
+        let mut prog = ProgressiveRecalc::plan_full(&b, 0..10);
+        let mut slices = 0;
+        while prog.step(&mut b, 17) > 0 {
+            slices += 1;
+        }
+        assert!(slices >= 6, "bounded slices: {slices}");
+        assert!(prog.is_finished());
+        assert_eq!(prog.progress(), 1.0);
+        for i in 0..100u32 {
+            let addr = CellAddr::new(i, 1);
+            assert_eq!(a.value(addr), b.value(addr));
+        }
+    }
+
+    #[test]
+    fn viewport_formulas_run_first() {
+        let mut s = sheet_with_formulas(100);
+        let mut prog = ProgressiveRecalc::plan_full(&s, 40..50);
+        prog.step(&mut s, 10); // exactly the viewport's 10 formulae
+        for i in 40..50u32 {
+            assert_eq!(
+                s.value(CellAddr::new(i, 1)),
+                Value::Number(f64::from((i + 1) * 2)),
+                "viewport row {i} computed first"
+            );
+        }
+        // Off-screen formulae are still stale (Empty cache).
+        assert_eq!(s.value(CellAddr::new(0, 1)), Value::Empty);
+        assert!((prog.progress() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dirty_plan_is_progressive_too() {
+        let mut s = sheet_with_formulas(50);
+        recalc::recalc_all(&mut s);
+        s.set_value(CellAddr::new(0, 0), 1000);
+        let mut prog = ProgressiveRecalc::plan_dirty(&s, &[CellAddr::new(0, 0)], 0..50);
+        assert_eq!(prog.remaining(), 1);
+        prog.step(&mut s, 10);
+        assert_eq!(s.value(CellAddr::new(0, 1)), Value::Number(2000.0));
+    }
+
+    #[test]
+    fn online_countif_bounds_narrow_to_exact() {
+        let mut s = Sheet::new();
+        for i in 0..1000u32 {
+            s.set_value(CellAddr::new(i, 9), i64::from(i % 4 == 0)); // 250 ones
+        }
+        let crit = Criterion::parse(&Value::Number(1.0));
+        let mut agg = OnlineAggregate::countif(9, 0, 999, Some(crit));
+        let mut last_width = f64::INFINITY;
+        while agg.step(&s, 100) > 0 {
+            let e = agg.estimate();
+            let width = e.upper - e.lower;
+            assert!(width <= last_width, "bounds only narrow");
+            assert!(e.lower <= 250.0 && 250.0 <= e.upper, "truth inside bounds");
+            last_width = width;
+        }
+        let e = agg.estimate();
+        assert!(e.exact);
+        assert_eq!(e.value, 250.0);
+        assert_eq!(e.lower, e.upper);
+    }
+
+    #[test]
+    fn early_estimate_is_reasonable_on_uniform_data() {
+        let mut s = Sheet::new();
+        for i in 0..10_000u32 {
+            s.set_value(CellAddr::new(i, 0), i64::from(i % 2)); // 50% ones
+        }
+        let crit = Criterion::parse(&Value::Number(1.0));
+        let mut agg = OnlineAggregate::countif(0, 0, 9_999, Some(crit));
+        agg.step(&s, 500); // 5% scanned
+        let e = agg.estimate();
+        assert!(!e.exact);
+        assert!((e.value - 5_000.0).abs() < 500.0, "estimate {} near 5000", e.value);
+    }
+}

@@ -1,0 +1,244 @@
+//! Plan execution against a sheet. Aggregates stream; the hash join
+//! builds once and probes per site — O(build + probes) instead of the
+//! interpreter's O(build × probes).
+
+use std::collections::HashMap;
+
+use ssbench_engine::prelude::*;
+
+use crate::key::ValueKey;
+
+use super::plan::{AggFn, Plan};
+use super::translate::LookupFamily;
+
+/// Streaming aggregate state.
+#[derive(Debug, Default)]
+struct AggState {
+    count: u64,
+    sum: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl AggState {
+    fn accept(&mut self, v: &Value) {
+        if let Value::Number(n) = v {
+            self.count += 1;
+            self.sum += n;
+            self.min = Some(self.min.map_or(*n, |m| m.min(*n)));
+            self.max = Some(self.max.map_or(*n, |m| m.max(*n)));
+        }
+    }
+
+    fn finish(&self, agg: AggFn) -> Value {
+        match agg {
+            AggFn::Count => Value::Number(self.count as f64),
+            AggFn::Sum => Value::Number(self.sum),
+            AggFn::Avg => {
+                if self.count == 0 {
+                    Value::Error(CellError::Div0)
+                } else {
+                    Value::Number(self.sum / self.count as f64)
+                }
+            }
+            AggFn::Min => Value::Number(self.min.unwrap_or(0.0)),
+            AggFn::Max => Value::Number(self.max.unwrap_or(0.0)),
+        }
+    }
+}
+
+/// Streams the rows a plan produces into `f` as `(row, value)` pairs.
+/// Only row-producing nodes may appear below an `Aggregate`.
+fn stream(sheet: &Sheet, plan: &Plan, f: &mut dyn FnMut(u32, Value)) -> Result<(), CellError> {
+    match plan {
+        Plan::ScanColumn { col, start_row, end_row } => {
+            let end = (*end_row).min(sheet.nrows().saturating_sub(1));
+            for row in *start_row..=end {
+                f(row, sheet.value(CellAddr::new(row, *col)));
+            }
+            Ok(())
+        }
+        Plan::Filter { input, criterion } => stream(sheet, input, &mut |row, v| {
+            if criterion.matches(&v) {
+                f(row, v);
+            }
+        }),
+        Plan::ProjectAligned { input, project_col } => stream(sheet, input, &mut |row, _| {
+            f(row, sheet.value(CellAddr::new(row, *project_col)));
+        }),
+        Plan::Aggregate { .. } | Plan::HashJoin { .. } => Err(CellError::Value),
+    }
+}
+
+/// Executes a scalar plan (its root must be an `Aggregate`).
+pub fn execute_scalar(sheet: &Sheet, plan: &Plan) -> Result<Value, CellError> {
+    let Plan::Aggregate { input, agg } = plan else {
+        return Err(CellError::Value);
+    };
+    let mut state = AggState::default();
+    stream(sheet, input, &mut |_, v| state.accept(&v))?;
+    Ok(state.finish(*agg))
+}
+
+/// Executes a VLOOKUP family as one hash join and writes every site's
+/// result into its formula cache. Returns the number of sites answered.
+///
+/// The build side is scanned exactly once (the interpreter's per-site
+/// scans cost `sites × build` reads); misses materialize as `#N/A`,
+/// matching `VLOOKUP(.., FALSE)` semantics. Ties resolve to the lowest
+/// build row, like the interpreter's first-match rule.
+pub fn execute_join(sheet: &mut Sheet, family: &LookupFamily) -> usize {
+    // Build phase.
+    let mut table: HashMap<ValueKey, u32> = HashMap::new();
+    let build_end = family.build_end_row.min(sheet.nrows().saturating_sub(1));
+    for row in family.build_start_row..=build_end {
+        let key = ValueKey::of(&sheet.value(CellAddr::new(row, family.build_key_col)));
+        table.entry(key).or_insert(row); // first match wins
+    }
+    // Probe phase.
+    let mut results = Vec::with_capacity(family.sites.len());
+    for site in &family.sites {
+        let key = ValueKey::of(&sheet.value(site.key_cell));
+        let result = match table.get(&key) {
+            Some(&row) => sheet.value(CellAddr::new(row, family.build_val_col)),
+            None => Value::Error(CellError::Na),
+        };
+        results.push((site.at, result));
+    }
+    let n = results.len();
+    for (at, v) in results {
+        sheet.store_formula_result(at, v);
+    }
+    n
+}
+
+/// End-to-end: evaluates a formula through the planner when possible,
+/// falling back to the interpreter otherwise. The planner path reads the
+/// sheet directly (no metered interpretation) — this is the "database
+/// backend" fast path.
+pub fn eval_via_planner(sheet: &Sheet, expr: &ssbench_engine::formula::Expr) -> Value {
+    match super::translate::translate_scalar(expr) {
+        Some(plan) => match execute_scalar(sheet, &plan) {
+            Ok(v) => v,
+            Err(e) => Value::Error(e),
+        },
+        None => sheet.eval_expr(expr),
+    }
+}
+
+
+#[cfg(test)]
+trait CloneForTest {
+    fn clone_for_test(&self) -> Sheet;
+}
+
+#[cfg(test)]
+impl CloneForTest for Sheet {
+    fn clone_for_test(&self) -> Sheet {
+        let data = ssbench_engine::io::save(self);
+        ssbench_engine::io::open(&data, Layout::RowMajor).expect("round trip")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::plan::{AggFn, Plan};
+    use super::super::translate::{translate_lookup_column, translate_scalar};
+    use super::*;
+    use ssbench_engine::formula::parse;
+    use ssbench_engine::meter::Primitive;
+
+    fn sheet() -> Sheet {
+        let mut s = Sheet::new();
+        for i in 0..100u32 {
+            s.set_value(CellAddr::new(i, 0), i64::from(i + 1)); // A: 1..100
+            s.set_value(CellAddr::new(i, 1), if i % 2 == 0 { "even" } else { "odd" });
+            s.set_value(CellAddr::new(i, 2), i64::from((i + 1) * 10)); // C
+        }
+        s
+    }
+
+    #[test]
+    fn scalar_plans_match_interpreter() {
+        let s = sheet();
+        for src in [
+            "COUNTIF(A1:A100,\">50\")",
+            "SUMIF(B1:B100,\"even\",C1:C100)",
+            "AVERAGEIF(B1:B100,\"odd\",C1:C100)",
+            "SUM(C1:C100)",
+            "COUNT(A1:A100)",
+            "AVERAGE(A1:A100)",
+            "MIN(C1:C100)",
+            "MAX(C1:C100)",
+            "SUMIF(A1:A100,\">=90\")",
+        ] {
+            let expr = parse(src).unwrap();
+            let plan = translate_scalar(&expr).unwrap_or_else(|| panic!("{src} translates"));
+            let planned = execute_scalar(&s, &plan).unwrap();
+            let interpreted = s.eval_expr(&expr);
+            assert_eq!(planned, interpreted, "{src}");
+        }
+    }
+
+    #[test]
+    fn eval_via_planner_falls_back() {
+        let s = sheet();
+        let expr = parse("CONCATENATE(B1,B2)").unwrap();
+        assert_eq!(eval_via_planner(&s, &expr), Value::text("evenodd"));
+    }
+
+    #[test]
+    fn scan_clips_to_sheet() {
+        let s = sheet();
+        let plan = Plan::scan(0, 0, 10_000).aggregate(AggFn::Count);
+        assert_eq!(execute_scalar(&s, &plan).unwrap(), Value::Number(100.0));
+    }
+
+    #[test]
+    fn join_answers_all_sites_in_one_build_pass() {
+        let mut s = Sheet::new();
+        // Build table F1:G100 (keys 1..100), probe keys in A, lookups in B.
+        for i in 0..100u32 {
+            s.set_value(CellAddr::new(i, 5), i64::from(i + 1));
+            s.set_value(CellAddr::new(i, 6), format!("v{}", i + 1));
+        }
+        for i in 0..200u32 {
+            s.set_value(CellAddr::new(i, 0), i64::from((i % 110) + 1)); // some miss
+            s.set_formula_str(
+                CellAddr::new(i, 1),
+                &format!("=VLOOKUP(A{r},$F$1:$G$100,2,FALSE)", r = i + 1),
+            )
+            .unwrap();
+        }
+        // Interpreter ground truth.
+        let mut truth = s.clone_for_test();
+        recalc::recalc_all(&mut truth);
+        // Join path.
+        let families = translate_lookup_column(&s, 2);
+        assert_eq!(families.len(), 1);
+        let before = s.meter().snapshot();
+        let answered = execute_join(&mut s, &families[0]);
+        let d = s.meter().snapshot().since(&before);
+        assert_eq!(answered, 200);
+        // No metered interpretation happened (direct value access).
+        assert_eq!(d.get(Primitive::CellRead), 0);
+        for i in 0..200u32 {
+            let addr = CellAddr::new(i, 1);
+            assert_eq!(s.value(addr), truth.value(addr), "site {addr}");
+        }
+    }
+
+    #[test]
+    fn join_first_match_semantics_on_duplicate_keys() {
+        let mut s = Sheet::new();
+        s.set_value(CellAddr::new(0, 5), 7);
+        s.set_value(CellAddr::new(0, 6), "first");
+        s.set_value(CellAddr::new(1, 5), 7);
+        s.set_value(CellAddr::new(1, 6), "second");
+        s.set_value(CellAddr::new(0, 0), 7);
+        s.set_formula_str(CellAddr::new(0, 1), "=VLOOKUP(A1,$F$1:$G$2,2,FALSE)").unwrap();
+        let families = translate_lookup_column(&s, 1);
+        execute_join(&mut s, &families[0]);
+        assert_eq!(s.value(CellAddr::new(0, 1)), Value::text("first"));
+    }
+}

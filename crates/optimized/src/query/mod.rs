@@ -1,0 +1,13 @@
+//! Formula → relational-plan translation and execution — §6's "database
+//! backend" proposal: recognize families of formulae (a column of
+//! exact-match `VLOOKUP`s, an aggregate over a column) and execute them as
+//! query plans (a hash join, a streaming aggregate) instead of
+//! interpreting each cell-by-cell.
+
+pub mod exec;
+pub mod plan;
+pub mod translate;
+
+pub use exec::{eval_via_planner, execute_join, execute_scalar};
+pub use plan::{AggFn, Plan};
+pub use translate::{translate_lookup_column, translate_scalar, LookupFamily, LookupSite};

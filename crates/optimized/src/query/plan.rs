@@ -1,0 +1,108 @@
+//! A miniature logical query plan — the "database backend" target of §6's
+//! translation proposal ("efficient execution by translating formulae into
+//! SQL queries"). Deliberately small: scans, filters, aggregates, and the
+//! hash join that replaces a column of `VLOOKUP`s.
+
+use ssbench_engine::prelude::*;
+
+/// Aggregate functions the plan language supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+/// A logical plan over one sheet. Columns are addressed by sheet column
+/// index; every node consumes its input bottom-up.
+#[derive(Debug, Clone)]
+pub enum Plan {
+    /// Scan one column over a row span, producing one value per row.
+    ScanColumn {
+        col: u32,
+        start_row: u32,
+        end_row: u32,
+    },
+    /// Keep only rows whose value matches the criterion.
+    Filter {
+        input: Box<Plan>,
+        criterion: Criterion,
+    },
+    /// Keep the values of `project_col` for the rows selected by the
+    /// input (the SUMIF/AVERAGEIF "sum_range" projection).
+    ProjectAligned {
+        input: Box<Plan>,
+        project_col: u32,
+    },
+    /// Reduce the input to one value.
+    Aggregate {
+        input: Box<Plan>,
+        agg: AggFn,
+    },
+    /// For every probe row, look up its key in the build side (hash on
+    /// `build_key_col`) and emit the matched row's `build_val_col` — the
+    /// relational form of a column of exact-match VLOOKUPs.
+    HashJoin {
+        probe: Box<Plan>,
+        build_key_col: u32,
+        build_val_col: u32,
+        build_start_row: u32,
+        build_end_row: u32,
+    },
+}
+
+impl Plan {
+    /// Convenience scan constructor.
+    pub fn scan(col: u32, start_row: u32, end_row: u32) -> Plan {
+        Plan::ScanColumn { col, start_row, end_row }
+    }
+
+    /// Wraps in a filter.
+    pub fn filter(self, criterion: Criterion) -> Plan {
+        Plan::Filter { input: Box::new(self), criterion }
+    }
+
+    /// Wraps in an aggregate.
+    pub fn aggregate(self, agg: AggFn) -> Plan {
+        Plan::Aggregate { input: Box::new(self), agg }
+    }
+
+    /// A one-line EXPLAIN rendering, for debugging and tests.
+    pub fn explain(&self) -> String {
+        match self {
+            Plan::ScanColumn { col, start_row, end_row } => {
+                format!("Scan(col{col}[{start_row}..={end_row}])")
+            }
+            Plan::Filter { input, criterion } => {
+                format!("Filter({:?}, {})", criterion, input.explain())
+            }
+            Plan::ProjectAligned { input, project_col } => {
+                format!("Project(col{project_col}, {})", input.explain())
+            }
+            Plan::Aggregate { input, agg } => format!("{agg:?}({})", input.explain()),
+            Plan::HashJoin { probe, build_key_col, build_val_col, build_start_row, build_end_row } => {
+                format!(
+                    "HashJoin(probe={}, build=col{build_key_col}->col{build_val_col}[{build_start_row}..={build_end_row}])",
+                    probe.explain()
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explain_renders_tree() {
+        let plan = Plan::scan(9, 0, 99)
+            .filter(Criterion::parse(&Value::Number(1.0)))
+            .aggregate(AggFn::Count);
+        let text = plan.explain();
+        assert!(text.starts_with("Count(Filter("));
+        assert!(text.contains("Scan(col9[0..=99])"));
+    }
+}

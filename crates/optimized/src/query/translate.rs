@@ -1,0 +1,250 @@
+//! Formula → plan translation (§6: "translating formulae into SQL
+//! queries … a join instead of a collection of VLOOKUPs").
+//!
+//! Two entry points:
+//!
+//! * [`translate_scalar`] — recognizes a single aggregate formula
+//!   (`COUNTIF`/`SUMIF`/`AVERAGEIF`/`SUM`/`COUNT`/`AVERAGE`/`MIN`/`MAX`
+//!   over a single-column range) and produces a scalar plan;
+//! * [`translate_lookup_column`] — recognizes a *family* of exact-match
+//!   `VLOOKUP` formulas that share one table and column index, keyed on a
+//!   per-row cell, and produces one [`Plan::HashJoin`] answering all of
+//!   them in a single pass.
+
+use ssbench_engine::formula::Expr;
+use ssbench_engine::prelude::*;
+
+use super::plan::{AggFn, Plan};
+
+/// Extracts a single-column range argument.
+fn single_col_range(expr: &Expr) -> Option<Range> {
+    if let Expr::RangeRef(r) = expr {
+        let range = r.range();
+        if range.cols() == 1 {
+            return Some(range);
+        }
+    }
+    None
+}
+
+/// Extracts a literal criterion argument.
+fn literal(expr: &Expr) -> Option<Value> {
+    match expr {
+        Expr::Number(n) => Some(Value::Number(*n)),
+        Expr::Text(s) => Some(Value::text(s.clone())),
+        Expr::Bool(b) => Some(Value::Bool(*b)),
+        _ => None,
+    }
+}
+
+/// Translates one aggregate formula into a scalar plan, when it fits the
+/// supported shapes. Returns `None` for anything the planner does not
+/// recognize (the caller falls back to the interpreter).
+pub fn translate_scalar(expr: &Expr) -> Option<Plan> {
+    let Expr::Call(name, args) = expr else { return None };
+    match (name.as_str(), args.as_slice()) {
+        ("COUNTIF", [range, crit]) => {
+            let r = single_col_range(range)?;
+            let criterion = Criterion::parse(&literal(crit)?);
+            Some(
+                Plan::scan(r.start.col, r.start.row, r.end.row)
+                    .filter(criterion)
+                    .aggregate(AggFn::Count),
+            )
+        }
+        ("SUMIF", [range, crit]) => {
+            let r = single_col_range(range)?;
+            let criterion = Criterion::parse(&literal(crit)?);
+            Some(
+                Plan::scan(r.start.col, r.start.row, r.end.row)
+                    .filter(criterion)
+                    .aggregate(AggFn::Sum),
+            )
+        }
+        ("SUMIF", [range, crit, sum_range]) | ("AVERAGEIF", [range, crit, sum_range]) => {
+            let r = single_col_range(range)?;
+            let s = single_col_range(sum_range)?;
+            if s.rows() != r.rows() || s.start.row != r.start.row {
+                return None;
+            }
+            let criterion = Criterion::parse(&literal(crit)?);
+            let agg = if name == "SUMIF" { AggFn::Sum } else { AggFn::Avg };
+            Some(Plan::Aggregate {
+                input: Box::new(Plan::ProjectAligned {
+                    input: Box::new(
+                        Plan::scan(r.start.col, r.start.row, r.end.row).filter(criterion),
+                    ),
+                    project_col: s.start.col,
+                }),
+                agg,
+            })
+        }
+        ("SUM" | "COUNT" | "AVERAGE" | "MIN" | "MAX", [range]) => {
+            let r = single_col_range(range)?;
+            let agg = match name.as_str() {
+                "SUM" => AggFn::Sum,
+                "COUNT" => AggFn::Count,
+                "AVERAGE" => AggFn::Avg,
+                "MIN" => AggFn::Min,
+                _ => AggFn::Max,
+            };
+            Some(Plan::scan(r.start.col, r.start.row, r.end.row).aggregate(agg))
+        }
+        _ => None,
+    }
+}
+
+/// One recognized member of a VLOOKUP family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupSite {
+    /// The formula cell.
+    pub at: CellAddr,
+    /// The per-row key cell (the first VLOOKUP argument).
+    pub key_cell: CellAddr,
+}
+
+/// A family of exact-match VLOOKUPs over one table: the join's shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupFamily {
+    pub sites: Vec<LookupSite>,
+    /// Key (build-side) column of the table.
+    pub build_key_col: u32,
+    /// Result column of the table (table start col + col_index − 1).
+    pub build_val_col: u32,
+    pub build_start_row: u32,
+    pub build_end_row: u32,
+}
+
+/// Recognizes `VLOOKUP(<cell>, <range>, <k>, FALSE)`.
+fn recognize_vlookup(at: CellAddr, expr: &Expr) -> Option<(LookupSite, Range, u32)> {
+    let Expr::Call(name, args) = expr else { return None };
+    if name != "VLOOKUP" || args.len() != 4 {
+        return None;
+    }
+    let Expr::Ref(key) = &args[0] else { return None };
+    let Expr::RangeRef(table) = &args[1] else { return None };
+    let Expr::Number(k) = args[2] else { return None };
+    if !matches!(args[3], Expr::Bool(false)) {
+        return None;
+    }
+    let range = table.range();
+    let k = k as u32;
+    if k < 1 || k > range.cols() {
+        return None;
+    }
+    Some((LookupSite { at, key_cell: key.addr }, range, k))
+}
+
+/// Scans the sheet's formulas for exact-match VLOOKUP families: groups of
+/// at least `min_sites` formulas sharing the same table range and column
+/// index. Each family can be answered with one hash join.
+pub fn translate_lookup_column(sheet: &Sheet, min_sites: usize) -> Vec<LookupFamily> {
+    use std::collections::HashMap;
+    let mut groups: HashMap<(Range, u32), Vec<LookupSite>> = HashMap::new();
+    for addr in sheet.deps().formula_addrs() {
+        let Some(expr) = sheet.formula_expr(addr) else { continue };
+        if let Some((site, table, k)) = recognize_vlookup(addr, expr) {
+            groups.entry((table, k)).or_default().push(site);
+        }
+    }
+    let mut families: Vec<LookupFamily> = groups
+        .into_iter()
+        .filter(|(_, sites)| sites.len() >= min_sites)
+        .map(|((table, k), mut sites)| {
+            sites.sort_by_key(|s| (s.at.row, s.at.col));
+            LookupFamily {
+                sites,
+                build_key_col: table.start.col,
+                build_val_col: table.start.col + k - 1,
+                build_start_row: table.start.row,
+                build_end_row: table.end.row,
+            }
+        })
+        .collect();
+    families.sort_by_key(|f| (f.build_key_col, f.build_start_row, f.sites[0].at));
+    families
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssbench_engine::formula::parse;
+
+    fn p(src: &str) -> Expr {
+        parse(src).unwrap()
+    }
+
+    #[test]
+    fn countif_translates() {
+        let plan = translate_scalar(&p("COUNTIF(J1:J100,1)")).unwrap();
+        assert_eq!(plan.explain(), "Count(Filter(Eq(Number(1.0)), Scan(col9[0..=99])))");
+    }
+
+    #[test]
+    fn sumif_with_projection_translates() {
+        let plan = translate_scalar(&p("SUMIF(B1:B50,\"east\",C1:C50)")).unwrap();
+        assert!(plan.explain().contains("Project(col2"));
+    }
+
+    #[test]
+    fn unsupported_shapes_fall_back() {
+        assert!(translate_scalar(&p("COUNTIF(A1:B10,1)")).is_none()); // multi-col
+        assert!(translate_scalar(&p("COUNTIF(A1:A10,B1)")).is_none()); // non-literal crit
+        assert!(translate_scalar(&p("SUMIF(A1:A10,1,C2:C11)")).is_none()); // misaligned
+        assert!(translate_scalar(&p("CONCATENATE(A1)")).is_none());
+        assert!(translate_scalar(&p("1+2")).is_none());
+    }
+
+    #[test]
+    fn plain_aggregates_translate() {
+        for (src, head) in [
+            ("SUM(A1:A10)", "Sum("),
+            ("COUNT(A1:A10)", "Count("),
+            ("AVERAGE(A1:A10)", "Avg("),
+            ("MIN(A1:A10)", "Min("),
+            ("MAX(A1:A10)", "Max("),
+        ] {
+            let plan = translate_scalar(&p(src)).unwrap();
+            assert!(plan.explain().starts_with(head), "{src}");
+        }
+    }
+
+    #[test]
+    fn vlookup_family_detection() {
+        let mut sheet = Sheet::new();
+        // Grade table F1:G3; three lookups on per-row keys.
+        for i in 0..3u32 {
+            sheet.set_value(CellAddr::new(i, 5), i64::from(i * 10));
+            sheet.set_value(CellAddr::new(i, 6), format!("g{i}"));
+        }
+        for i in 0..3u32 {
+            sheet.set_value(CellAddr::new(i, 0), i64::from(i * 10));
+            sheet
+                .set_formula_str(
+                    CellAddr::new(i, 1),
+                    &format!("=VLOOKUP(A{r},$F$1:$G$3,2,FALSE)", r = i + 1),
+                )
+                .unwrap();
+        }
+        // A stray approximate-match VLOOKUP must not join the family.
+        sheet.set_formula_str(CellAddr::new(4, 1), "=VLOOKUP(A5,$F$1:$G$3,2,TRUE)").unwrap();
+        let families = translate_lookup_column(&sheet, 2);
+        assert_eq!(families.len(), 1);
+        let f = &families[0];
+        assert_eq!(f.sites.len(), 3);
+        assert_eq!(f.build_key_col, 5);
+        assert_eq!(f.build_val_col, 6);
+        assert_eq!((f.build_start_row, f.build_end_row), (0, 2));
+        assert_eq!(f.sites[0].key_cell, CellAddr::new(0, 0));
+    }
+
+    #[test]
+    fn families_split_by_table_and_index() {
+        let mut sheet = Sheet::new();
+        sheet.set_formula_str(CellAddr::new(0, 1), "=VLOOKUP(A1,$F$1:$G$3,2,FALSE)").unwrap();
+        sheet.set_formula_str(CellAddr::new(1, 1), "=VLOOKUP(A2,$F$1:$G$3,1,FALSE)").unwrap();
+        sheet.set_formula_str(CellAddr::new(2, 1), "=VLOOKUP(A3,$F$1:$G$4,2,FALSE)").unwrap();
+        assert_eq!(translate_lookup_column(&sheet, 1).len(), 3);
+        assert!(translate_lookup_column(&sheet, 2).is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! Detecting what needs recomputation after sort (§6): "when sorting an
+//! entire spreadsheet by row, any formula with relative columnar
+//! references, e.g. `C1 = A1 + B1`, are unaffected, while formulae with
+//! absolute references, e.g. `C1 = $A$1 + $B$1`, require recomputation."
+//!
+//! A formula is *sort-safe* when its value cannot change under any
+//! whole-sheet row permutation: every reference must be relative and
+//! point into the formula's own row (it then moves with the row), and it
+//! must not read ranges (row sets under a range change with the
+//! permutation) or volatile functions.
+
+use ssbench_engine::formula::Expr;
+use ssbench_engine::prelude::*;
+
+/// Whether the formula at `addr` is invariant under whole-sheet row sorts.
+/// A single allocation-free expression walk with early exit — the
+/// classification pass runs over *every* formula after each sort, so its
+/// constant factor matters.
+pub fn sort_safe(addr: CellAddr, expr: &Expr) -> bool {
+    match expr {
+        Expr::Number(_) | Expr::Text(_) | Expr::Bool(_) | Expr::Error(_) => true,
+        Expr::Ref(r) => !r.abs_row && !r.abs_col && r.addr.row == addr.row,
+        Expr::RangeRef(_) => false,
+        Expr::Unary(_, e) => sort_safe(addr, e),
+        Expr::Binary(_, a, b) => sort_safe(addr, a) && sort_safe(addr, b),
+        Expr::Call(name, args) => {
+            // Volatile functions depend on position or time.
+            !matches!(name.as_str(), "NOW" | "TODAY" | "ROW" | "COLUMN")
+                && args.iter().all(|a| sort_safe(addr, a))
+        }
+    }
+}
+
+/// Statistics from an optimized sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SortRecalcStats {
+    /// Formulae proven sort-safe and skipped.
+    pub skipped: usize,
+    /// Formulae recomputed.
+    pub recomputed: usize,
+}
+
+/// Sorts the sheet and recomputes only the formulae that sorting can
+/// actually affect — versus the full recalculation all three commercial
+/// systems perform (§4.2.1: "such recomputation is not always necessary").
+pub fn sort_with_recalc_avoidance(sheet: &mut Sheet, keys: &[SortKey]) -> SortRecalcStats {
+    sort_rows(sheet, keys);
+    recalc_after_sort(sheet)
+}
+
+/// The post-sort phase in isolation: classifies every formula (relative
+/// references were rewritten with each moved row during the sort) and
+/// recomputes only the unsafe ones. This is the piece that replaces the
+/// commercial systems' full recalculation.
+pub fn recalc_after_sort(sheet: &mut Sheet) -> SortRecalcStats {
+    let mut recomputed = Vec::new();
+    let mut skipped = 0usize;
+    for addr in sheet.deps().formula_addrs().collect::<Vec<_>>() {
+        let Some(expr) = sheet.formula_expr(addr) else { continue };
+        if sort_safe(addr, expr) {
+            skipped += 1;
+        } else {
+            recomputed.push(addr);
+        }
+    }
+    recomputed.sort_unstable();
+    for addr in &recomputed {
+        if let Some(v) = recalc::eval_formula_at(sheet, *addr) {
+            sheet.store_formula_result(*addr, v);
+        }
+    }
+    SortRecalcStats { skipped, recomputed: recomputed.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssbench_engine::meter::Primitive;
+
+    fn a(s: &str) -> CellAddr {
+        CellAddr::parse(s).unwrap()
+    }
+
+    #[test]
+    fn same_row_relative_is_safe() {
+        let e = parse("A2+B2").unwrap();
+        assert!(sort_safe(a("C2"), &e));
+    }
+
+    #[test]
+    fn absolute_or_cross_row_is_unsafe() {
+        assert!(!sort_safe(a("C2"), &parse("$A$1+B2").unwrap()));
+        assert!(!sort_safe(a("C2"), &parse("A1+B2").unwrap())); // row 1 ≠ row 2
+        assert!(!sort_safe(a("C2"), &parse("SUM(A1:A10)").unwrap()));
+        assert!(!sort_safe(a("C2"), &parse("A2+ROW()").unwrap()));
+        assert!(!sort_safe(a("C2"), &parse("IF(NOW()>0,A2,B2)").unwrap()));
+    }
+
+    #[test]
+    fn literal_only_formula_is_safe() {
+        assert!(sort_safe(a("C2"), &parse("1+2").unwrap()));
+    }
+
+    #[test]
+    fn optimized_sort_skips_per_row_formulas() {
+        // The weather dataset's K-column formulae (COUNTIF(Ci,"STORM"))
+        // are same-row relative → all safe.
+        let mut s = Sheet::new();
+        for i in 0..100u32 {
+            s.set_value(CellAddr::new(i, 0), i64::from(100 - i)); // unsorted keys
+            s.set_value(CellAddr::new(i, 2), if i % 3 == 0 { "STORM" } else { "calm" });
+            s.set_formula_str(
+                CellAddr::new(i, 10),
+                &format!("=COUNTIF(C{r},\"STORM\")", r = i + 1),
+            )
+            .unwrap();
+        }
+        recalc::recalc_all(&mut s);
+        let before = s.meter().snapshot();
+        let stats = sort_with_recalc_avoidance(&mut s, &[SortKey::asc(0)]);
+        let d = s.meter().snapshot().since(&before);
+        assert_eq!(stats.skipped, 100);
+        assert_eq!(stats.recomputed, 0);
+        assert_eq!(d.get(Primitive::FormulaEval), 0, "no formula re-evaluated");
+        // Results are still consistent: K matches C in every row.
+        for i in 0..100u32 {
+            let c = s.value(CellAddr::new(i, 2));
+            let k = s.value(CellAddr::new(i, 10));
+            let expect = if c == Value::text("STORM") { 1.0 } else { 0.0 };
+            assert_eq!(k, Value::Number(expect), "row {i}");
+        }
+    }
+
+    #[test]
+    fn optimized_sort_recomputes_absolute_formulas() {
+        let mut s = Sheet::new();
+        for i in 0..10u32 {
+            s.set_value(CellAddr::new(i, 0), i64::from(10 - i));
+        }
+        // B1 depends on the absolute cell $A$1 — must recompute.
+        s.set_formula_str(a("B1"), "=$A$1*10").unwrap();
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("B1")), Value::Number(100.0));
+        let stats = sort_with_recalc_avoidance(&mut s, &[SortKey::asc(0)]);
+        assert_eq!(stats.recomputed, 1);
+        // The formula moved to the row where key 10 landed (row 10); its
+        // value now reflects the new $A$1 (= 1).
+        let moved: Vec<u32> = (0..10u32)
+            .filter(|&r| s.is_formula(CellAddr::new(r, 1)))
+            .collect();
+        assert_eq!(moved.len(), 1);
+        assert_eq!(s.value(CellAddr::new(moved[0], 1)), Value::Number(10.0));
+    }
+
+    #[test]
+    fn matches_full_recalc_semantics() {
+        // Property-style check on a mixed sheet: optimized sort produces
+        // the same final values as sort + full recalc.
+        let build = || {
+            let mut s = Sheet::new();
+            for i in 0..50u32 {
+                s.set_value(CellAddr::new(i, 0), i64::from((i * 37) % 50));
+                s.set_value(CellAddr::new(i, 1), i64::from(i));
+                s.set_formula_str(
+                    CellAddr::new(i, 2),
+                    &format!("=A{r}+B{r}", r = i + 1),
+                )
+                .unwrap();
+            }
+            s.set_formula_str(a("E1"), "=$A$1*100").unwrap();
+            recalc::recalc_all(&mut s);
+            s
+        };
+        let mut s1 = build();
+        let mut s2 = build();
+        sort_with_recalc_avoidance(&mut s1, &[SortKey::asc(0)]);
+        sort_rows(&mut s2, &[SortKey::asc(0)]);
+        recalc::recalc_all(&mut s2);
+        for r in 0..50u32 {
+            for c in 0..5u32 {
+                let addr = CellAddr::new(r, c);
+                assert_eq!(s1.value(addr), s2.value(addr), "cell {addr}");
+            }
+        }
+    }
+}

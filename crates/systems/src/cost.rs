@@ -1,0 +1,152 @@
+//! The cost model: converts primitive counts measured by the engine into
+//! simulated milliseconds for one system.
+//!
+//! `time_ms(op, counts) = base_ms[op] + Σ_p counts[p] · unit_ns(op, p)`
+//!
+//! where `unit_ns(op, p)` is an op-specific override when the calibration
+//! defines one, and the system-wide default otherwise. Overrides model
+//! per-operation constants that the paper's data demands (e.g. Excel scans
+//! a VLOOKUP column far faster than a COUNTIF range); every value in
+//! `calibration.rs` is annotated with the figure or section it was fitted
+//! to.
+
+use ssbench_engine::meter::{Counts, Primitive, ALL_PRIMITIVES};
+
+use crate::op::{OpClass, ALL_OPS};
+
+/// Per-primitive unit costs in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostTable {
+    ns: [f64; ALL_PRIMITIVES.len()],
+}
+
+impl CostTable {
+    /// Builds from `(primitive, nanoseconds)` pairs; unlisted primitives
+    /// cost zero.
+    pub fn from_pairs(pairs: &[(Primitive, f64)]) -> Self {
+        let mut t = CostTable::default();
+        for &(p, ns) in pairs {
+            t.ns[p.index()] = ns;
+        }
+        t
+    }
+
+    /// The unit cost of one primitive, in nanoseconds.
+    pub fn get(&self, p: Primitive) -> f64 {
+        self.ns[p.index()]
+    }
+
+    /// Sets one unit cost.
+    pub fn set(&mut self, p: Primitive, ns: f64) {
+        self.ns[p.index()] = ns;
+    }
+}
+
+/// The full per-system cost model.
+#[derive(Debug, Clone, Default)]
+pub struct CostModel {
+    /// System-wide default unit costs.
+    pub default: CostTable,
+    /// Fixed per-operation overhead, in milliseconds (application, file,
+    /// and — for web systems — request overhead beyond the explicit RTT).
+    base_ms: [f64; ALL_OPS.len()],
+    /// Sparse per-operation overrides of unit costs.
+    overrides: Vec<(OpClass, Primitive, f64)>,
+}
+
+impl CostModel {
+    /// Creates a model from defaults; bases and overrides start empty.
+    pub fn new(default: CostTable) -> Self {
+        CostModel { default, base_ms: [0.0; ALL_OPS.len()], overrides: Vec::new() }
+    }
+
+    /// Sets the fixed overhead of one operation class.
+    pub fn with_base(mut self, op: OpClass, ms: f64) -> Self {
+        self.base_ms[op.index()] = ms;
+        self
+    }
+
+    /// Adds an op-specific unit-cost override.
+    pub fn with_override(mut self, op: OpClass, p: Primitive, ns: f64) -> Self {
+        self.overrides.push((op, p, ns));
+        self
+    }
+
+    /// The fixed overhead of `op` in milliseconds.
+    pub fn base_ms(&self, op: OpClass) -> f64 {
+        self.base_ms[op.index()]
+    }
+
+    /// The effective unit cost (ns) of primitive `p` under operation `op`.
+    pub fn unit_ns(&self, op: OpClass, p: Primitive) -> f64 {
+        for &(o, prim, ns) in &self.overrides {
+            if o == op && prim == p {
+                return ns;
+            }
+        }
+        self.default.get(p)
+    }
+
+    /// Converts a primitive-count delta into simulated milliseconds.
+    pub fn time_ms(&self, op: OpClass, counts: &Counts) -> f64 {
+        let mut ns = 0.0;
+        for p in ALL_PRIMITIVES {
+            let c = counts.get(p);
+            if c > 0 {
+                ns += c as f64 * self.unit_ns(op, p);
+            }
+        }
+        self.base_ms(op) + ns / 1.0e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssbench_engine::meter::Meter;
+
+    fn counts(pairs: &[(Primitive, u64)]) -> Counts {
+        let m = Meter::new();
+        for &(p, n) in pairs {
+            m.bump(p, n);
+        }
+        m.snapshot()
+    }
+
+    #[test]
+    fn default_costs_apply() {
+        let model = CostModel::new(CostTable::from_pairs(&[(Primitive::CellRead, 100.0)]));
+        let c = counts(&[(Primitive::CellRead, 1_000_000)]);
+        assert!((model.time_ms(OpClass::Aggregate, &c) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn base_is_added() {
+        let model = CostModel::new(CostTable::default()).with_base(OpClass::Open, 480.0);
+        assert_eq!(model.time_ms(OpClass::Open, &Counts::default()), 480.0);
+        assert_eq!(model.time_ms(OpClass::Sort, &Counts::default()), 0.0);
+    }
+
+    #[test]
+    fn overrides_shadow_defaults_per_op() {
+        let model = CostModel::new(CostTable::from_pairs(&[(Primitive::CellRead, 100.0)]))
+            .with_override(OpClass::Lookup, Primitive::CellRead, 10.0);
+        let c = counts(&[(Primitive::CellRead, 1_000_000)]);
+        assert!((model.time_ms(OpClass::Lookup, &c) - 10.0).abs() < 1e-9);
+        assert!((model.time_ms(OpClass::Aggregate, &c) - 100.0).abs() < 1e-9);
+        assert_eq!(model.unit_ns(OpClass::Lookup, Primitive::CellRead), 10.0);
+    }
+
+    #[test]
+    fn mixed_primitives_sum() {
+        let model = CostModel::new(CostTable::from_pairs(&[
+            (Primitive::CellRead, 100.0),
+            (Primitive::FormulaEval, 6_000.0),
+        ]))
+        .with_base(OpClass::Sort, 50.0);
+        let c = counts(&[(Primitive::CellRead, 10_000), (Primitive::FormulaEval, 100)]);
+        // 50 + 10_000·100ns (1ms) + 100·6µs (0.6ms)
+        let t = model.time_ms(OpClass::Sort, &c);
+        assert!((t - 51.6).abs() < 1e-9, "{t}");
+    }
+}

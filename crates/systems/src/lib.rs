@@ -1,0 +1,34 @@
+//! # ssbench-systems
+//!
+//! Behavioural profiles of the three spreadsheet systems benchmarked by
+//! *Benchmarking Spreadsheet Systems* (SIGMOD 2020): Microsoft Excel 2016,
+//! LibreOffice Calc 6.0.3.2, and Google Sheets.
+//!
+//! A profile is (a) a set of *policies* — which work the system performs
+//! for each operation (lazy viewport loading, recalculation triggers,
+//! lookup strategies, quota caps) — and (b) a calibrated *cost model*
+//! converting the engine's measured primitive counts into simulated
+//! milliseconds. Policies change what the engine actually executes, so
+//! complexity shapes are produced mechanically; only the per-primitive
+//! unit costs are fitted to the paper's published numbers (every constant
+//! in [`calibration`] cites its anchor).
+//!
+//! [`SimSystem`] is the run-time face: it executes BCT/OOT operations
+//! against real sheets and returns `(result, simulated_ms)` pairs.
+
+pub mod calibration;
+pub mod cost;
+pub mod op;
+pub mod policy;
+pub mod profile;
+pub mod sim;
+
+pub use cost::{CostModel, CostTable};
+pub use op::{OpClass, ALL_OPS};
+pub use policy::{Quotas, RecalcTrigger, SystemPolicies};
+pub use profile::{ScalabilityLimit, SystemKind, SystemProfile, ALL_SYSTEMS};
+pub use sim::SimSystem;
+
+/// The interactivity bound the paper tests against: 500 ms, "widely
+/// regarded as the bound for interactivity" (§1, citing Liu & Heer).
+pub const INTERACTIVITY_BOUND_MS: f64 = 500.0;

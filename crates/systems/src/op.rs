@@ -1,0 +1,111 @@
+//! Operation classes: the unit of cost-model resolution. Each measured
+//! spreadsheet operation belongs to one class; per-class base costs and
+//! per-class primitive-cost overrides let the calibration reproduce the
+//! paper's per-operation constants without inventing fake primitives.
+
+use std::fmt;
+
+/// The class of a measured operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Data load (§4.1).
+    Open,
+    /// Sort (§4.2.1).
+    Sort,
+    /// Conditional formatting (§4.2.2).
+    CondFormat,
+    /// Filter (§4.3.1).
+    Filter,
+    /// Pivot table (§4.3.2).
+    Pivot,
+    /// Aggregate formulae such as COUNTIF (§4.3.3).
+    Aggregate,
+    /// Lookup formulae such as VLOOKUP (§4.3.4).
+    Lookup,
+    /// Find-and-replace (§5.1.2).
+    FindReplace,
+    /// Scripted per-cell data access (§5.2).
+    Access,
+    /// Bulk formula computation for the shared-computation experiment
+    /// (§5.3) and redundant-computation experiment (§5.4).
+    Shared,
+    /// Recalculation triggered by a cell update (§5.5).
+    Update,
+}
+
+/// All operation classes (for iteration in reports/tests).
+pub const ALL_OPS: [OpClass; 11] = [
+    OpClass::Open,
+    OpClass::Sort,
+    OpClass::CondFormat,
+    OpClass::Filter,
+    OpClass::Pivot,
+    OpClass::Aggregate,
+    OpClass::Lookup,
+    OpClass::FindReplace,
+    OpClass::Access,
+    OpClass::Shared,
+    OpClass::Update,
+];
+
+impl OpClass {
+    /// Stable index into per-op arrays.
+    pub const fn index(self) -> usize {
+        match self {
+            OpClass::Open => 0,
+            OpClass::Sort => 1,
+            OpClass::CondFormat => 2,
+            OpClass::Filter => 3,
+            OpClass::Pivot => 4,
+            OpClass::Aggregate => 5,
+            OpClass::Lookup => 6,
+            OpClass::FindReplace => 7,
+            OpClass::Access => 8,
+            OpClass::Shared => 9,
+            OpClass::Update => 10,
+        }
+    }
+
+    /// Short name used in reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            OpClass::Open => "open",
+            OpClass::Sort => "sort",
+            OpClass::CondFormat => "cond_format",
+            OpClass::Filter => "filter",
+            OpClass::Pivot => "pivot",
+            OpClass::Aggregate => "aggregate",
+            OpClass::Lookup => "lookup",
+            OpClass::FindReplace => "find_replace",
+            OpClass::Access => "access",
+            OpClass::Shared => "shared",
+            OpClass::Update => "update",
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_consistent() {
+        for (i, op) in ALL_OPS.iter().enumerate() {
+            assert_eq!(op.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = ALL_OPS.iter().map(|o| o.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_OPS.len());
+    }
+}

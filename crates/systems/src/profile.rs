@@ -1,0 +1,116 @@
+//! The system profile: identity + policies + cost model for one of the
+//! three benchmarked systems.
+
+use crate::cost::CostModel;
+use crate::policy::SystemPolicies;
+
+/// Which system a profile emulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Microsoft Excel 2016 on Windows (desktop, closed-source).
+    Excel,
+    /// LibreOffice Calc 6.0.3.2 on Ubuntu (desktop, open-source).
+    Calc,
+    /// Google Sheets via Google Apps Script (web-based).
+    GSheets,
+}
+
+/// All three systems, in the paper's presentation order.
+pub const ALL_SYSTEMS: [SystemKind; 3] = [SystemKind::Excel, SystemKind::Calc, SystemKind::GSheets];
+
+impl SystemKind {
+    /// Display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SystemKind::Excel => "Excel",
+            SystemKind::Calc => "Calc",
+            SystemKind::GSheets => "Google Sheets",
+        }
+    }
+
+    /// One-letter code used in Table 2 ("E", "C", "G").
+    pub const fn code(self) -> &'static str {
+        match self {
+            SystemKind::Excel => "E",
+            SystemKind::Calc => "C",
+            SystemKind::GSheets => "G",
+        }
+    }
+
+    /// The documented scalability limit this system's Table-2 percentages
+    /// are computed against: rows for the desktop systems (one million
+    /// rows), cells for Sheets (five million cells), §4.4.
+    pub const fn scalability_limit(self) -> ScalabilityLimit {
+        match self {
+            SystemKind::Excel | SystemKind::Calc => ScalabilityLimit::Rows(1_000_000),
+            SystemKind::GSheets => ScalabilityLimit::Cells(5_000_000),
+        }
+    }
+
+    /// The calibrated profile for this system.
+    pub fn profile(self) -> SystemProfile {
+        match self {
+            SystemKind::Excel => crate::calibration::excel(),
+            SystemKind::Calc => crate::calibration::calc(),
+            SystemKind::GSheets => crate::calibration::gsheets(),
+        }
+    }
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A documented scalability limit (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalabilityLimit {
+    Rows(u64),
+    Cells(u64),
+}
+
+impl ScalabilityLimit {
+    /// The fraction of the limit that a dataset of `rows` × `cols`
+    /// represents, as a percentage — the quantity reported in Table 2.
+    pub fn percent_of_limit(self, rows: u32, cols: u32) -> f64 {
+        match self {
+            ScalabilityLimit::Rows(limit) => 100.0 * f64::from(rows) / limit as f64,
+            ScalabilityLimit::Cells(limit) => {
+                100.0 * f64::from(rows) * f64::from(cols) / limit as f64
+            }
+        }
+    }
+}
+
+/// Identity + policies + calibrated cost model.
+#[derive(Debug, Clone)]
+pub struct SystemProfile {
+    pub kind: SystemKind,
+    pub policies: SystemPolicies,
+    pub costs: CostModel,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_percentages() {
+        // §4.4 cross-checks: 6k rows is 0.6% of Excel's 1M-row limit;
+        // 10k×17 cells is 3.4% of Sheets' 5M-cell limit.
+        let e = SystemKind::Excel.scalability_limit();
+        assert!((e.percent_of_limit(6_000, 17) - 0.6).abs() < 1e-9);
+        let g = SystemKind::GSheets.scalability_limit();
+        assert!((g.percent_of_limit(10_000, 17) - 3.4).abs() < 1e-9);
+        assert!((g.percent_of_limit(6_000, 17) - 2.04).abs() < 1e-9);
+        assert!((g.percent_of_limit(70_000, 17) - 23.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn codes_and_names() {
+        assert_eq!(SystemKind::Excel.code(), "E");
+        assert_eq!(SystemKind::GSheets.name(), "Google Sheets");
+        assert_eq!(ALL_SYSTEMS.len(), 3);
+    }
+}

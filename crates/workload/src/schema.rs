@@ -1,0 +1,88 @@
+//! The schema of the synthetic weather dataset (§3.2).
+//!
+//! The paper's real-world seed spreadsheet had 50,000 rows × 17 columns,
+//! with seven columns of per-row `COUNTIF` formulae, each counting the
+//! presence of a natural-disaster keyword in the corresponding cell of a
+//! preceding column. We reproduce that shape exactly:
+//!
+//! | cols | letters | content |
+//! |------|---------|---------|
+//! | 0    | A       | unique integer key `i` (row number, 1-based) — the sort/VLOOKUP column (§4.3.4: "Ai = i") |
+//! | 1    | B       | US state code — the filter/pivot dimension |
+//! | 2–8  | C–I     | weather-event keywords (`STORM`, `HAIL`, …, `NONE`) |
+//! | 9    | J       | numeric storm count — the pivot measure; 0/1-heavy so the incremental-update experiments can flip `J2` between 1 and 0 |
+//! | 10–16| K–Q     | `=COUNTIF(<event cell>,"<keyword>")` formulae, one per event column, each evaluating to 0 or 1 |
+
+/// Total columns in the weather dataset.
+pub const NUM_COLS: u32 = 17;
+
+/// Column A: the unique integer key.
+pub const KEY_COL: u32 = 0;
+
+/// Column B: the US state code.
+pub const STATE_COL: u32 = 1;
+
+/// First event-keyword column (C).
+pub const EVENT_COL_START: u32 = 2;
+
+/// Number of event-keyword columns (C–I).
+pub const NUM_EVENT_COLS: u32 = 7;
+
+/// Column J: the numeric storm-count measure.
+pub const MEASURE_COL: u32 = 9;
+
+/// First formula column (K).
+pub const FORMULA_COL_START: u32 = 10;
+
+/// Number of formula columns (K–Q).
+pub const NUM_FORMULA_COLS: u32 = 7;
+
+/// The keyword each formula column counts in its event column. The first
+/// is `STORM`, matching the paper's example formula
+/// `=COUNTIF(C2,"STORM")`.
+pub const EVENT_KEYWORDS: [&str; NUM_EVENT_COLS as usize] =
+    ["STORM", "HAIL", "TORNADO", "FLOOD", "BLIZZARD", "DROUGHT", "WILDFIRE"];
+
+/// Keyword describing an uneventful day; appears in event columns but is
+/// never counted.
+pub const NO_EVENT: &str = "NONE";
+
+/// The 50 US state codes used by the state column.
+pub const STATES: [&str; 50] = [
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA",
+    "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
+    "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT",
+    "VA", "WA", "WV", "WI", "WY",
+];
+
+/// The filter experiment's predicate value (§4.3.1 filters by state `SD`).
+pub const FILTER_STATE: &str = "SD";
+
+/// The paper's original (survey) dataset size.
+pub const ORIGINAL_ROWS: u32 = 50_000;
+
+/// The scaled-up master dataset size (10× the original, §3.2).
+pub const MASTER_ROWS: u32 = 500_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_is_consistent() {
+        assert_eq!(EVENT_COL_START + NUM_EVENT_COLS, MEASURE_COL);
+        assert_eq!(FORMULA_COL_START + NUM_FORMULA_COLS, NUM_COLS);
+        assert_eq!(NUM_EVENT_COLS, NUM_FORMULA_COLS);
+        assert_eq!(EVENT_KEYWORDS.len() as u32, NUM_EVENT_COLS);
+        assert_eq!(MASTER_ROWS, 10 * ORIGINAL_ROWS);
+    }
+
+    #[test]
+    fn states_are_unique() {
+        let mut s: Vec<&str> = STATES.to_vec();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 50);
+        assert!(STATES.contains(&FILTER_STATE));
+    }
+}

@@ -1,0 +1,400 @@
+//! Property-based tests over the engine's core invariants (proptest).
+
+use proptest::prelude::*;
+
+use ssbench::engine::formula::{BinOp, Expr, RangeRef, UnaryOp};
+use ssbench::engine::prelude::*;
+
+// ---------------------------------------------------------------------
+// Expression generation
+// ---------------------------------------------------------------------
+
+fn arb_cellref() -> impl Strategy<Value = CellRef> {
+    (0u32..200, 0u32..26, any::<bool>(), any::<bool>()).prop_map(|(row, col, ar, ac)| CellRef {
+        addr: CellAddr::new(row, col),
+        abs_row: ar,
+        abs_col: ac,
+    })
+}
+
+fn arb_leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        // Finite, positive numbers: negative literals print as unary minus,
+        // which still round-trips but changes the tree shape.
+        (0.0f64..1e9).prop_map(Expr::Number),
+        "[a-zA-Z0-9 _:;.!?-]{0,12}".prop_map(Expr::Text),
+        any::<bool>().prop_map(Expr::Bool),
+        arb_cellref().prop_map(Expr::Ref),
+        (arb_cellref(), arb_cellref()).prop_map(|(a, b)| {
+            // Normalize corners so the printed form re-parses to the same
+            // range reference.
+            let (start, end) = if (a.addr.row, a.addr.col) <= (b.addr.row, b.addr.col) {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            Expr::RangeRef(RangeRef { start, end })
+        }),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    arb_leaf().prop_recursive(4, 64, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(a, b, op)| Expr::Binary(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            inner.clone().prop_map(|e| Expr::Unary(UnaryOp::Neg, Box::new(e))),
+            inner.clone().prop_map(|e| Expr::Unary(UnaryOp::Percent, Box::new(e))),
+            prop::collection::vec(inner, 0..4).prop_map(|args| Expr::Call("SUM".into(), args)),
+        ]
+    })
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Pow),
+        Just(BinOp::Concat),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+    ]
+}
+
+proptest! {
+    /// print ∘ parse is the identity on printed forms (canonical
+    /// round-trip): parse(print(e)) prints identically.
+    #[test]
+    fn printer_parser_round_trip(expr in arb_expr()) {
+        let printed = print(&expr);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|err| panic!("reparse {printed:?}: {err}"));
+        prop_assert_eq!(print(&reparsed), printed);
+    }
+
+    /// Reference adjustment round-trips: shifting a formula from A to B
+    /// and back yields the original expression (when no shift falls off
+    /// the sheet).
+    #[test]
+    fn adjustment_round_trip(
+        expr in arb_expr(),
+        from_row in 50u32..100, from_col in 10u32..20,
+        to_row in 50u32..100, to_col in 10u32..20,
+    ) {
+        let from = CellAddr::new(from_row, from_col);
+        let to = CellAddr::new(to_row, to_col);
+        let there = expr.adjusted(from, to);
+        // Rows/cols < 200/26 and |delta| < 50/10, so nothing goes
+        // negative … unless the shift pushed a reference off-sheet,
+        // which materializes as an Error node; skip those cases.
+        fn has_ref_error(e: &Expr) -> bool {
+            match e {
+                Expr::Error(_) => true,
+                Expr::Unary(_, x) => has_ref_error(x),
+                Expr::Binary(_, a, b) => has_ref_error(a) || has_ref_error(b),
+                Expr::Call(_, args) => args.iter().any(has_ref_error),
+                _ => false,
+            }
+        }
+        prop_assume!(!has_ref_error(&there));
+        let back = there.adjusted(to, from);
+        prop_assert_eq!(print(&back), print(&expr));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sorting
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Sort produces a permutation of the rows, ordered by the key, and
+    /// keeps row contents together.
+    #[test]
+    fn sort_is_an_ordered_permutation(keys in prop::collection::vec(-1000i64..1000, 1..60)) {
+        let mut sheet = Sheet::new();
+        for (i, &k) in keys.iter().enumerate() {
+            sheet.set_value(CellAddr::new(i as u32, 0), k);
+            sheet.set_value(CellAddr::new(i as u32, 1), format!("tag{i}"));
+        }
+        sort_rows(&mut sheet, &[SortKey::asc(0)]);
+        // Ordered.
+        let sorted: Vec<f64> = (0..keys.len() as u32)
+            .map(|r| sheet.value(CellAddr::new(r, 0)).as_number().unwrap())
+            .collect();
+        prop_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        // Permutation: same multiset of keys.
+        let mut expect: Vec<f64> = keys.iter().map(|&k| k as f64).collect();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(&sorted, &expect);
+        // Row integrity: each tag still sits next to its original key.
+        for r in 0..keys.len() as u32 {
+            let tag = sheet.value(CellAddr::new(r, 1)).display();
+            let orig: usize = tag.strip_prefix("tag").unwrap().parse().unwrap();
+            prop_assert_eq!(sorted[r as usize], keys[orig] as f64);
+        }
+    }
+
+    /// Sorting twice is idempotent.
+    #[test]
+    fn sort_idempotent(keys in prop::collection::vec(-100i64..100, 1..40)) {
+        let mut sheet = Sheet::new();
+        for (i, &k) in keys.iter().enumerate() {
+            sheet.set_value(CellAddr::new(i as u32, 0), k);
+        }
+        sort_rows(&mut sheet, &[SortKey::asc(0)]);
+        let once: Vec<String> =
+            (0..keys.len() as u32).map(|r| sheet.value(CellAddr::new(r, 0)).display()).collect();
+        sort_rows(&mut sheet, &[SortKey::asc(0)]);
+        let twice: Vec<String> =
+            (0..keys.len() as u32).map(|r| sheet.value(CellAddr::new(r, 0)).display()).collect();
+        prop_assert_eq!(once, twice);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recalculation
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Dirty recalculation after random edits equals a full
+    /// recalculation from scratch.
+    #[test]
+    fn dirty_recalc_equals_full_recalc(
+        values in prop::collection::vec(-100i64..100, 10..30),
+        edits in prop::collection::vec((0usize..10, -100i64..100), 1..10),
+    ) {
+        let n = values.len() as u32;
+        let build = |values: &[i64]| {
+            let mut s = Sheet::new();
+            for (i, &v) in values.iter().enumerate() {
+                s.set_value(CellAddr::new(i as u32, 0), v);
+            }
+            // A chain: B1 = SUM(A), Bi = B(i-1) + Ai
+            s.set_formula_str(CellAddr::new(0, 1), &format!("=SUM(A1:A{n})")).unwrap();
+            for i in 1..5u32.min(n) {
+                s.set_formula_str(
+                    CellAddr::new(i, 1),
+                    &format!("=B{}+A{}", i, i + 1),
+                ).unwrap();
+            }
+            recalc::recalc_all(&mut s);
+            s
+        };
+        let mut incremental = build(&values);
+        let mut final_values = values.clone();
+        for &(idx, v) in &edits {
+            let addr = CellAddr::new(idx as u32, 0);
+            incremental.set_value(addr, v);
+            recalc::recalc_from(&mut incremental, &[addr]);
+            final_values[idx] = v;
+        }
+        let fresh = build(&final_values);
+        for i in 0..5u32.min(n) {
+            let addr = CellAddr::new(i, 1);
+            prop_assert_eq!(incremental.value(addr), fresh.value(addr), "B{}", i + 1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Indexes vs scans (optimized crate consistency)
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Hash-index COUNTIF equals the formula scan for arbitrary data and
+    /// stays equal under edits.
+    #[test]
+    fn index_countif_matches_scan(
+        values in prop::collection::vec(0i64..5, 5..60),
+        edits in prop::collection::vec((0usize..5, 0i64..5), 0..8),
+    ) {
+        use ssbench::optimized::OptimizedSheet;
+        let mut sheet = Sheet::new();
+        for (i, &v) in values.iter().enumerate() {
+            sheet.set_value(CellAddr::new(i as u32, 0), v);
+        }
+        let n = values.len();
+        let mut opt = OptimizedSheet::new(sheet);
+        let _ = opt.countif_eq(0, &Value::Number(1.0)); // build
+        for &(idx, v) in &edits {
+            let idx = idx % n;
+            opt.set_value(CellAddr::new(idx as u32, 0), v);
+        }
+        for needle in 0..5i64 {
+            let via_index = opt.countif_eq(0, &Value::Number(needle as f64));
+            let via_scan = opt
+                .sheet()
+                .eval_str(&format!("=COUNTIF(A1:A{n},{needle})"))
+                .unwrap();
+            prop_assert_eq!(Value::Number(via_index as f64), via_scan, "needle {}", needle);
+        }
+    }
+
+    /// Incremental aggregates equal recomputation from scratch under any
+    /// edit sequence.
+    #[test]
+    fn incremental_aggregate_matches_recompute(
+        values in prop::collection::vec(0i64..4, 5..50),
+        edits in prop::collection::vec((0usize..5, 0i64..4), 1..12),
+    ) {
+        use ssbench::optimized::{AggKind, IncrementalAggregate};
+        let n = values.len();
+        let mut sheet = Sheet::new();
+        for (i, &v) in values.iter().enumerate() {
+            sheet.set_value(CellAddr::new(i as u32, 0), v);
+        }
+        let range = Range::column_segment(0, 0, n as u32 - 1);
+        let crit = Criterion::parse(&Value::Number(1.0));
+        let mut count = IncrementalAggregate::build(&sheet, range, AggKind::CountIf(crit));
+        let mut sum = IncrementalAggregate::build(&sheet, range, AggKind::Sum);
+        for &(idx, v) in &edits {
+            let addr = CellAddr::new((idx % n) as u32, 0);
+            let old = sheet.value(addr);
+            sheet.set_value(addr, v);
+            count.apply_edit(addr, &old, &Value::Number(v as f64));
+            sum.apply_edit(addr, &old, &Value::Number(v as f64));
+        }
+        prop_assert_eq!(
+            count.value(),
+            sheet.eval_str(&format!("=COUNTIF(A1:A{n},1)")).unwrap()
+        );
+        prop_assert_eq!(sum.value(), sheet.eval_str(&format!("=SUM(A1:A{n})")).unwrap());
+    }
+
+    /// Find-and-replace equals the naive per-cell string pass.
+    #[test]
+    fn find_replace_matches_naive(
+        texts in prop::collection::vec("[a-c ]{0,8}", 3..30),
+        needle in "[a-c]{1,2}",
+    ) {
+        let mut sheet = Sheet::new();
+        for (i, t) in texts.iter().enumerate() {
+            sheet.set_value(CellAddr::new(i as u32, 0), t.as_str());
+        }
+        let range = sheet.used_range().unwrap();
+        let changed = find_replace(&mut sheet, range, &needle, "Z");
+        let mut expect_changed = 0;
+        for (i, t) in texts.iter().enumerate() {
+            let replaced = t.replace(&needle, "Z");
+            if &replaced != t {
+                expect_changed += 1;
+            }
+            prop_assert_eq!(
+                sheet.value(CellAddr::new(i as u32, 0)).display(),
+                replaced
+            );
+        }
+        prop_assert_eq!(changed, expect_changed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Grid layout equivalence
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Row-major and column-major sheets agree on every operation
+    /// outcome.
+    #[test]
+    fn layouts_agree(values in prop::collection::vec((0i64..100, 0i64..3), 5..40)) {
+        let build = |layout: Layout| {
+            let mut s = Sheet::with_layout(layout, 0, 0);
+            for (i, &(a, b)) in values.iter().enumerate() {
+                s.set_value(CellAddr::new(i as u32, 0), a);
+                s.set_value(CellAddr::new(i as u32, 1), b);
+            }
+            s.set_formula_str(
+                CellAddr::new(0, 2),
+                &format!("=SUMIF(B1:B{n},1,A1:A{n})", n = values.len()),
+            ).unwrap();
+            recalc::recalc_all(&mut s);
+            sort_rows(&mut s, &[SortKey::asc(0)]);
+            s
+        };
+        let row = build(Layout::RowMajor);
+        let col = build(Layout::ColumnMajor);
+        for r in 0..values.len() as u32 {
+            for c in 0..3u32 {
+                let addr = CellAddr::new(r, c);
+                prop_assert_eq!(row.value(addr), col.value(addr), "cell {}", addr);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structural edits
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Inserting rows and then deleting them at the same position is the
+    /// identity on the document (values, formulas, and references).
+    #[test]
+    fn insert_then_delete_rows_is_identity(
+        values in prop::collection::vec(-50i64..50, 4..20),
+        at in 0u32..10,
+        count in 1u32..4,
+    ) {
+        use ssbench::engine::io;
+        use ssbench::engine::ops::structure::{delete_rows, insert_rows};
+        let n = values.len() as u32;
+        prop_assume!(at <= n);
+        let mut sheet = Sheet::new();
+        for (i, &v) in values.iter().enumerate() {
+            sheet.set_value(CellAddr::new(i as u32, 0), v);
+        }
+        sheet.set_formula_str(CellAddr::new(0, 1), &format!("=SUM(A1:A{n})")).unwrap();
+        sheet
+            .set_formula_str(CellAddr::new(1, 1), &format!("=$A${n}*2"))
+            .unwrap();
+        recalc::recalc_all(&mut sheet);
+        let before = io::save(&sheet);
+        insert_rows(&mut sheet, at, count);
+        delete_rows(&mut sheet, at, count);
+        let after = io::save(&sheet);
+        prop_assert_eq!(before, after);
+    }
+
+    /// After any row deletion, recalculated totals equal the sum of the
+    /// surviving values.
+    #[test]
+    fn delete_rows_keeps_sum_consistent(
+        values in prop::collection::vec(-50i64..50, 5..25),
+        at in 0u32..20,
+        count in 1u32..5,
+    ) {
+        use ssbench::engine::ops::structure::delete_rows;
+        let n = values.len() as u32;
+        prop_assume!(at < n);
+        let mut sheet = Sheet::new();
+        for (i, &v) in values.iter().enumerate() {
+            sheet.set_value(CellAddr::new(i as u32, 0), v);
+        }
+        sheet.set_formula_str(CellAddr::new(0, 2), &format!("=SUM(A1:A{n})")).unwrap();
+        delete_rows(&mut sheet, at, count);
+        recalc::recalc_all(&mut sheet);
+        let survivors: i64 = values
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let i = *i as u32;
+                i < at || i >= at + count
+            })
+            .map(|(_, &v)| v)
+            .sum();
+        // The formula survives unless its own row (row 0) was deleted.
+        if at > 0 {
+            let total = sheet.value(CellAddr::new(0, 2));
+            prop_assert_eq!(total, Value::Number(survivors as f64));
+        }
+    }
+}
