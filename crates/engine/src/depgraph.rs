@@ -28,13 +28,89 @@ impl Precedents {
     }
 }
 
+/// Ranges spanning more than this many columns are kept on a flat
+/// overflow list instead of being fanned out into per-column buckets:
+/// whole-row references would otherwise bucket into thousands of columns.
+const WIDE_RANGE_COLS: u32 = 16;
+
+/// Column-bucketed index over `(range, watcher)` pairs.
+///
+/// `dependents_of` is on the hot path of every edit (dirty propagation
+/// starts there), so point queries must not scan every range formula on
+/// the sheet. Narrow ranges are indexed under each column they cover as
+/// `(start_row, end_row, watcher)` row intervals; point lookup touches
+/// only the changed cell's column bucket plus the (rare) wide list.
+#[derive(Debug, Clone, Default)]
+struct RangeIndex {
+    by_col: HashMap<u32, Vec<(u32, u32, CellAddr)>>,
+    wide: Vec<(Range, CellAddr)>,
+}
+
+impl RangeIndex {
+    fn insert(&mut self, range: Range, watcher: CellAddr) {
+        if range.end.col - range.start.col >= WIDE_RANGE_COLS {
+            self.wide.push((range, watcher));
+        } else {
+            for col in range.start.col..=range.end.col {
+                self.by_col
+                    .entry(col)
+                    .or_default()
+                    .push((range.start.row, range.end.row, watcher));
+            }
+        }
+    }
+
+    /// Removes one entry matching `(range, watcher)` — the exact inverse
+    /// of one `insert` call, so duplicate registrations stay balanced.
+    fn remove(&mut self, range: Range, watcher: CellAddr) {
+        if range.end.col - range.start.col >= WIDE_RANGE_COLS {
+            if let Some(i) = self.wide.iter().position(|&(r, w)| r == range && w == watcher) {
+                self.wide.remove(i);
+            }
+        } else {
+            for col in range.start.col..=range.end.col {
+                let Some(bucket) = self.by_col.get_mut(&col) else { continue };
+                if let Some(i) = bucket
+                    .iter()
+                    .position(|&(lo, hi, w)| lo == range.start.row && hi == range.end.row && w == watcher)
+                {
+                    bucket.remove(i);
+                }
+                if bucket.is_empty() {
+                    self.by_col.remove(&col);
+                }
+            }
+        }
+    }
+
+    fn watchers_of(&self, addr: CellAddr, out: &mut Vec<CellAddr>) {
+        if let Some(bucket) = self.by_col.get(&addr.col) {
+            for &(lo, hi, watcher) in bucket {
+                if (lo..=hi).contains(&addr.row) {
+                    out.push(watcher);
+                }
+            }
+        }
+        for &(range, watcher) in &self.wide {
+            if range.contains(addr) {
+                out.push(watcher);
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.by_col.clear();
+        self.wide.clear();
+    }
+}
+
 /// The dependency graph over formula cells.
 #[derive(Debug, Clone, Default)]
 pub struct DepGraph {
     /// cell → formulae that reference it directly.
     dependents: HashMap<CellAddr, Vec<CellAddr>>,
-    /// (range, formula) pairs for range references.
-    range_watchers: Vec<(Range, CellAddr)>,
+    /// Range references, indexed by column for point lookup.
+    range_watchers: RangeIndex,
     /// formula → its precedents (for removal and ordering).
     precedents: HashMap<CellAddr, Precedents>,
 }
@@ -78,12 +154,14 @@ impl DepGraph {
             self.dependents.entry(p).or_default().push(addr);
         }
         for &r in &prec.ranges {
-            self.range_watchers.push((r, addr));
+            self.range_watchers.insert(r, addr);
         }
         self.precedents.insert(addr, prec);
     }
 
-    /// Unregisters the formula at `addr` (no-op when absent).
+    /// Unregisters the formula at `addr` (no-op when absent). Cost is
+    /// proportional to the formula's own precedents — the range index is
+    /// unwound entry by entry, never scanned wholesale.
     pub fn remove(&mut self, addr: CellAddr) {
         let Some(prec) = self.precedents.remove(&addr) else {
             return;
@@ -96,8 +174,8 @@ impl DepGraph {
                 }
             }
         }
-        if !prec.ranges.is_empty() {
-            self.range_watchers.retain(|&(_, w)| w != addr);
+        for &r in &prec.ranges {
+            self.range_watchers.remove(r, addr);
         }
     }
 
@@ -113,11 +191,7 @@ impl DepGraph {
         if let Some(deps) = self.dependents.get(&addr) {
             out.extend_from_slice(deps);
         }
-        for &(range, watcher) in &self.range_watchers {
-            if range.contains(addr) {
-                out.push(watcher);
-            }
-        }
+        self.range_watchers.watchers_of(addr, out);
     }
 
     /// Computes the transitive dirty set reachable from `changed` and
@@ -204,19 +278,26 @@ impl DepGraph {
             }
         }
 
-        let mut ready: Vec<CellAddr> = indeg
+        // Wave-synchronous Kahn: process the entire ready frontier as one
+        // topological *level* before admitting its successors. Level k
+        // therefore holds exactly the formulae whose longest in-subset
+        // precedent chain has length k — within a level no formula reads
+        // another, which is what lets the recalc engine evaluate a level's
+        // formulae concurrently against an immutable snapshot.
+        let mut frontier: Vec<CellAddr> = indeg
             .iter()
             .filter_map(|(&a, &d)| if d == 0 { Some(a) } else { None })
             .collect();
         // Deterministic order regardless of hash iteration.
-        ready.sort_unstable();
+        frontier.sort_unstable();
         let mut order: Vec<CellAddr> = Vec::with_capacity(subset.len());
-        let mut queue: VecDeque<CellAddr> = ready.into();
-        while let Some(f) = queue.pop_front() {
-            order.push(f);
-            if let Some(next) = edges.get(&f) {
-                // Collect newly-ready nodes, sorted for determinism.
-                let mut newly: Vec<CellAddr> = Vec::new();
+        let mut level_starts: Vec<usize> = Vec::new();
+        while !frontier.is_empty() {
+            level_starts.push(order.len());
+            let mut newly: Vec<CellAddr> = Vec::new();
+            for &f in &frontier {
+                order.push(f);
+                let Some(next) = edges.get(&f) else { continue };
                 for &n in next {
                     let d = indeg.get_mut(&n).expect("node in subset");
                     *d -= 1;
@@ -224,9 +305,9 @@ impl DepGraph {
                         newly.push(n);
                     }
                 }
-                newly.sort_unstable();
-                queue.extend(newly);
             }
+            newly.sort_unstable();
+            frontier = newly;
         }
         let mut cyclic: Vec<CellAddr> = if order.len() == subset.len() {
             Vec::new()
@@ -235,18 +316,51 @@ impl DepGraph {
             subset.iter().copied().filter(|a| !ordered.contains(a)).collect()
         };
         cyclic.sort_unstable();
-        DirtyPlan { order, cyclic }
+        DirtyPlan { order, level_starts, cyclic }
     }
 }
 
 /// The result of dirty-set planning: formulae in evaluation order, plus any
 /// formulae stuck on dependency cycles.
+///
+/// The order is stratified into topological levels: `level_starts[k]` is
+/// the index in `order` where level `k` begins, and every formula in a
+/// level depends only on formulae in strictly earlier levels. A level is
+/// therefore safe to evaluate in parallel once the previous level's
+/// results are committed.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DirtyPlan {
-    /// Formulae to evaluate, precedents-first.
+    /// Formulae to evaluate, precedents-first, grouped by level.
     pub order: Vec<CellAddr>,
+    /// Start index in `order` of each topological level (first entry 0
+    /// whenever `order` is non-empty).
+    pub level_starts: Vec<usize>,
     /// Formulae on cycles (to be marked `#CIRC!`).
     pub cyclic: Vec<CellAddr>,
+}
+
+impl DirtyPlan {
+    /// Number of topological levels.
+    pub fn level_count(&self) -> usize {
+        self.level_starts.len()
+    }
+
+    /// Iterates the levels as slices of `order`, precedents-first.
+    pub fn levels(&self) -> impl Iterator<Item = &[CellAddr]> {
+        (0..self.level_starts.len()).map(move |k| self.level(k))
+    }
+
+    /// The `k`-th level as a slice of `order`.
+    pub fn level(&self, k: usize) -> &[CellAddr] {
+        let start = self.level_starts[k];
+        let end = self.level_starts.get(k + 1).copied().unwrap_or(self.order.len());
+        &self.order[start..end]
+    }
+
+    /// Size of the widest level — an upper bound on useful parallelism.
+    pub fn max_level_width(&self) -> usize {
+        self.levels().map(<[CellAddr]>::len).max().unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -370,5 +484,94 @@ mod tests {
         for (i, addr) in plan.order.iter().enumerate() {
             assert_eq!(*addr, CellAddr::new(i as u32, 2));
         }
+        // A pure chain stratifies into one formula per level.
+        assert_eq!(plan.level_count(), 50);
+        assert_eq!(plan.max_level_width(), 1);
+    }
+
+    #[test]
+    fn levels_partition_order_and_respect_dependencies() {
+        // Two independent chains plus a join:
+        //   B1=A1, C1=B1 and B2=A1, C2=B2, D1=C1+C2.
+        let g = graph(&[
+            ("B1", "A1+1"),
+            ("C1", "B1+1"),
+            ("B2", "A1+2"),
+            ("C2", "B2+2"),
+            ("D1", "C1+C2"),
+        ]);
+        let plan = g.dirty_order(&[a("A1")]);
+        assert_eq!(plan.levels().collect::<Vec<_>>(), vec![
+            &[a("B1"), a("B2")][..],
+            &[a("C1"), a("C2")][..],
+            &[a("D1")][..],
+        ]);
+        // level_starts indexes a partition of `order`.
+        assert_eq!(plan.level_starts[0], 0);
+        assert_eq!(plan.levels().map(<[CellAddr]>::len).sum::<usize>(), plan.order.len());
+        assert_eq!(plan.max_level_width(), 2);
+    }
+
+    /// Reference implementation: the answer `dependents_of` must give for
+    /// range precedents, derived by scanning every formula's own ranges.
+    fn linear_range_watchers(g: &DepGraph, addr: CellAddr) -> Vec<CellAddr> {
+        let mut out: Vec<CellAddr> = g
+            .formula_addrs()
+            .filter(|&f| {
+                g.precedents_of(f)
+                    .is_some_and(|p| p.ranges.iter().any(|r| r.contains(addr)))
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn bucketed_range_index_agrees_with_linear_scan() {
+        // Mix of narrow ranges, duplicate ranges, overlapping ranges, and
+        // a wide range that lands on the overflow list.
+        let g = graph(&[
+            ("F1", "SUM(A1:A100)"),
+            ("F2", "SUM(A50:C150)"),
+            ("F3", "SUM(A1:A100)+SUM(B1:B10)"),
+            ("F4", "SUM(A1:Z5)"), // 26 columns: wide
+            ("F5", "SUM(C3:C3)"),
+            ("F6", "COUNT(B5:D60)"),
+        ]);
+        for addr in [
+            a("A1"), a("A50"), a("A100"), a("A101"), a("B1"), a("B5"), a("B10"),
+            a("B11"), a("C3"), a("C150"), a("D60"), a("Z5"), a("Z6"), a("AA1"),
+        ] {
+            let mut bucketed = Vec::new();
+            g.dependents_of(addr, &mut bucketed);
+            bucketed.sort_unstable();
+            assert_eq!(
+                bucketed,
+                linear_range_watchers(&g, addr),
+                "disagreement at {addr:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reregistering_formula_with_changed_ranges_unwinds_index() {
+        let mut g = graph(&[("F1", "SUM(A1:A10)+SUM(A1:Z2)")]);
+        // Replace both the narrow and the wide range with new ones.
+        g.add(a("F1"), &parse("SUM(B1:B5)+SUM(B1:Z9)").unwrap());
+        let mut deps = Vec::new();
+        g.dependents_of(a("A5"), &mut deps); // old narrow range only
+        assert!(deps.is_empty(), "stale narrow entry: {deps:?}");
+        g.dependents_of(a("A2"), &mut deps); // old narrow + old wide range
+        assert!(deps.is_empty(), "stale wide entry: {deps:?}");
+        g.dependents_of(a("B3"), &mut deps); // both new ranges
+        assert_eq!(deps, vec![a("F1"), a("F1")]);
+        deps.clear();
+        g.dependents_of(a("M9"), &mut deps); // new wide range only
+        assert_eq!(deps, vec![a("F1")]);
+        // Full removal leaves the index truly empty.
+        g.remove(a("F1"));
+        assert!(g.is_empty());
+        assert!(g.range_watchers.by_col.is_empty());
+        assert!(g.range_watchers.wide.is_empty());
     }
 }

@@ -69,6 +69,7 @@ pub mod prelude {
         PivotTable, SortKey, SortOrder,
     };
     pub use crate::recalc;
+    pub use crate::recalc::RecalcOptions;
     pub use crate::sheet::{Layout, Sheet};
     pub use crate::style::{Color, Style};
     pub use crate::value::{Criterion, Value};

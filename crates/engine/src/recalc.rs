@@ -12,11 +12,26 @@
 //!   scratch** — a formula over an m-cell range costs O(m) even for a
 //!   single-cell edit. That is the paper's §5.5 finding; the incremental
 //!   alternative lives in `ssbench-optimized`.
+//!
+//! Both entry points run through a level-scheduled executor: the
+//! [`DirtyPlan`] stratifies formulae into topological levels, and when a
+//! plan is large enough ([`RecalcOptions::threshold`]) each level is
+//! evaluated by scoped worker threads against an immutable sheet
+//! snapshot, committing values and merging per-worker meter counts at
+//! the level barrier. Values and meter counts are bit-identical to the
+//! sequential path regardless of thread count; see
+//! [`run_levels_parallel`] for the argument. Simulated-system profiles
+//! keep charging single-threaded costs — the parallelism accelerates
+//! wall-clock benchmarking, it does not change the modeled systems.
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
 use crate::addr::CellAddr;
+use crate::depgraph::DirtyPlan;
 use crate::error::CellError;
 use crate::eval::evaluate;
-use crate::meter::Primitive;
+use crate::meter::{Meter, Primitive};
 use crate::sheet::Sheet;
 use crate::value::Value;
 
@@ -29,39 +44,171 @@ pub struct RecalcStats {
     pub cyclic: usize,
 }
 
+/// Knobs for the recalculation executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecalcOptions {
+    /// Maximum worker threads per level; `1` forces the sequential path.
+    pub parallelism: usize,
+    /// Minimum plan size (formulae in `order`) before the parallel path
+    /// engages. Small dirty sets — the single-cell-edit workloads of
+    /// §5.5 — must not pay thread-spawn overhead.
+    pub threshold: usize,
+}
+
+impl Default for RecalcOptions {
+    fn default() -> Self {
+        RecalcOptions { parallelism: default_parallelism(), threshold: 1024 }
+    }
+}
+
+impl RecalcOptions {
+    /// The classic single-threaded executor.
+    pub fn sequential() -> Self {
+        RecalcOptions { parallelism: 1, threshold: usize::MAX }
+    }
+
+    /// Default thresholds with an explicit worker count.
+    pub fn with_parallelism(parallelism: usize) -> Self {
+        RecalcOptions { parallelism: parallelism.max(1), ..RecalcOptions::default() }
+    }
+}
+
+/// Worker count used by `RecalcOptions::default()`: the
+/// `RECALC_PARALLELISM` environment variable when set, otherwise the
+/// machine's available parallelism. Read once per process.
+fn default_parallelism() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("RECALC_PARALLELISM")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+            })
+    })
+}
+
 /// Evaluates the formula at `addr` against the sheet's current state and
 /// returns its value; `None` when the cell is not a formula.
 pub fn eval_formula_at(sheet: &Sheet, addr: CellAddr) -> Option<Value> {
+    eval_formula_with(sheet, addr, sheet.meter())
+}
+
+/// Like [`eval_formula_at`] but charging an arbitrary meter — the hook
+/// the parallel path uses to give each worker its own counter.
+fn eval_formula_with(sheet: &Sheet, addr: CellAddr, meter: &Meter) -> Option<Value> {
     let expr = sheet.formula_expr(addr)?;
-    let ctx = sheet.eval_ctx(addr);
-    sheet.meter().tick(Primitive::FormulaEval);
+    let ctx = sheet.eval_ctx_with(addr, meter);
+    meter.tick(Primitive::FormulaEval);
     Some(evaluate(expr, &ctx))
 }
 
-/// Evaluates the given formulae in order, storing results.
-fn run_plan(sheet: &mut Sheet, order: &[CellAddr], cyclic: &[CellAddr]) -> RecalcStats {
-    for &addr in order {
-        if let Some(v) = eval_formula_at(sheet, addr) {
-            sheet.store_cached(addr, v);
+/// Executes a plan: evaluates level by level (parallel when the plan is
+/// large enough and `opts` allow), then marks cycles.
+fn run_plan(sheet: &mut Sheet, plan: &DirtyPlan, opts: RecalcOptions) -> RecalcStats {
+    let workers = opts.parallelism.max(1);
+    if workers > 1 && plan.order.len() >= opts.threshold {
+        run_levels_parallel(sheet, plan, workers);
+    } else {
+        for &addr in &plan.order {
+            if let Some(v) = eval_formula_at(sheet, addr) {
+                sheet.store_cached(addr, v);
+            }
         }
     }
-    for &addr in cyclic {
+    for &addr in &plan.cyclic {
         sheet.store_cached(addr, Value::Error(CellError::Circular));
     }
-    RecalcStats { evaluated: order.len(), cyclic: cyclic.len() }
+    RecalcStats { evaluated: plan.order.len(), cyclic: plan.cyclic.len() }
 }
 
-/// Fully recalculates every formula on the sheet, precedents first.
+/// Don't fan a level out to more workers than leaves at least this many
+/// formulae per worker — below that, spawn overhead dominates.
+const MIN_CHUNK: usize = 64;
+
+/// The parallel executor: each topological level is evaluated by scoped
+/// worker threads against the sheet as an immutable snapshot, then the
+/// results and per-worker meter counts are committed at the level barrier
+/// before the next level starts.
+///
+/// Determinism: within a level no formula reads another (levels stratify
+/// the dependency graph), and every value a formula reads was committed
+/// at an earlier barrier — so each formula sees exactly the state the
+/// sequential executor would show it, and produces bit-identical values.
+/// Meter counts are recorded into per-worker meters and *summed* at the
+/// barrier; addition is commutative, so the totals are bit-identical to
+/// the sequential path regardless of thread count or scheduling.
+fn run_levels_parallel(sheet: &mut Sheet, plan: &DirtyPlan, workers: usize) {
+    for k in 0..plan.level_count() {
+        let level = plan.level(k);
+        let fanout = workers.min(level.len() / MIN_CHUNK).max(1);
+        if fanout == 1 {
+            for &addr in level {
+                if let Some(v) = eval_formula_at(sheet, addr) {
+                    sheet.store_cached(addr, v);
+                }
+            }
+            continue;
+        }
+        let chunk_len = level.len().div_ceil(fanout);
+        let shared: &Sheet = sheet;
+        let outcomes: Vec<(crate::meter::Counts, Vec<(CellAddr, Value)>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = level
+                    .chunks(chunk_len)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            let local = Meter::new();
+                            let results: Vec<(CellAddr, Value)> = chunk
+                                .iter()
+                                .filter_map(|&addr| {
+                                    eval_formula_with(shared, addr, &local).map(|v| (addr, v))
+                                })
+                                .collect();
+                            (local.snapshot(), results)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("recalc worker panicked")).collect()
+            });
+        // Barrier: merge counts and commit values in chunk order.
+        for (counts, results) in outcomes {
+            sheet.meter().absorb(&counts);
+            for (addr, v) in results {
+                sheet.store_cached(addr, v);
+            }
+        }
+    }
+}
+
+/// Fully recalculates every formula on the sheet, precedents first, using
+/// the sheet's configured [`RecalcOptions`].
 pub fn recalc_all(sheet: &mut Sheet) -> RecalcStats {
+    recalc_all_with(sheet, sheet.recalc_options())
+}
+
+/// [`recalc_all`] with explicit options.
+pub fn recalc_all_with(sheet: &mut Sheet, opts: RecalcOptions) -> RecalcStats {
     let plan = sheet.deps().full_order();
-    run_plan(sheet, &plan.order, &plan.cyclic)
+    run_plan(sheet, &plan, opts)
 }
 
 /// Recalculates the formulae transitively affected by changes to
-/// `changed`, precedents first.
+/// `changed`, precedents first, using the sheet's configured
+/// [`RecalcOptions`].
 pub fn recalc_from(sheet: &mut Sheet, changed: &[CellAddr]) -> RecalcStats {
+    recalc_from_with(sheet, changed, sheet.recalc_options())
+}
+
+/// [`recalc_from`] with explicit options.
+pub fn recalc_from_with(
+    sheet: &mut Sheet,
+    changed: &[CellAddr],
+    opts: RecalcOptions,
+) -> RecalcStats {
     let plan = sheet.deps().dirty_order(changed);
-    run_plan(sheet, &plan.order, &plan.cyclic)
+    run_plan(sheet, &plan, opts)
 }
 
 /// The open-time pass: builds the calculation sequence (charging one
@@ -150,6 +297,100 @@ mod tests {
         let delta = s.meter().snapshot().since(&before);
         assert_eq!(delta.get(Primitive::DepBuild), 2);
         assert_eq!(delta.get(Primitive::FormulaEval), 2);
+    }
+
+    /// A sheet with a wide, multi-level formula DAG: `n` value rows in
+    /// column A; column B squares them; column C sums a running window of
+    /// B; one final SUM over all of C.
+    fn wide_dag_sheet(n: u32, opts: RecalcOptions) -> Sheet {
+        let mut s = Sheet::new();
+        s.set_recalc_options(opts);
+        for i in 0..n {
+            s.set_value(CellAddr::new(i, 0), i64::from(i % 97));
+            s.set_formula_str(CellAddr::new(i, 1), &format!("=A{0}*A{0}", i + 1)).unwrap();
+            let lo = (i / 10) * 10 + 1;
+            s.set_formula_str(CellAddr::new(i, 2), &format!("=SUM(B{lo}:B{})", i + 1)).unwrap();
+        }
+        s.set_formula_str(CellAddr::new(0, 3), &format!("=SUM(C1:C{n})")).unwrap();
+        s
+    }
+
+    #[test]
+    fn parallel_recalc_matches_sequential_values_and_counts() {
+        let n = 600;
+        let mut seq = wide_dag_sheet(n, RecalcOptions::sequential());
+        let mut par = wide_dag_sheet(
+            n,
+            RecalcOptions { parallelism: 4, threshold: 1 },
+        );
+        let seq_stats = recalc_all(&mut seq);
+        let par_stats = recalc_all(&mut par);
+        assert_eq!(seq_stats, par_stats);
+        for row in 0..n {
+            for col in 1..3 {
+                let addr = CellAddr::new(row, col);
+                assert_eq!(seq.value(addr), par.value(addr), "{addr:?}");
+            }
+        }
+        assert_eq!(seq.value(a("D1")), par.value(a("D1")));
+        // The tentpole guarantee: meter counts are bit-identical.
+        assert_eq!(seq.meter().snapshot(), par.meter().snapshot());
+    }
+
+    #[test]
+    fn parallel_dirty_recalc_matches_sequential() {
+        let n = 400;
+        let mut seq = wide_dag_sheet(n, RecalcOptions::sequential());
+        let mut par = wide_dag_sheet(
+            n,
+            RecalcOptions { parallelism: 3, threshold: 1 },
+        );
+        recalc_all(&mut seq);
+        recalc_all(&mut par);
+        for s in [&mut seq, &mut par] {
+            s.set_value(a("A5"), 1000);
+            s.set_value(CellAddr::new(250, 0), -3);
+        }
+        let changed = [a("A5"), CellAddr::new(250, 0)];
+        let seq_stats = recalc_from(&mut seq, &changed);
+        let par_stats = recalc_from(&mut par, &changed);
+        assert_eq!(seq_stats, par_stats);
+        for row in 0..n {
+            for col in 1..3 {
+                let addr = CellAddr::new(row, col);
+                assert_eq!(seq.value(addr), par.value(addr), "{addr:?}");
+            }
+        }
+        assert_eq!(seq.meter().snapshot(), par.meter().snapshot());
+    }
+
+    #[test]
+    fn small_plans_stay_sequential_under_default_options() {
+        // Default threshold keeps single-edit dirty sets off the thread
+        // path entirely; stats and values must be unaffected either way.
+        let mut s = Sheet::new();
+        s.set_recalc_options(RecalcOptions::default());
+        s.set_value(a("A1"), 2);
+        s.set_formula_str(a("B1"), "=A1*10").unwrap();
+        let stats = recalc_all(&mut s);
+        assert_eq!(stats.evaluated, 1);
+        assert_eq!(s.value(a("B1")), Value::Number(20.0));
+    }
+
+    #[test]
+    fn parallel_path_marks_cycles_like_sequential() {
+        let mut s = Sheet::new();
+        s.set_recalc_options(RecalcOptions { parallelism: 4, threshold: 1 });
+        for i in 0..200u32 {
+            s.set_value(CellAddr::new(i, 0), 1);
+            s.set_formula_str(CellAddr::new(i, 1), &format!("=A{0}+1", i + 1)).unwrap();
+        }
+        s.set_formula_str(a("D1"), "=E1+1").unwrap();
+        s.set_formula_str(a("E1"), "=D1+1").unwrap();
+        let stats = recalc_all(&mut s);
+        assert_eq!(stats.cyclic, 2);
+        assert_eq!(s.value(a("D1")), Value::Error(CellError::Circular));
+        assert_eq!(s.value(CellAddr::new(199, 1)), Value::Number(2.0));
     }
 
     #[test]

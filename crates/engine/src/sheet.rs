@@ -10,6 +10,7 @@ use crate::eval::{CellSource, EvalCtx, LookupStrategy};
 use crate::formula::{Expr, NameResolver, RangeRef};
 use crate::grid::{Grid, GridStore};
 use crate::meter::{Meter, Primitive};
+use crate::recalc::RecalcOptions;
 use crate::value::Value;
 
 /// Physical storage layout for a sheet.
@@ -35,6 +36,8 @@ pub struct Sheet {
     now_serial: f64,
     /// Named ranges (uppercased name → range).
     names: NameTable,
+    /// Executor knobs used by `recalc_all` / `recalc_from`.
+    recalc_opts: RecalcOptions,
 }
 
 /// The sheet's named-range table; implements the parser's name resolver.
@@ -70,6 +73,7 @@ impl Sheet {
             lookup: LookupStrategy::default(),
             now_serial: DEFAULT_NOW_SERIAL,
             names: NameTable::default(),
+            recalc_opts: RecalcOptions::default(),
         }
     }
 
@@ -157,6 +161,17 @@ impl Sheet {
     /// Sets the serial returned by `NOW()` (deterministic clock).
     pub fn set_now_serial(&mut self, serial: f64) {
         self.now_serial = serial;
+    }
+
+    /// Sets the recalculation executor knobs (parallel worker cap and the
+    /// plan-size threshold below which recalc stays sequential).
+    pub fn set_recalc_options(&mut self, opts: RecalcOptions) {
+        self.recalc_opts = opts;
+    }
+
+    /// The recalculation executor knobs.
+    pub fn recalc_options(&self) -> RecalcOptions {
+        self.recalc_opts
     }
 
     // --- mutation --------------------------------------------------------
@@ -372,9 +387,16 @@ impl Sheet {
 
     /// An evaluation context for the formula at `current`.
     pub fn eval_ctx(&self, current: CellAddr) -> EvalCtx<'_> {
+        self.eval_ctx_with(current, &self.meter)
+    }
+
+    /// An evaluation context charging an explicit meter instead of the
+    /// sheet's own — the parallel recalc path hands each worker thread a
+    /// private meter here so the sheet's counter stays single-writer.
+    pub fn eval_ctx_with<'a>(&'a self, current: CellAddr, meter: &'a Meter) -> EvalCtx<'a> {
         EvalCtx {
             cells: self,
-            meter: &self.meter,
+            meter,
             current,
             lookup: self.lookup,
             now_serial: self.now_serial,

@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::EngineError;
 use crate::io::{self, SheetData};
+use crate::recalc::RecalcOptions;
 use crate::sheet::{Layout, Sheet};
 
 /// A serializable workbook document: named sheet documents in order.
@@ -80,6 +81,15 @@ impl Workbook {
         self.sheets.iter().map(|(n, s)| (n.as_str(), s))
     }
 
+    /// Applies the same recalculation executor knobs to every sheet.
+    /// Sheets inserted later keep their own options; set them before
+    /// inserting or call this again.
+    pub fn set_recalc_options(&mut self, opts: RecalcOptions) {
+        for (_, sheet) in &mut self.sheets {
+            sheet.set_recalc_options(opts);
+        }
+    }
+
     /// Serializes every sheet to its document form.
     pub fn to_data(&self) -> WorkbookData {
         WorkbookData {
@@ -115,6 +125,16 @@ mod tests {
         assert!(wb.remove("Pivot").is_some());
         assert_eq!(wb.len(), 1);
         assert!(wb.remove("Pivot").is_none());
+    }
+
+    #[test]
+    fn recalc_options_propagate_to_all_sheets() {
+        let mut wb = Workbook::with_sheet(Sheet::new());
+        wb.insert("Other", Sheet::new()).unwrap();
+        let opts = RecalcOptions::with_parallelism(3);
+        wb.set_recalc_options(opts);
+        assert_eq!(wb.get("Sheet1").unwrap().recalc_options(), opts);
+        assert_eq!(wb.get("Other").unwrap().recalc_options(), opts);
     }
 
     #[test]

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Canonical verification for this repository: build everything, run the
+# full test suite, then re-run it in the two configurations most likely
+# to expose parallel-recalc bugs — a single test thread (serializes the
+# scoped-thread workers' scheduling environment) and a forced 4-worker
+# recalc default via RECALC_PARALLELISM. All four stages must pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> RUST_TEST_THREADS=1 cargo test -q"
+RUST_TEST_THREADS=1 cargo test -q
+
+echo "==> RECALC_PARALLELISM=4 cargo test -q"
+RECALC_PARALLELISM=4 cargo test -q
+
+echo "==> all checks passed"

@@ -1,0 +1,643 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the subset of proptest the workspace's property tests
+//! use: the [`Strategy`] trait (`prop_map`, `prop_recursive`, `boxed`),
+//! range / tuple / string-pattern / `Just` / `any::<T>()` strategies,
+//! `prop::collection::vec`, the `prop_oneof!` union macro, and the
+//! `proptest!` test-runner macro with `prop_assume!` / `prop_assert!` /
+//! `prop_assert_eq!`.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! its inputs via the assertion message only), and the RNG stream is
+//! derived deterministically from the test function's name, so failures
+//! reproduce exactly on rerun without a persistence file.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+// --- deterministic RNG ---------------------------------------------------
+
+/// The runner's random source (xorshift64* — deterministic per seed).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        // SplitMix64 finalizer decorrelates nearby seeds.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        TestRng { state: (z ^ (z >> 31)) | 1 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// --- Strategy core -------------------------------------------------------
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Builds a recursive strategy: `f` receives a strategy for the
+    /// "inner" (smaller) values and returns the composite case. Nesting
+    /// is bounded by `depth`; the size hints are accepted for API
+    /// compatibility but unused.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..depth {
+            let composite = f(current).boxed();
+            current = Union::new(vec![(1, base.clone()), (2, composite)]).boxed();
+        }
+        current
+    }
+}
+
+/// Type-erased, cheaply clonable strategy (single-threaded tests; `Rc`).
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always-the-same-value strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union of strategies — the engine behind `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, arm) in &self.arms {
+            if pick < *weight as u64 {
+                return arm.generate(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+// --- primitive strategies ------------------------------------------------
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i64).wrapping_sub(start as i64) as u64;
+                start.wrapping_add((rng.next_u64() % span.wrapping_add(1).max(1)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, i8, i16, i32, i64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// `any::<T>()` — the type's canonical full-domain strategy.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// --- string pattern strategies -------------------------------------------
+
+/// `&'static str` acts as a regex-like pattern strategy producing
+/// `String`s. Supported syntax (all the workspace's tests use): literal
+/// characters, character classes `[a-z0-9_-]` (ranges plus literals; a
+/// trailing `-` is literal), and `{lo,hi}` / `{n}` repetition counts.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = if atom.max == atom.min {
+                atom.min
+            } else {
+                atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize
+            };
+            for _ in 0..count {
+                let i = rng.below(atom.chars.len() as u64) as usize;
+                out.push(atom.chars[i]);
+            }
+        }
+        out
+    }
+}
+
+struct PatternAtom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let candidates = if c == '[' {
+            let mut set = Vec::new();
+            let mut members: Vec<char> = Vec::new();
+            for m in chars.by_ref() {
+                if m == ']' {
+                    break;
+                }
+                members.push(m);
+            }
+            let mut i = 0;
+            while i < members.len() {
+                // `a-z` is a range unless `-` starts or ends the class.
+                if i + 2 < members.len() && members[i + 1] == '-' {
+                    let (lo, hi) = (members[i] as u32, members[i + 2] as u32);
+                    assert!(lo <= hi, "invalid pattern range in {pattern:?}");
+                    for code in lo..=hi {
+                        set.push(char::from_u32(code).unwrap());
+                    }
+                    i += 3;
+                } else {
+                    set.push(members[i]);
+                    i += 1;
+                }
+            }
+            assert!(!set.is_empty(), "empty character class in {pattern:?}");
+            set
+        } else {
+            assert!(
+                !matches!(c, '(' | ')' | '|' | '*' | '+' | '?' | '.'),
+                "unsupported pattern syntax {c:?} in {pattern:?} (shim supports classes and counted repeats only)"
+            );
+            vec![c]
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for m in chars.by_ref() {
+                if m == '}' {
+                    break;
+                }
+                spec.push(m);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repeat count"),
+                    hi.trim().parse().expect("bad repeat count"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repeat range in {pattern:?}");
+        atoms.push(PatternAtom { chars: candidates, min, max });
+    }
+    atoms
+}
+
+// --- tuple strategies ----------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+// --- collections ---------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length bounds for [`vec`] (inclusive).
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// `prop::collection::vec(element, size)` — a `Vec` of generated
+    /// elements with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// --- test runner ---------------------------------------------------------
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the inputs out; try another case.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// Number of passing cases each `proptest!` function must accumulate
+/// (`PROPTEST_CASES` overrides the default of 64).
+fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Drives one `proptest!`-generated test function: runs `body` with a
+/// deterministic RNG until enough cases pass, panicking on the first
+/// failure with enough context to reproduce (the stream depends only on
+/// the test name and case index).
+pub fn run_cases<F>(name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases = case_count();
+    // FNV-1a over the test name picks the seed.
+    let mut seed: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut passed = 0u64;
+    let mut rejected = 0u64;
+    let mut case_index = 0u64;
+    while passed < cases {
+        let mut rng = TestRng::from_seed(seed ^ case_index);
+        match body(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > cases * 64 {
+                    panic!(
+                        "proptest {name}: too many prop_assume! rejections \
+                         ({rejected} rejects for {passed}/{cases} passes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "proptest {name}: case {case_index} failed: {message}\n\
+                     (deterministic: rerunning this test reproduces the failure)"
+                );
+            }
+        }
+        case_index += 1;
+    }
+}
+
+/// Declares property tests. Each function runs its body against many
+/// generated inputs; `pat in strategy` binds one input per argument.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                    #[allow(unreachable_code)]
+                    let __proptest_result = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    __proptest_result
+                });
+            }
+        )+
+    };
+}
+
+/// Weighted/unweighted union of strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((($weight) as u32, $crate::Strategy::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::Strategy::boxed($strat))),+])
+    };
+}
+
+/// Discards the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fails the current case (with context) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case when the two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{:?}` != `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            __left,
+            __right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Everything tests typically import, plus the crate itself as `prop`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_strategy_respects_class_and_count() {
+        let mut rng = crate::TestRng::from_seed(3);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-c]{1,2}", &mut rng);
+            assert!((1..=2).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let t = Strategy::generate(&"[a-zA-Z0-9 _:;.!?-]{0,12}", &mut rng);
+            assert!(t.len() <= 12);
+        }
+    }
+
+    #[test]
+    fn union_and_recursion_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(children) => {
+                    1 + children.iter().map(depth).max().unwrap_or(0)
+                }
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                prop::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
+        let mut rng = crate::TestRng::from_seed(9);
+        for _ in 0..100 {
+            // depth bound: 3 recursion levels + leaf
+            assert!(depth(&Strategy::generate(&strat, &mut rng)) <= 7);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn runner_binds_and_asserts(x in 0u32..100, v in prop::collection::vec(0i64..5, 1..4)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.iter().count(), "vec {:?}", v);
+        }
+    }
+}

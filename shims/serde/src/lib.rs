@@ -1,0 +1,362 @@
+//! Offline stand-in for `serde` (+ `serde_derive`).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serialization framework with the same *spelling* as
+//! serde — `#[derive(Serialize, Deserialize)]`, `serde::Serializer`,
+//! `#[serde(serialize_with = "...")]` — but a much simpler data model:
+//! every value serializes into a [`Json`] tree, and `serde_json` (also
+//! shimmed) renders/parses that tree as real JSON text.
+//!
+//! Supported shapes (all this workspace needs):
+//! * structs with named fields;
+//! * enums with unit, tuple, and struct variants
+//!   (externally tagged, as in real serde);
+//! * primitives, `String`, `Option`, `Box`, `Vec`, and tuples up to 4.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The universal serialized form: a JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered object (field order = declaration order).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object fields, when this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, when this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// A one-word description of the value's kind (for error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into the [`Json`] tree.
+pub trait Serialize {
+    /// This value as a JSON tree.
+    fn to_json(&self) -> Json;
+
+    /// serde-compatible entry point (used by `serialize_with` functions).
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_json(self.to_json())
+    }
+}
+
+/// Deserialization from the [`Json`] tree.
+pub trait Deserialize: Sized {
+    fn from_json(json: &Json) -> Result<Self, DeError>;
+}
+
+/// The sink side of [`Serialize::serialize`]. One concrete implementation
+/// exists ([`JsonSerializer`]); the trait is kept generic so call sites
+/// written against real serde (`fn ser<S: serde::Serializer>(..)`)
+/// compile unchanged.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: fmt::Debug;
+
+    /// Accepts a fully-built JSON tree.
+    fn serialize_json(self, json: Json) -> Result<Self::Ok, Self::Error>;
+
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_json(Json::Str(v.to_owned()))
+    }
+
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_json(Json::Bool(v))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_json(Json::Num(v))
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_json(Json::Num(v as f64))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_json(Json::Num(v as f64))
+    }
+}
+
+/// The canonical serializer: produces the [`Json`] tree itself.
+pub struct JsonSerializer;
+
+/// Error type for [`JsonSerializer`] (it cannot fail).
+#[derive(Debug)]
+pub enum Never {}
+
+impl Serializer for JsonSerializer {
+    type Ok = Json;
+    type Error = Never;
+
+    fn serialize_json(self, json: Json) -> Result<Json, Never> {
+        Ok(json)
+    }
+}
+
+// --- primitive impls ---------------------------------------------------
+
+macro_rules! impl_num {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(json: &Json) -> Result<Self, DeError> {
+                match json {
+                    Json::Num(n) => Ok(*n as $t),
+                    other => Err(DeError::new(format!(
+                        "expected number, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(json: &Json) -> Result<Self, DeError> {
+        match json {
+            Json::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(json: &Json) -> Result<Self, DeError> {
+        match json {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(json: &Json) -> Result<Self, DeError> {
+        T::from_json(json).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(json: &Json) -> Result<Self, DeError> {
+        match json {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(json: &Json) -> Result<Self, DeError> {
+        match json {
+            Json::Arr(items) => items.iter().map(T::from_json).collect(),
+            other => Err(DeError::new(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Json {
+                Json::Arr(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json(json: &Json) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = json.as_arr().ok_or_else(|| {
+                    DeError::new(format!("expected {LEN}-tuple array, found {}", json.kind()))
+                })?;
+                if items.len() != LEN {
+                    return Err(DeError::new(format!(
+                        "expected {LEN}-tuple, found array of {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_json(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_json(&42u32.to_json()).unwrap(), 42);
+        assert_eq!(f64::from_json(&2.5f64.to_json()).unwrap(), 2.5);
+        assert_eq!(bool::from_json(&true.to_json()).unwrap(), true);
+        assert_eq!(String::from_json(&"hi".to_string().to_json()).unwrap(), "hi");
+        assert!(u32::from_json(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let j = v.to_json();
+        let back: Vec<(u32, String)> = Deserialize::from_json(&j).unwrap();
+        assert_eq!(back, v);
+        let opt: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_json(&opt.to_json()).unwrap(), None);
+        assert_eq!(Option::<u32>::from_json(&Some(3u32).to_json()).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn serializer_trait_entry_point() {
+        // The path a `serialize_with = "..."` function takes.
+        fn ser<S: Serializer>(v: &str, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_str(v)
+        }
+        let json = ser("excel", JsonSerializer).unwrap();
+        assert_eq!(json, Json::Str("excel".to_owned()));
+    }
+}

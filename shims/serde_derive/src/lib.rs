@@ -1,0 +1,426 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! With no access to crates.io there is no `syn`/`quote`, so this macro
+//! hand-parses the item's `TokenStream` and emits the impl by formatting
+//! source text and re-parsing it. It supports exactly the shapes the
+//! workspace uses: non-generic named-field structs, tuple structs, and
+//! enums with unit / tuple / struct variants. The only field attribute
+//! recognized is `#[serde(serialize_with = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+// --- parsed shape ------------------------------------------------------
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Field {
+    name: String,
+    serialize_with: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+// --- token-stream parsing ----------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips attributes, returning the `serialize_with` path if one of them
+/// is `#[serde(serialize_with = "path")]`.
+fn skip_attrs(toks: &mut Tokens) -> Option<String> {
+    let mut serialize_with = None;
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.next() {
+                    if let Some(path) = serde_attr_path(g.stream(), "serialize_with") {
+                        serialize_with = Some(path);
+                    }
+                }
+            }
+            _ => return serialize_with,
+        }
+    }
+}
+
+/// For an attribute body `serde ( key = "value" )`, returns the value
+/// when `key` matches.
+fn serde_attr_path(attr: TokenStream, key: &str) -> Option<String> {
+    let mut toks = attr.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match toks.next() {
+        Some(TokenTree::Group(g)) => g.stream(),
+        _ => return None,
+    };
+    let mut inner = inner.into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == key => {}
+        Some(other) => panic!(
+            "serde shim derive: unsupported #[serde({other})] attribute (only {key} is recognized)"
+        ),
+        None => return None,
+    }
+    match inner.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+        _ => return None,
+    }
+    match inner.next() {
+        Some(TokenTree::Literal(l)) => {
+            let s = l.to_string();
+            Some(s.trim_matches('"').to_string())
+        }
+        _ => None,
+    }
+}
+
+fn skip_visibility(toks: &mut Tokens) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+}
+
+fn expect_ident(toks: &mut Tokens, what: &str) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected {what}, found {other:?}"),
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs(&mut toks);
+    skip_visibility(&mut toks);
+    let kw = expect_ident(&mut toks, "`struct` or `enum`");
+    let name = expect_ident(&mut toks, "item name");
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+    let data = match kw.as_str() {
+        "struct" => Data::Struct(match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => panic!("serde shim derive: unexpected struct body {other:?}"),
+        }),
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    };
+    Input { name, data }
+}
+
+/// Parses `attr* vis? name : Type ,` repeated.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while toks.peek().is_some() {
+        let serialize_with = skip_attrs(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut toks);
+        let name = expect_ident(&mut toks, "field name");
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&mut toks);
+        fields.push(Field { name, serialize_with });
+    }
+    fields
+}
+
+/// Consumes type tokens up to (and including) a top-level `,`.
+/// Angle-bracket nesting is the only depth that matters here: parens,
+/// brackets, and braces arrive as whole `Group`s.
+fn skip_type(toks: &mut Tokens) {
+    let mut angle_depth = 0u32;
+    for tok in toks.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts top-level comma-separated fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    let mut count = 0;
+    while toks.peek().is_some() {
+        skip_attrs(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut toks);
+        skip_type(&mut toks);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while toks.peek().is_some() {
+        skip_attrs(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut toks, "variant name");
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                toks.next();
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                toks.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// --- code generation ----------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Fields::Named(fields)) => {
+            format!("::serde::Json::Obj(vec![{}])", named_fields_to_json(fields, "self."))
+        }
+        Data::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Data::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                .collect();
+            format!("::serde::Json::Arr(vec![{}])", items.join(", "))
+        }
+        Data::Struct(Fields::Unit) => "::serde::Json::Null".to_string(),
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Json::Str(\"{vname}\".to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Json::Obj(vec![(\"{vname}\".to_string(), ::serde::Serialize::to_json(__f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Json::Obj(vec![(\"{vname}\".to_string(), ::serde::Json::Arr(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Json::Obj(vec![(\"{vname}\".to_string(), ::serde::Json::Obj(vec![{}]))]),",
+                                binds.join(", "),
+                                named_fields_to_json(fields, "")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n    fn to_json(&self) -> ::serde::Json {{\n        {body}\n    }}\n}}\n"
+    )
+    .parse()
+    .expect("serde shim derive: generated Serialize impl failed to parse")
+}
+
+/// `("name".to_string(), <serialized field>), ...` for a named-field set.
+/// `accessor` is `"self."` for structs and `""` for match-bound variants.
+fn named_fields_to_json(fields: &[Field], accessor: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fname = &f.name;
+            let value = match &f.serialize_with {
+                Some(path) => format!(
+                    "match {path}(&{accessor}{fname}, ::serde::JsonSerializer) {{ Ok(j) => j, Err(e) => match e {{}} }}"
+                ),
+                None => format!("::serde::Serialize::to_json(&{accessor}{fname})"),
+            };
+            format!("(\"{fname}\".to_string(), {value})")
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Fields::Named(fields)) => format!(
+            "if json.as_obj().is_none() {{\n\
+                 return Err(::serde::DeError::new(format!(\"expected object for {name}, found {{}}\", json.kind())));\n\
+             }}\n\
+             Ok({name} {{ {} }})",
+            named_fields_from_json(fields, name)
+        ),
+        Data::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_json(json)?))")
+        }
+        Data::Struct(Fields::Tuple(n)) => format!(
+            "let items = json.as_arr().ok_or_else(|| ::serde::DeError::new(format!(\"expected array for {name}, found {{}}\", json.kind())))?;\n\
+             if items.len() != {n} {{\n\
+                 return Err(::serde::DeError::new(format!(\"expected {n} elements for {name}, found {{}}\", items.len())));\n\
+             }}\n\
+             Ok({name}({}))",
+            (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json(&items[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Data::Struct(Fields::Unit) => format!("Ok({name})"),
+        Data::Enum(variants) => enum_from_json(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n    fn from_json(json: &::serde::Json) -> Result<Self, ::serde::DeError> {{\n        {body}\n    }}\n}}\n"
+    )
+    .parse()
+    .expect("serde shim derive: generated Deserialize impl failed to parse")
+}
+
+/// `name: <deserialized>, ...` for a struct literal. Missing fields fall
+/// back to deserializing `Null`, which yields `None` for `Option` fields
+/// and a descriptive error for everything else.
+fn named_fields_from_json(fields: &[Field], owner: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fname = &f.name;
+            format!(
+                "{fname}: ::serde::Deserialize::from_json(json.get(\"{fname}\").unwrap_or(&::serde::Json::Null))\
+                 .map_err(|e| ::serde::DeError::new(format!(\"{owner}.{fname}: {{}}\", e.0)))?"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn enum_from_json(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => None,
+                Fields::Tuple(1) => Some(format!(
+                    "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_json(__payload)?)),"
+                )),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_json(&__items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                             let __items = __payload.as_arr().ok_or_else(|| ::serde::DeError::new(format!(\"expected array for {name}::{vname}, found {{}}\", __payload.kind())))?;\n\
+                             if __items.len() != {n} {{\n\
+                                 return Err(::serde::DeError::new(format!(\"expected {n} elements for {name}::{vname}, found {{}}\", __items.len())));\n\
+                             }}\n\
+                             Ok({name}::{vname}({}))\n\
+                         }}",
+                        items.join(", ")
+                    ))
+                }
+                Fields::Named(fields) => Some(format!(
+                    "\"{vname}\" => {{\n\
+                         let json = __payload;\n\
+                         if json.as_obj().is_none() {{\n\
+                             return Err(::serde::DeError::new(format!(\"expected object for {name}::{vname}, found {{}}\", json.kind())));\n\
+                         }}\n\
+                         Ok({name}::{vname} {{ {} }})\n\
+                     }}",
+                    named_fields_from_json(fields, &format!("{name}::{vname}"))
+                )),
+            }
+        })
+        .collect();
+    format!(
+        "match json {{\n\
+             ::serde::Json::Str(__s) => match __s.as_str() {{\n\
+                 {}\n\
+                 __other => Err(::serde::DeError::new(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+             }},\n\
+             ::serde::Json::Obj(__fields) if __fields.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__fields[0];\n\
+                 match __tag.as_str() {{\n\
+                     {}\n\
+                     __other => Err(::serde::DeError::new(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                 }}\n\
+             }}\n\
+             __other => Err(::serde::DeError::new(format!(\"expected {name} variant, found {{}}\", __other.kind()))),\n\
+         }}",
+        unit_arms.join("\n"),
+        data_arms.join("\n")
+    )
+}
