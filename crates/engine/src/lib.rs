@@ -51,8 +51,17 @@ pub mod ops;
 pub mod recalc;
 pub mod sheet;
 pub mod style;
+pub mod trace;
 pub mod value;
 pub mod workbook;
+
+// Root re-exports: the API surface downstream crates actually program
+// against, so they need not deep-import module paths.
+pub use crate::error::{CellError, EngineError};
+pub use crate::meter::{Counts, Meter, Primitive};
+pub use crate::ops::{Op, OpOutcome};
+pub use crate::recalc::{RecalcOptions, RecalcOptionsBuilder};
+pub use crate::sheet::Sheet;
 
 /// Convenient re-exports for downstream crates and examples.
 pub mod prelude {
@@ -65,12 +74,13 @@ pub mod prelude {
     pub use crate::meter::{Counts, Meter, Primitive};
     pub use crate::ops::{
         clear_filter, conditional_format, copy_paste, filter_rows, find_all, find_replace,
-        delete_cols, delete_rows, insert_cols, insert_rows, pivot, sort_rows, PivotAgg,
-        PivotTable, SortKey, SortOrder,
+        delete_cols, delete_rows, insert_cols, insert_rows, pivot, sort_rows, Op, OpOutcome,
+        PivotAgg, PivotTable, SortKey, SortOrder,
     };
     pub use crate::recalc;
-    pub use crate::recalc::RecalcOptions;
+    pub use crate::recalc::{RecalcOptions, RecalcOptionsBuilder};
     pub use crate::sheet::{Layout, Sheet};
+    pub use crate::trace;
     pub use crate::style::{Color, Style};
     pub use crate::value::{Criterion, Value};
     pub use crate::workbook::Workbook;

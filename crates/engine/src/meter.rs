@@ -156,6 +156,16 @@ impl Counts {
     pub fn is_zero(&self) -> bool {
         self.0.iter().all(|&c| c == 0)
     }
+
+    /// Iterates `(primitive, count)` over the primitives that were actually
+    /// recorded, in canonical [`ALL_PRIMITIVES`] order. Used by the trace
+    /// exporter to keep span `args` compact.
+    pub fn nonzero(&self) -> impl Iterator<Item = (Primitive, u64)> + '_ {
+        ALL_PRIMITIVES.into_iter().filter_map(|p| {
+            let c = self.get(p);
+            (c > 0).then_some((p, c))
+        })
+    }
 }
 
 impl fmt::Display for Counts {

@@ -4,6 +4,7 @@
 
 use crate::addr::{CellAddr, Range};
 use crate::meter::Primitive;
+use crate::ops::{Op, OpOutcome};
 use crate::sheet::Sheet;
 use crate::style::Color;
 use crate::value::Criterion;
@@ -11,7 +12,21 @@ use crate::value::Criterion;
 /// Applies `fill` to every cell of `range` matching `criterion`; cells
 /// that no longer match lose the fill (re-evaluation semantics, as when a
 /// rule is re-applied). Returns the number of cells now filled.
+///
+/// Thin wrapper over [`Sheet::apply`] with [`Op::CondFormat`].
 pub fn conditional_format(
+    sheet: &mut Sheet,
+    range: Range,
+    criterion: &Criterion,
+    fill: Color,
+) -> u32 {
+    match sheet.apply(Op::CondFormat { range, criterion: criterion.clone(), fill }) {
+        Ok(OpOutcome::Formatted { cells }) => cells,
+        other => unreachable!("cond_format dispatch returned {other:?}"),
+    }
+}
+
+pub(crate) fn conditional_format_impl(
     sheet: &mut Sheet,
     range: Range,
     criterion: &Criterion,

@@ -5,12 +5,22 @@
 use crate::addr::{CellAddr, Range};
 use crate::cell::{Cell, CellContent};
 use crate::meter::Primitive;
+use crate::ops::{Op, OpOutcome};
 use crate::sheet::Sheet;
 
 /// Copies `src` to the block of the same shape starting at `dst_start`.
 /// Overlapping copy is supported (the source is snapshotted first, as real
 /// systems do via the clipboard). Returns the destination range.
+///
+/// Thin wrapper over [`Sheet::apply`] with [`Op::CopyPaste`].
 pub fn copy_paste(sheet: &mut Sheet, src: Range, dst_start: CellAddr) -> Range {
+    match sheet.apply(Op::CopyPaste { src, dst: dst_start }) {
+        Ok(OpOutcome::Pasted { dst }) => dst,
+        other => unreachable!("copy_paste dispatch returned {other:?}"),
+    }
+}
+
+pub(crate) fn copy_paste_impl(sheet: &mut Sheet, src: Range, dst_start: CellAddr) -> Range {
     let rows = src.rows();
     let cols = src.cols();
     // Snapshot the source block ("clipboard").

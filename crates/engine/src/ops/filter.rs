@@ -5,12 +5,22 @@
 
 use crate::addr::CellAddr;
 use crate::meter::Primitive;
+use crate::ops::{Op, OpOutcome};
 use crate::sheet::Sheet;
 use crate::value::Criterion;
 
 /// Applies a filter on `col`: rows whose cell does not match `criterion`
 /// are hidden. Returns the number of visible (matching) rows.
+///
+/// Thin wrapper over [`Sheet::apply`] with [`Op::Filter`].
 pub fn filter_rows(sheet: &mut Sheet, col: u32, criterion: &Criterion) -> u32 {
+    match sheet.apply(Op::Filter { col, criterion: criterion.clone() }) {
+        Ok(OpOutcome::Filtered { visible }) => visible,
+        other => unreachable!("filter dispatch returned {other:?}"),
+    }
+}
+
+pub(crate) fn filter_rows_impl(sheet: &mut Sheet, col: u32, criterion: &Criterion) -> u32 {
     let m = sheet.nrows();
     let mut visible = 0u32;
     for row in 0..m {
@@ -28,7 +38,13 @@ pub fn filter_rows(sheet: &mut Sheet, col: u32, criterion: &Criterion) -> u32 {
 }
 
 /// Clears the filter, unhiding every row.
+///
+/// Thin wrapper over [`Sheet::apply`] with [`Op::ClearFilter`].
 pub fn clear_filter(sheet: &mut Sheet) {
+    let _ = sheet.apply(Op::ClearFilter).expect("clear_filter is infallible");
+}
+
+pub(crate) fn clear_filter_impl(sheet: &mut Sheet) {
     let hidden = u64::from(sheet.nrows() - sheet.visible_rows());
     sheet.meter().bump(Primitive::RowToggle, hidden);
     sheet.unhide_all_rows();

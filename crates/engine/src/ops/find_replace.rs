@@ -6,6 +6,7 @@
 use crate::addr::{CellAddr, Range};
 use crate::cell::CellContent;
 use crate::meter::Primitive;
+use crate::ops::{with_query_span, Op, OpOutcome};
 use crate::sheet::Sheet;
 use crate::value::Value;
 
@@ -13,7 +14,14 @@ use crate::value::Value;
 /// substring, as in the systems' default find). Returns matching addresses.
 /// Even an absent needle costs a full scan (§5.1.2: "even when searching a
 /// non-existent value, the search time increases linearly").
+///
+/// A `&Sheet` query: traced with the shared op-span helper since it cannot
+/// route through [`Sheet::apply`].
 pub fn find_all(sheet: &Sheet, range: Range, needle: &str) -> Vec<CellAddr> {
+    with_query_span("find_all", sheet.meter(), || find_all_impl(sheet, range, needle))
+}
+
+pub(crate) fn find_all_impl(sheet: &Sheet, range: Range, needle: &str) -> Vec<CellAddr> {
     let mut hits = Vec::new();
     let (nrows, ncols) = (sheet.nrows(), sheet.ncols());
     if nrows == 0 || ncols == 0 {
@@ -35,11 +43,30 @@ pub fn find_all(sheet: &Sheet, range: Range, needle: &str) -> Vec<CellAddr> {
 
 /// Replaces every occurrence of `needle` inside matching cells of `range`
 /// with `replacement`. Returns the number of cells changed.
+///
+/// Thin wrapper over [`Sheet::apply`] with [`Op::FindReplace`].
 pub fn find_replace(sheet: &mut Sheet, range: Range, needle: &str, replacement: &str) -> u32 {
+    let op = Op::FindReplace {
+        range,
+        needle: needle.to_owned(),
+        replacement: replacement.to_owned(),
+    };
+    match sheet.apply(op) {
+        Ok(OpOutcome::Replaced { cells }) => cells,
+        other => unreachable!("find_replace dispatch returned {other:?}"),
+    }
+}
+
+pub(crate) fn find_replace_impl(
+    sheet: &mut Sheet,
+    range: Range,
+    needle: &str,
+    replacement: &str,
+) -> u32 {
     if needle.is_empty() {
         return 0;
     }
-    let hits = find_all(sheet, range, needle);
+    let hits = find_all_impl(sheet, range, needle);
     let mut changed = 0u32;
     for addr in hits {
         let new_text = {

@@ -7,6 +7,7 @@ use std::cell::Cell as StdCell;
 
 use crate::addr::CellAddr;
 use crate::meter::Primitive;
+use crate::ops::{Op, OpOutcome};
 use crate::sheet::Sheet;
 use crate::value::Value;
 
@@ -40,7 +41,16 @@ impl SortKey {
 /// Stable-sorts every row of the sheet by the given keys. Returns the
 /// permutation that was applied (new row `i` was old row `perm[i]`), which
 /// callers (e.g. the sort-optimization ablation) can inspect.
+///
+/// Thin wrapper over [`Sheet::apply`] with [`Op::Sort`].
 pub fn sort_rows(sheet: &mut Sheet, keys: &[SortKey]) -> Vec<u32> {
+    match sheet.apply(Op::Sort { keys: keys.to_vec() }) {
+        Ok(OpOutcome::Sorted { permutation }) => permutation,
+        other => unreachable!("sort dispatch returned {other:?}"),
+    }
+}
+
+pub(crate) fn sort_rows_impl(sheet: &mut Sheet, keys: &[SortKey]) -> Vec<u32> {
     let m = sheet.nrows();
     let n = sheet.ncols();
     if m == 0 || keys.is_empty() {

@@ -13,6 +13,7 @@ use crate::cell::{Cell, CellContent};
 use crate::error::CellError;
 use crate::formula::ast::{Expr, RangeRef};
 use crate::meter::Primitive;
+use crate::ops::Op;
 use crate::sheet::Sheet;
 
 /// Which axis a structural edit operates on.
@@ -104,7 +105,7 @@ fn shift_expr(expr: &Expr, axis: Axis, at: u32, count: u32, insert: bool) -> Exp
 /// every formula, and rebuilds the dependency graph. Charges one
 /// `CellMove` per relocated cell — exactly the O(total cells) cost that
 /// makes row-number-encoding indexes expensive to maintain (§6).
-fn restructure(sheet: &mut Sheet, axis: Axis, at: u32, count: u32, insert: bool) {
+pub(crate) fn restructure(sheet: &mut Sheet, axis: Axis, at: u32, count: u32, insert: bool) {
     let (nrows, ncols) = (sheet.nrows(), sheet.ncols());
     if count == 0 || nrows == 0 || ncols == 0 {
         return;
@@ -168,23 +169,31 @@ fn restructure(sheet: &mut Sheet, axis: Axis, at: u32, count: u32, insert: bool)
 }
 
 /// Inserts `count` blank rows before row `at` (0-based).
+///
+/// Thin wrapper over [`Sheet::apply`] with [`Op::InsertRows`].
 pub fn insert_rows(sheet: &mut Sheet, at: u32, count: u32) {
-    restructure(sheet, Axis::Row, at, count, true);
+    let _ = sheet.apply(Op::InsertRows { at, count }).expect("insert_rows is infallible");
 }
 
 /// Deletes `count` rows starting at row `at`.
+///
+/// Thin wrapper over [`Sheet::apply`] with [`Op::DeleteRows`].
 pub fn delete_rows(sheet: &mut Sheet, at: u32, count: u32) {
-    restructure(sheet, Axis::Row, at, count, false);
+    let _ = sheet.apply(Op::DeleteRows { at, count }).expect("delete_rows is infallible");
 }
 
 /// Inserts `count` blank columns before column `at`.
+///
+/// Thin wrapper over [`Sheet::apply`] with [`Op::InsertCols`].
 pub fn insert_cols(sheet: &mut Sheet, at: u32, count: u32) {
-    restructure(sheet, Axis::Col, at, count, true);
+    let _ = sheet.apply(Op::InsertCols { at, count }).expect("insert_cols is infallible");
 }
 
 /// Deletes `count` columns starting at column `at`.
+///
+/// Thin wrapper over [`Sheet::apply`] with [`Op::DeleteCols`].
 pub fn delete_cols(sheet: &mut Sheet, at: u32, count: u32) {
-    restructure(sheet, Axis::Col, at, count, false);
+    let _ = sheet.apply(Op::DeleteCols { at, count }).expect("delete_cols is infallible");
 }
 
 #[cfg(test)]

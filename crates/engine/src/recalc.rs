@@ -31,8 +31,9 @@ use crate::addr::CellAddr;
 use crate::depgraph::DirtyPlan;
 use crate::error::CellError;
 use crate::eval::evaluate;
-use crate::meter::{Meter, Primitive};
+use crate::meter::{Counts, Meter, Primitive};
 use crate::sheet::Sheet;
+use crate::trace::{self, Category, Span, SpanNode};
 use crate::value::Value;
 
 /// Summary of one recalculation pass.
@@ -71,6 +72,37 @@ impl RecalcOptions {
     pub fn with_parallelism(parallelism: usize) -> Self {
         RecalcOptions { parallelism: parallelism.max(1), ..RecalcOptions::default() }
     }
+
+    /// Fluent construction starting from the defaults:
+    /// `RecalcOptions::builder().parallelism(4).threshold(512).build()`.
+    pub fn builder() -> RecalcOptionsBuilder {
+        RecalcOptionsBuilder { opts: RecalcOptions::default() }
+    }
+}
+
+/// Builder for [`RecalcOptions`]; obtained via [`RecalcOptions::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct RecalcOptionsBuilder {
+    opts: RecalcOptions,
+}
+
+impl RecalcOptionsBuilder {
+    /// Maximum worker threads per level (clamped to at least 1).
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.opts.parallelism = workers.max(1);
+        self
+    }
+
+    /// Minimum plan size before the parallel path engages.
+    pub fn threshold(mut self, formulas: usize) -> Self {
+        self.opts.threshold = formulas;
+        self
+    }
+
+    /// The finished options.
+    pub fn build(self) -> RecalcOptions {
+        self.opts
+    }
 }
 
 /// Worker count used by `RecalcOptions::default()`: the
@@ -104,22 +136,45 @@ fn eval_formula_with(sheet: &Sheet, addr: CellAddr, meter: &Meter) -> Option<Val
     Some(evaluate(expr, &ctx))
 }
 
-/// Executes a plan: evaluates level by level (parallel when the plan is
-/// large enough and `opts` allow), then marks cycles.
-fn run_plan(sheet: &mut Sheet, plan: &DirtyPlan, opts: RecalcOptions) -> RecalcStats {
+/// Executes a plan: evaluates level by level (each level parallel when the
+/// plan is large enough and `opts` allow), then marks cycles.
+///
+/// Both executors walk the same per-level structure so the trace — one
+/// `recalc` span wrapping one `level` span per topological level — is
+/// bit-identical (names, counts, nesting) at any thread count; only wall
+/// times differ. Within a level the sequential path visits `plan.order`
+/// slices in order, i.e. exactly the pre-levels flat iteration order.
+fn run_plan(sheet: &mut Sheet, plan: &DirtyPlan, opts: RecalcOptions, pass: &'static str) -> RecalcStats {
+    let span = Span::open_metered(
+        Category::Recalc,
+        || format!("{pass} ({} formulas, {} levels)", plan.order.len(), plan.level_count()),
+        sheet.meter(),
+    );
     let workers = opts.parallelism.max(1);
-    if workers > 1 && plan.order.len() >= opts.threshold {
-        run_levels_parallel(sheet, plan, workers);
-    } else {
-        for &addr in &plan.order {
-            if let Some(v) = eval_formula_at(sheet, addr) {
-                sheet.store_cached(addr, v);
+    let parallel = workers > 1 && plan.order.len() >= opts.threshold;
+    for k in 0..plan.level_count() {
+        let level = plan.level(k);
+        let lspan = Span::open_metered(
+            Category::Level,
+            || format!("level {k} ({} formulas)", level.len()),
+            sheet.meter(),
+        );
+        let fanout = if parallel { workers.min(level.len() / MIN_CHUNK).max(1) } else { 1 };
+        if fanout == 1 {
+            for &addr in level {
+                if let Some(v) = eval_formula_at(sheet, addr) {
+                    sheet.store_cached(addr, v);
+                }
             }
+        } else {
+            run_level_parallel(sheet, level, fanout);
         }
+        lspan.finish_metered(sheet.meter());
     }
     for &addr in &plan.cyclic {
         sheet.store_cached(addr, Value::Error(CellError::Circular));
     }
+    span.finish_metered(sheet.meter());
     RecalcStats { evaluated: plan.order.len(), cyclic: plan.cyclic.len() }
 }
 
@@ -127,10 +182,10 @@ fn run_plan(sheet: &mut Sheet, plan: &DirtyPlan, opts: RecalcOptions) -> RecalcS
 /// formulae per worker — below that, spawn overhead dominates.
 const MIN_CHUNK: usize = 64;
 
-/// The parallel executor: each topological level is evaluated by scoped
-/// worker threads against the sheet as an immutable snapshot, then the
-/// results and per-worker meter counts are committed at the level barrier
-/// before the next level starts.
+/// The parallel executor for one topological level: scoped worker threads
+/// evaluate chunks against the sheet as an immutable snapshot, then the
+/// results, per-worker meter counts, and per-worker trace buffers are
+/// committed at the level barrier before the next level starts.
 ///
 /// Determinism: within a level no formula reads another (levels stratify
 /// the dependency graph), and every value a formula reads was committed
@@ -138,46 +193,40 @@ const MIN_CHUNK: usize = 64;
 /// sequential executor would show it, and produces bit-identical values.
 /// Meter counts are recorded into per-worker meters and *summed* at the
 /// barrier; addition is commutative, so the totals are bit-identical to
-/// the sequential path regardless of thread count or scheduling.
-fn run_levels_parallel(sheet: &mut Sheet, plan: &DirtyPlan, workers: usize) {
-    for k in 0..plan.level_count() {
-        let level = plan.level(k);
-        let fanout = workers.min(level.len() / MIN_CHUNK).max(1);
-        if fanout == 1 {
-            for &addr in level {
-                if let Some(v) = eval_formula_at(sheet, addr) {
-                    sheet.store_cached(addr, v);
-                }
-            }
-            continue;
-        }
-        let chunk_len = level.len().div_ceil(fanout);
-        let shared: &Sheet = sheet;
-        let outcomes: Vec<(crate::meter::Counts, Vec<(CellAddr, Value)>)> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = level
-                    .chunks(chunk_len)
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            let local = Meter::new();
-                            let results: Vec<(CellAddr, Value)> = chunk
-                                .iter()
-                                .filter_map(|&addr| {
-                                    eval_formula_with(shared, addr, &local).map(|v| (addr, v))
-                                })
-                                .collect();
-                            (local.snapshot(), results)
-                        })
+/// the sequential path regardless of thread count or scheduling. Worker
+/// trace buffers (empty today — formula evaluation opens no spans — but
+/// the contract holds for any future in-worker span) are adopted in chunk
+/// order, which is determined by the plan alone.
+fn run_level_parallel(sheet: &mut Sheet, level: &[CellAddr], fanout: usize) {
+    let chunk_len = level.len().div_ceil(fanout);
+    let shared: &Sheet = sheet;
+    let tracing = trace::enabled();
+    let outcomes: Vec<(Counts, Vec<(CellAddr, Value)>, Vec<SpanNode>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = level
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let local = Meter::new();
+                        let results: Vec<(CellAddr, Value)> = chunk
+                            .iter()
+                            .filter_map(|&addr| {
+                                eval_formula_with(shared, addr, &local).map(|v| (addr, v))
+                            })
+                            .collect();
+                        let events = if tracing { trace::drain() } else { Vec::new() };
+                        (local.snapshot(), results, events)
                     })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("recalc worker panicked")).collect()
-            });
-        // Barrier: merge counts and commit values in chunk order.
-        for (counts, results) in outcomes {
-            sheet.meter().absorb(&counts);
-            for (addr, v) in results {
-                sheet.store_cached(addr, v);
-            }
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("recalc worker panicked")).collect()
+        });
+    // Barrier: merge counts and trace events, commit values — in chunk order.
+    for (counts, results, events) in outcomes {
+        sheet.meter().absorb(&counts);
+        trace::adopt(events);
+        for (addr, v) in results {
+            sheet.store_cached(addr, v);
         }
     }
 }
@@ -191,7 +240,7 @@ pub fn recalc_all(sheet: &mut Sheet) -> RecalcStats {
 /// [`recalc_all`] with explicit options.
 pub fn recalc_all_with(sheet: &mut Sheet, opts: RecalcOptions) -> RecalcStats {
     let plan = sheet.deps().full_order();
-    run_plan(sheet, &plan, opts)
+    run_plan(sheet, &plan, opts, "recalc_all")
 }
 
 /// Recalculates the formulae transitively affected by changes to
@@ -208,7 +257,7 @@ pub fn recalc_from_with(
     opts: RecalcOptions,
 ) -> RecalcStats {
     let plan = sheet.deps().dirty_order(changed);
-    run_plan(sheet, &plan, opts)
+    run_plan(sheet, &plan, opts, "recalc_from")
 }
 
 /// The open-time pass: builds the calculation sequence (charging one

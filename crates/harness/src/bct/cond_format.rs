@@ -37,17 +37,17 @@ mod tests {
         cfg.scale = 0.05;
         let r = fig4_cond_format(&cfg);
         // Excel: F ≈ V (no recomputation).
-        let ef = r.series("Excel (F)").unwrap().last().unwrap();
-        let ev = r.series("Excel (V)").unwrap().last().unwrap();
+        let ef = r.expect_series("Excel (F)").expect_last();
+        let ev = r.expect_series("Excel (V)").expect_last();
         assert!((ef.ms - ev.ms).abs() / ev.ms < 0.2, "Excel F≈V: {} vs {}", ef.ms, ev.ms);
         // Calc: F well above V (unnecessary recomputation).
-        let cf = r.series("Calc (F)").unwrap().last().unwrap();
-        let cv = r.series("Calc (V)").unwrap().last().unwrap();
+        let cf = r.expect_series("Calc (F)").expect_last();
+        let cv = r.expect_series("Calc (V)").expect_last();
         assert!(cf.ms > cv.ms * 2.0, "Calc F ({}) ≫ V ({})", cf.ms, cv.ms);
         // Sheets V is ~flat (lazy formatting).
-        let gv = r.series("Google Sheets (V)").unwrap();
-        let first = gv.points.first().unwrap().ms;
-        let last = gv.points.last().unwrap().ms;
+        let gv = r.expect_series("Google Sheets (V)");
+        let first = gv.points.first().expect("series has at least one point").ms;
+        let last = gv.expect_last().ms;
         assert!(last / first < 1.3, "Sheets V flat: {first} → {last}");
     }
 }

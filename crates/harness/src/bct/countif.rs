@@ -34,20 +34,20 @@ mod tests {
         cfg.scale = 0.1;
         let r = fig7_countif(&cfg);
         // Execution-time order: Excel < Calc < Google Sheets (§4.3.3).
-        let e = r.series("Excel (V)").unwrap().last().unwrap();
-        let c = r.series("Calc (V)").unwrap().last().unwrap();
-        let g = r.series("Google Sheets (V)").unwrap();
-        let g_at = |x: u32| g.points.iter().find(|p| p.x == x).unwrap().ms;
+        let e = r.expect_series("Excel (V)").expect_last();
+        let c = r.expect_series("Calc (V)").expect_last();
+        let g = r.expect_series("Google Sheets (V)");
+        let g_at = |x: u32| g.ms_at(x);
         assert!(e.ms < c.ms, "Excel {} < Calc {}", e.ms, c.ms);
         // Compare at a common size (Sheets is capped).
-        let common = g.points.last().unwrap().x;
+        let common = g.expect_last().x;
         let c_common =
-            r.series("Calc (V)").unwrap().points.iter().find(|p| p.x == common).unwrap().ms;
+            r.expect_series("Calc (V)").ms_at(common);
         assert!(g_at(common) > c_common, "Sheets slowest at {common} rows");
         // Formula-value costs more than Value-only for Excel and Calc.
         for sys in ["Excel", "Calc"] {
-            let f = r.series(&format!("{sys} (F)")).unwrap().last().unwrap();
-            let v = r.series(&format!("{sys} (V)")).unwrap().last().unwrap();
+            let f = r.expect_series(&format!("{sys} (F)")).expect_last();
+            let v = r.expect_series(&format!("{sys} (V)")).expect_last();
             assert!(f.ms > v.ms, "{sys} F > V");
         }
     }

@@ -36,12 +36,12 @@ mod tests {
         let mut cfg = RunConfig::quick();
         cfg.scale = 0.1; // sizes to 50k so the superlinear term shows
         let r = fig5_filter(&cfg);
-        let f = r.series("Excel (F)").unwrap();
-        let v = r.series("Excel (V)").unwrap();
+        let f = r.expect_series("Excel (F)");
+        let v = r.expect_series("Excel (V)");
         // Superlinearity: F time ratio between last and mid size exceeds
         // the size ratio.
         let mid = f.points[f.points.len() / 2];
-        let last = f.points.last().unwrap();
+        let last = f.expect_last();
         let time_ratio = last.ms / mid.ms;
         let size_ratio = f64::from(last.x) / f64::from(mid.x);
         assert!(
@@ -49,10 +49,10 @@ mod tests {
             "superlinear: time ×{time_ratio:.2} vs size ×{size_ratio:.2}"
         );
         // And F ≫ V for Excel.
-        assert!(last.ms > v.points.last().unwrap().ms * 3.0);
+        assert!(last.ms > v.expect_last().ms * 3.0);
         // Calc F ≈ V (no recalculation).
-        let cf = r.series("Calc (F)").unwrap().last().unwrap();
-        let cv = r.series("Calc (V)").unwrap().last().unwrap();
+        let cf = r.expect_series("Calc (F)").expect_last();
+        let cv = r.expect_series("Calc (V)").expect_last();
         assert!(cf.ms < cv.ms * 1.5, "Calc F ({}) close to V ({})", cf.ms, cv.ms);
     }
 }

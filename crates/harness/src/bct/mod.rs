@@ -19,23 +19,25 @@ pub use sort::fig3_sort;
 pub use vlookup::fig8_vlookup;
 
 use ssbench_engine::prelude::Sheet;
+use ssbench_engine::trace;
 use ssbench_systems::{OpClass, SimSystem, SystemKind, ALL_SYSTEMS, INTERACTIVITY_BOUND_MS};
 use ssbench_workload::Variant;
 
 use crate::config::RunConfig;
 use crate::grow::GrowingSheet;
+use crate::run_experiment;
 use crate::series::{ExperimentResult, Series};
 
 /// Runs all seven BCT experiments.
 pub fn run_all(cfg: &RunConfig) -> Vec<ExperimentResult> {
     vec![
-        fig2_open(cfg),
-        fig3_sort(cfg),
-        fig4_cond_format(cfg),
-        fig5_filter(cfg),
-        fig6_pivot(cfg),
-        fig7_countif(cfg),
-        fig8_vlookup(cfg),
+        run_experiment(cfg, fig2_open),
+        run_experiment(cfg, fig3_sort),
+        run_experiment(cfg, fig4_cond_format),
+        run_experiment(cfg, fig5_filter),
+        run_experiment(cfg, fig6_pivot),
+        run_experiment(cfg, fig7_countif),
+        run_experiment(cfg, fig8_vlookup),
     ]
 }
 
@@ -66,7 +68,12 @@ pub fn sweep(
             let mut sizes_past_violation = 0usize;
             for &rows in &sizes {
                 let sheet = grow.ensure(rows);
+                let label = series.label.as_str();
+                let span =
+                    trace::Span::open(trace::Category::Point, || format!("point:{label}:{rows}"));
                 let ms = protocol.measure(|| run_op(&sys, sheet, rows));
+                span.set_sim_ms(ms);
+                span.finish();
                 series.push(rows, ms);
                 if ms > INTERACTIVITY_BOUND_MS {
                     sizes_past_violation += 1;

@@ -53,19 +53,19 @@ mod tests {
         let r = fig2_open(&cfg);
         assert_eq!(r.series.len(), 6);
         // Desktop F opens grow with size; Google Sheets V is flat.
-        let excel_f = r.series("Excel (F)").unwrap();
-        let first = excel_f.points.first().unwrap().ms;
-        let last = excel_f.points.last().unwrap().ms;
+        let excel_f = r.expect_series("Excel (F)");
+        let first = excel_f.points.first().expect("series has at least one point").ms;
+        let last = excel_f.expect_last().ms;
         assert!(last > first * 5.0, "Excel (F) grows: {first} → {last}");
-        let g_v = r.series("Google Sheets (V)").unwrap();
+        let g_v = r.expect_series("Google Sheets (V)");
         let times: Vec<f64> = g_v.points.iter().map(|p| p.ms).collect();
         let spread = times.iter().copied().fold(f64::NEG_INFINITY, f64::max)
             / times.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(spread < 1.5, "Sheets V open is ~flat, spread {spread}");
         // Sheets F grows linearly despite lazy load (§4.1).
-        let g_f = r.series("Google Sheets (F)").unwrap();
+        let g_f = r.expect_series("Google Sheets (F)");
         assert!(
-            g_f.points.last().unwrap().ms > g_v.points.last().unwrap().ms * 2.0,
+            g_f.expect_last().ms > g_v.expect_last().ms * 2.0,
             "dependency resolution dominates Sheets F open"
         );
         // All three violate interactivity from small sizes.

@@ -34,13 +34,13 @@ mod tests {
         let mut cfg = RunConfig::quick();
         cfg.scale = 0.1;
         let r = fig6_pivot(&cfg);
-        let cv = r.series("Calc (V)").unwrap().last().unwrap();
-        let ev = r.series("Excel (V)").unwrap().last().unwrap();
+        let cv = r.expect_series("Calc (V)").expect_last();
+        let ev = r.expect_series("Excel (V)").expect_last();
         assert!(cv.ms < ev.ms, "Calc ({}) beats Excel ({}) on large pivots", cv.ms, ev.ms);
         // Calc F ≈ V; Excel F > V.
-        let cf = r.series("Calc (F)").unwrap().last().unwrap();
+        let cf = r.expect_series("Calc (F)").expect_last();
         assert!((cf.ms - cv.ms).abs() / cv.ms < 0.1);
-        let ef = r.series("Excel (F)").unwrap().last().unwrap();
+        let ef = r.expect_series("Excel (F)").expect_last();
         assert!(ef.ms > ev.ms);
     }
 }

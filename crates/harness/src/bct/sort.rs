@@ -34,13 +34,13 @@ mod tests {
         cfg.scale = 0.02;
         let r = fig3_sort(&cfg);
         for sys in ["Excel", "Calc"] {
-            let f = r.series(&format!("{sys} (F)")).unwrap().last().unwrap();
-            let v = r.series(&format!("{sys} (V)")).unwrap().last().unwrap();
+            let f = r.expect_series(&format!("{sys} (F)")).expect_last();
+            let v = r.expect_series(&format!("{sys} (V)")).expect_last();
             assert_eq!(f.x, v.x);
             assert!(f.ms > v.ms, "{sys}: F ({}) must exceed V ({})", f.ms, v.ms);
         }
         // Google Sheets capped at 50k rows (scaled).
-        let g = r.series("Google Sheets (V)").unwrap();
-        assert!(g.points.last().unwrap().x <= 1_000);
+        let g = r.expect_series("Google Sheets (V)");
+        assert!(g.expect_last().x <= 1_000);
     }
 }

@@ -62,27 +62,27 @@ mod tests {
         let r = fig8_vlookup(&cfg);
         assert_eq!(r.series.len(), 6);
         // Excel approximate match is ~constant (binary search).
-        let ea = r.series("Excel Sorted-TRUE").unwrap();
+        let ea = r.expect_series("Excel Sorted-TRUE");
         let spread =
-            ea.points.last().unwrap().ms / ea.points.first().unwrap().ms;
+            ea.expect_last().ms / ea.points.first().expect("series has at least one point").ms;
         assert!(spread < 1.6, "Excel TRUE flat, spread {spread}");
         // Excel exact match flattens once the key is found (sizes past
         // the key row cost the same).
-        let ef = r.series("Excel Sorted-FALSE").unwrap();
+        let ef = r.expect_series("Excel Sorted-FALSE");
         let at_key: Vec<&crate::series::Point> =
             ef.points.iter().filter(|p| p.x >= 10_000).collect();
         if at_key.len() >= 2 {
-            let ratio = at_key.last().unwrap().ms / at_key[0].ms;
+            let ratio = at_key.last().expect("vlookup sweep measured at least one size").ms / at_key[0].ms;
             assert!(ratio < 1.3, "early exit flattens: {ratio}");
         }
         // Calc scans everything in both modes: TRUE ≈ FALSE, linear.
-        let ct = r.series("Calc Sorted-TRUE").unwrap().last().unwrap();
-        let cf = r.series("Calc Sorted-FALSE").unwrap().last().unwrap();
+        let ct = r.expect_series("Calc Sorted-TRUE").expect_last();
+        let cf = r.expect_series("Calc Sorted-FALSE").expect_last();
         assert!((ct.ms - cf.ms).abs() / cf.ms < 0.15, "Calc both modes alike");
-        assert!(cf.ms > ef.points.last().unwrap().ms, "Calc much slower than Excel");
+        assert!(cf.ms > ef.expect_last().ms, "Calc much slower than Excel");
         // Sheets: both modes alike too.
-        let gt = r.series("Google Sheets Sorted-TRUE").unwrap().last().unwrap();
-        let gf = r.series("Google Sheets Sorted-FALSE").unwrap().last().unwrap();
+        let gt = r.expect_series("Google Sheets Sorted-TRUE").expect_last();
+        let gf = r.expect_series("Google Sheets Sorted-FALSE").expect_last();
         assert!((gt.ms - gf.ms).abs() / gf.ms < 0.3);
     }
 }

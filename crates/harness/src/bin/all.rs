@@ -3,57 +3,58 @@
 //!
 //! ```text
 //! cargo run --release -p ssbench-harness --bin all -- [--scale F] [--trials N]
-//!     [--paper-protocol] [--quick] [--seed N] [--out DIR]
+//!     [--paper-protocol] [--quick] [--seed N] [--out DIR] [--trace DIR]
+//!     [--charts]
 //! ```
 
-use ssbench_harness::{bct, oot, report, table2, taxonomy, RunConfig};
+use ssbench_harness::{bct, oot, report, table2, taxonomy, CliArgs};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cfg, rest) = match RunConfig::from_args(&args) {
-        Ok(x) => x,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
-    };
-    let charts = rest.iter().any(|a| a == "--charts");
-    eprintln!(
-        "Full benchmark — scale {}, {} trial(s), seed {}",
-        cfg.scale, cfg.protocol.trials, cfg.seed
-    );
+    let cli = CliArgs::parse_or_exit("Full benchmark");
 
     println!("Table 1 — Categorizing Spreadsheet Operations");
     println!("{}", taxonomy::render_table1());
 
-    let bct_results = bct::run_all(&cfg);
+    let bct_results = bct::run_all(&cli.cfg);
     for r in &bct_results {
         println!("{}", report::render(r));
-        if charts {
+        if cli.charts {
             println!("{}", ssbench_harness::chart::render_chart(r));
         }
     }
 
     let table = table2::from_results(&bct_results);
     println!("Table 2 — % of documented scalability limit at first 500 ms violation");
-    if cfg.scale != 1.0 {
-        println!("(percentages distorted by --scale {}; run at scale 1 for Table 2)", cfg.scale);
+    if cli.cfg.scale != 1.0 {
+        println!(
+            "(percentages distorted by --scale {}; run at scale 1 for Table 2)",
+            cli.cfg.scale
+        );
     }
     println!("{table}");
 
-    let oot_results = oot::run_all(&cfg);
+    let oot_results = oot::run_all(&cli.cfg);
     for r in &oot_results {
         println!("{}", report::render(r));
-        if charts {
+        if cli.charts {
             println!("{}", ssbench_harness::chart::render_chart(r));
         }
     }
 
     let mut all = bct_results;
     all.extend(oot_results);
-    match report::write_outputs(&cfg, &all) {
+    match report::write_outputs(&cli.cfg, &all) {
         Ok(0) => {}
         Ok(n) => eprintln!("wrote {n} result files"),
         Err(e) => eprintln!("failed writing outputs: {e}"),
+    }
+    if let Some(dir) = &cli.trace_dir {
+        match report::write_trace(dir, &all, cli.cfg.protocol) {
+            Ok(summary) => eprintln!("{summary}"),
+            Err(e) => {
+                eprintln!("trace validation failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

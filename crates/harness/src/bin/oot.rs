@@ -2,40 +2,36 @@
 //!
 //! ```text
 //! cargo run --release -p ssbench-harness --bin oot -- [--scale F] [--trials N]
-//!     [--paper-protocol] [--quick] [--seed N] [--out DIR] [fig9 fig10 …]
+//!     [--paper-protocol] [--quick] [--seed N] [--out DIR] [--trace DIR]
+//!     [--charts] [fig9 fig10 …]
 //! ```
 
-use ssbench_harness::{oot, report, RunConfig};
+use ssbench_harness::{oot, report, CliArgs};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cfg, rest) = match RunConfig::from_args(&args) {
-        Ok(x) => x,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
-    };
-    let charts = rest.iter().any(|a| a == "--charts");
-    let wanted: Vec<&str> =
-        rest.iter().filter(|a| *a != "--charts").map(String::as_str).collect();
-    eprintln!(
-        "OOT benchmark — scale {}, {} trial(s), seed {}",
-        cfg.scale, cfg.protocol.trials, cfg.seed
-    );
-    let results = oot::run_all(&cfg)
+    let cli = CliArgs::parse_or_exit("OOT benchmark");
+    let results = oot::run_all(&cli.cfg)
         .into_iter()
-        .filter(|r| wanted.is_empty() || wanted.contains(&r.id.as_str()))
+        .filter(|r| cli.wants(&r.id))
         .collect::<Vec<_>>();
     for r in &results {
         println!("{}", report::render(r));
-        if charts {
+        if cli.charts {
             println!("{}", ssbench_harness::chart::render_chart(r));
         }
     }
-    match report::write_outputs(&cfg, &results) {
+    match report::write_outputs(&cli.cfg, &results) {
         Ok(0) => {}
         Ok(n) => eprintln!("wrote {n} result files"),
         Err(e) => eprintln!("failed writing outputs: {e}"),
+    }
+    if let Some(dir) = &cli.trace_dir {
+        match report::write_trace(dir, &results, cli.cfg.protocol) {
+            Ok(summary) => eprintln!("{summary}"),
+            Err(e) => {
+                eprintln!("trace validation failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -9,25 +9,17 @@
 //! Percentages are only meaningful at `--scale 1` (the default), because
 //! they are fractions of the systems' *absolute* scalability limits.
 
-use ssbench_harness::{table2, RunConfig};
+use ssbench_harness::{report, table2, CliArgs};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cfg, _) = match RunConfig::from_args(&args) {
-        Ok(x) => x,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
-    };
-    if cfg.scale != 1.0 {
+    let cli = CliArgs::parse_or_exit("Table 2 (stop-after-violation sweeps)");
+    if cli.cfg.scale != 1.0 {
         eprintln!(
             "warning: --scale {} distorts Table-2 percentages (limits are absolute)",
-            cfg.scale
+            cli.cfg.scale
         );
     }
-    eprintln!("Reproducing Table 2 (stop-after-violation sweeps)…");
-    let (table, results) = table2::compute(&cfg);
+    let (table, results) = table2::compute(&cli.cfg);
     println!("Table 2 — % of documented scalability limit at first 500 ms violation");
     println!("{table}");
     println!("Paper's published Table 2 for comparison:");
@@ -41,10 +33,22 @@ fn main() {
         let v: String = cells[1].iter().map(|&c| fmt_cell(c)).collect();
         println!("{op:<24}|{f} |{v}");
     }
-    if let Some(dir) = &cfg.out_dir {
-        std::fs::create_dir_all(dir).expect("create out dir");
-        std::fs::write(dir.join("table2.txt"), table.to_string()).expect("write table2");
-        ssbench_harness::report::write_outputs(&cfg, &results).expect("write figures");
+    if let Some(dir) = &cli.cfg.out_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("create out dir {}: {e}", dir.display()));
+        std::fs::write(dir.join("table2.txt"), table.to_string())
+            .unwrap_or_else(|e| panic!("write table2.txt: {e}"));
+        report::write_outputs(&cli.cfg, &results)
+            .unwrap_or_else(|e| panic!("write figure outputs: {e}"));
         eprintln!("wrote outputs to {}", dir.display());
+    }
+    if let Some(dir) = &cli.trace_dir {
+        match report::write_trace(dir, &results, cli.cfg.protocol) {
+            Ok(summary) => eprintln!("{summary}"),
+            Err(e) => {
+                eprintln!("trace validation failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

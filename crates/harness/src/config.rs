@@ -1,8 +1,24 @@
-//! Run configuration shared by every experiment.
+//! Run configuration shared by every experiment, plus the one CLI parser
+//! every harness binary goes through.
 
 use std::path::PathBuf;
 
 use crate::timing::Protocol;
+
+/// Usage text shared by all four binaries.
+pub const USAGE: &str = "\
+options:
+  --scale F                 scale dataset sizes (1.0 = paper sizes)
+  --trials N                trials per measurement
+  --paper-protocol          10 trials, trimmed mean of 8 (§3.3)
+  --quick                   smoke run: --scale 0.01, single trials
+  --stop-after-violation N  stop a sweep N sizes past the 500 ms violation
+  --seed N                  dataset / noise seed
+  --out DIR                 write CSV/JSON results to DIR
+  --trace DIR               record span traces; write DIR/trace.json (Chrome
+                            about://tracing format) and DIR/trace.txt
+  --charts                  also print ASCII charts
+  fig2 fig3 …               only report the named figures";
 
 /// Configuration for a benchmark run.
 #[derive(Debug, Clone)]
@@ -121,6 +137,84 @@ impl Default for RunConfig {
     }
 }
 
+/// Fully parsed command line of a harness binary: the [`RunConfig`] plus
+/// the flags every binary shares (`--charts`, `--trace DIR`) and the
+/// positional figure selectors. One parser, four binaries.
+#[derive(Debug, Clone)]
+pub struct CliArgs {
+    /// The run configuration.
+    pub cfg: RunConfig,
+    /// Print ASCII charts after each figure's table.
+    pub charts: bool,
+    /// When set, tracing is enabled and `trace.json` + `trace.txt` are
+    /// written here at the end of the run.
+    pub trace_dir: Option<PathBuf>,
+    /// Positional figure ids (`fig3`, …); empty = everything.
+    pub selectors: Vec<String>,
+}
+
+impl CliArgs {
+    /// Parses a full argument list. Unknown `--flags` are errors here
+    /// (unlike [`RunConfig::from_args`], which forwards them).
+    pub fn parse(args: &[String]) -> Result<CliArgs, String> {
+        let (cfg, rest) = RunConfig::from_args(args)?;
+        let mut cli =
+            CliArgs { cfg, charts: false, trace_dir: None, selectors: Vec::new() };
+        let mut it = rest.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--charts" => cli.charts = true,
+                "--trace" => {
+                    let dir =
+                        it.next().ok_or_else(|| "--trace needs a directory".to_owned())?;
+                    cli.trace_dir = Some(PathBuf::from(dir));
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag {flag}"));
+                }
+                selector => cli.selectors.push(selector.to_owned()),
+            }
+        }
+        Ok(cli)
+    }
+
+    /// Parses `std::env::args`, printing the error plus [`USAGE`] and
+    /// exiting with status 2 on a bad command line. On success prints the
+    /// run banner and, when `--trace` was given, turns tracing on.
+    pub fn parse_or_exit(tool: &str) -> CliArgs {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match CliArgs::parse(&argv) {
+            Ok(cli) => {
+                eprintln!(
+                    "{tool} — scale {}, {} trial(s), seed {}{}",
+                    cli.cfg.scale,
+                    cli.cfg.protocol.trials,
+                    cli.cfg.seed,
+                    if cli.trace_dir.is_some() { ", tracing on" } else { "" },
+                );
+                cli.init_trace();
+                cli
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Enables span recording when a trace directory was requested.
+    pub fn init_trace(&self) {
+        if self.trace_dir.is_some() {
+            ssbench_engine::trace::enable(ssbench_engine::trace::DEFAULT_CAPACITY);
+        }
+    }
+
+    /// Whether the figure `id` was selected (no selectors = everything).
+    pub fn wants(&self, id: &str) -> bool {
+        self.selectors.is_empty() || self.selectors.iter().any(|s| s == id)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,8 +224,8 @@ mod tests {
         let cfg = RunConfig::quick();
         assert!(cfg.sizes(None).iter().all(|&n| n >= 10));
         let full = RunConfig::full();
-        assert_eq!(*full.sizes(None).last().unwrap(), 500_000);
-        assert_eq!(*full.sizes(Some(90_000)).last().unwrap(), 90_000);
+        assert_eq!(*full.sizes(None).last().expect("size grid non-empty"), 500_000);
+        assert_eq!(*full.sizes(Some(90_000)).last().expect("size grid non-empty"), 90_000);
     }
 
     #[test]
@@ -151,5 +245,30 @@ mod tests {
         let (cfg, _) = RunConfig::from_args(&args).unwrap();
         assert_eq!(cfg.protocol, Protocol::PAPER);
         assert!(RunConfig::from_args(&["--scale".to_string()]).is_err());
+    }
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn cli_args_parse_shared_flags_and_selectors() {
+        let cli =
+            CliArgs::parse(&argv(&["--quick", "--trace", "/tmp/t", "--charts", "fig3", "fig5"]))
+                .unwrap();
+        assert_eq!(cli.cfg.protocol, Protocol::SINGLE);
+        assert!(cli.charts);
+        assert_eq!(cli.trace_dir.as_deref(), Some(std::path::Path::new("/tmp/t")));
+        assert!(cli.wants("fig3"));
+        assert!(cli.wants("fig5"));
+        assert!(!cli.wants("fig4"));
+        let all = CliArgs::parse(&argv(&["--quick"])).unwrap();
+        assert!(all.wants("fig4"), "no selectors selects everything");
+    }
+
+    #[test]
+    fn cli_args_reject_unknown_flags_and_missing_values() {
+        assert!(CliArgs::parse(&argv(&["--bogus"])).is_err());
+        assert!(CliArgs::parse(&argv(&["--trace"])).is_err());
     }
 }

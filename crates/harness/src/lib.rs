@@ -28,9 +28,26 @@ pub mod table2;
 pub mod taxonomy;
 pub mod timing;
 
-pub use config::RunConfig;
+pub use config::{CliArgs, RunConfig};
 pub use series::{ExperimentResult, Point, Series};
 pub use timing::{trimmed_mean, Protocol, Stats};
+
+use ssbench_engine::trace;
+
+/// Runs one experiment inside an `experiment:<id>` trace span carrying the
+/// figure's total simulated time. Every `run_all` dispatches through this,
+/// so a traced run's root spans are the experiments themselves.
+pub fn run_experiment(
+    cfg: &RunConfig,
+    f: impl FnOnce(&RunConfig) -> ExperimentResult,
+) -> ExperimentResult {
+    let span = trace::Span::open(trace::Category::Experiment, || "experiment:?".to_owned());
+    let result = f(cfg);
+    span.set_name(format!("experiment:{}", result.id));
+    span.set_sim_ms(result.total_ms());
+    span.finish();
+    result
+}
 
 /// Runs everything: BCT then OOT. Returns all figure results; Table 2 can
 /// be derived from the BCT subset via [`table2::from_results`].

@@ -121,17 +121,17 @@ mod tests {
         assert_eq!(r.series.len(), 7);
         // Present and absent both grow linearly for Excel; absent is not
         // more expensive than present.
-        let p = r.series("Excel Present").unwrap();
-        let a = r.series("Excel Absent").unwrap();
-        assert!(p.points.last().unwrap().ms > p.points[0].ms * 3.0, "linear growth");
-        assert!(a.points.last().unwrap().ms <= p.points.last().unwrap().ms * 1.1);
+        let p = r.expect_series("Excel Present");
+        let a = r.expect_series("Excel Absent");
+        assert!(p.expect_last().ms > p.points[0].ms * 3.0, "linear growth");
+        assert!(a.expect_last().ms <= p.expect_last().ms * 1.1);
         // Sheets: present ≈ absent (§5.1.2 "takes the same time for both").
-        let gp = r.series("Google Sheets Present").unwrap().last().unwrap();
-        let ga = r.series("Google Sheets Absent").unwrap().last().unwrap();
+        let gp = r.expect_series("Google Sheets Present").expect_last();
+        let ga = r.expect_series("Google Sheets Absent").expect_last();
         assert!((gp.ms - ga.ms).abs() / ga.ms < 0.25);
         // The indexed variant is flat and far cheaper at the top size.
-        let o = r.series("Optimized (inverted index)").unwrap();
-        assert!(o.points.last().unwrap().ms < p.points.last().unwrap().ms / 10.0);
+        let o = r.expect_series("Optimized (inverted index)");
+        assert!(o.expect_last().ms < p.expect_last().ms / 10.0);
     }
 
     #[test]

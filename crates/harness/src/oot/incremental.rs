@@ -202,16 +202,16 @@ mod tests {
         let r = fig13_incremental(&cfg);
         // Calc's per-row update cost dwarfs its fixed cost, so the
         // recompute-from-scratch growth is clearest there.
-        let calc = r.series("Calc").unwrap();
-        let growth = calc.points.last().unwrap().ms / calc.points[0].ms.max(1e-9);
+        let calc = r.expect_series("Calc");
+        let growth = calc.expect_last().ms / calc.points[0].ms.max(1e-9);
         assert!(growth > 5.0, "recompute-from-scratch grows with m: ×{growth:.1}");
-        let excel = r.series("Excel").unwrap();
-        assert!(excel.points.last().unwrap().ms > excel.points[0].ms);
+        let excel = r.expect_series("Excel");
+        assert!(excel.expect_last().ms > excel.points[0].ms);
         // The incremental series is flat.
-        let opt = r.series("Optimized (incremental)").unwrap();
-        let flat = opt.points.last().unwrap().ms / opt.points[0].ms.max(1e-9);
+        let opt = r.expect_series("Optimized (incremental)");
+        let flat = opt.expect_last().ms / opt.points[0].ms.max(1e-9);
         assert!(flat < 1.5, "incremental is O(1): ×{flat:.2}");
-        assert!(opt.points.last().unwrap().ms < excel.points.last().unwrap().ms);
+        assert!(opt.expect_last().ms < excel.expect_last().ms);
     }
 
     #[test]
@@ -220,17 +220,17 @@ mod tests {
         cfg.scale = 0.02; // rows: 10k; N: 1..20
         let r = fig14_multi_instance(&cfg);
         assert_eq!(r.x_unit, "instances");
-        let excel = r.series("Excel").unwrap();
-        let first = excel.points.first().unwrap();
-        let last = excel.points.last().unwrap();
+        let excel = r.expect_series("Excel");
+        let first = excel.points.first().expect("series has at least one point");
+        let last = excel.expect_last();
         let n_ratio = f64::from(last.x) / f64::from(first.x);
         let t_ratio = last.ms / first.ms;
         assert!(
             t_ratio > n_ratio * 0.5 && t_ratio < n_ratio * 2.0,
             "linear in N: time ×{t_ratio:.1} for N ×{n_ratio:.1}"
         );
-        let opt = r.series("Optimized (incremental)").unwrap();
-        assert!(opt.points.last().unwrap().ms < last.ms / 5.0);
+        let opt = r.expect_series("Optimized (incremental)");
+        assert!(opt.expect_last().ms < last.ms / 5.0);
     }
 
     #[test]

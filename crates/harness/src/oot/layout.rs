@@ -97,8 +97,8 @@ mod tests {
         cfg.scale = 0.05;
         let r = fig10_layout(&cfg);
         for kind in ["Excel", "Calc", "Google Sheets"] {
-            let s = r.series(&format!("{kind} Sequential")).unwrap().last().unwrap();
-            let d = r.series(&format!("{kind} Random")).unwrap().last().unwrap();
+            let s = r.expect_series(&format!("{kind} Sequential")).expect_last();
+            let d = r.expect_series(&format!("{kind} Random")).expect_last();
             let ratio = d.ms / s.ms;
             assert!(
                 (0.8..1.25).contains(&ratio),
@@ -107,8 +107,8 @@ mod tests {
         }
         // The columnar series exist and are orders of magnitude below the
         // scripted-access times.
-        let col_seq = r.series("Columnar Sequential (wall-clock)").unwrap().last().unwrap();
-        let excel_seq = r.series("Excel Sequential").unwrap().last().unwrap();
+        let col_seq = r.expect_series("Columnar Sequential (wall-clock)").expect_last();
+        let excel_seq = r.expect_series("Excel Sequential").expect_last();
         assert!(col_seq.ms < excel_seq.ms);
     }
 

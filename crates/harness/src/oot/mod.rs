@@ -17,17 +17,18 @@ pub use redundant::fig12_redundant;
 pub use shared::fig11_shared;
 
 use crate::config::RunConfig;
+use crate::run_experiment;
 use crate::series::ExperimentResult;
 
 /// Runs all six OOT experiments.
 pub fn run_all(cfg: &RunConfig) -> Vec<ExperimentResult> {
     vec![
-        fig9_find_replace(cfg),
-        fig10_layout(cfg),
-        fig11_shared(cfg),
-        fig12_redundant(cfg),
-        fig13_incremental(cfg),
-        fig14_multi_instance(cfg),
+        run_experiment(cfg, fig9_find_replace),
+        run_experiment(cfg, fig10_layout),
+        run_experiment(cfg, fig11_shared),
+        run_experiment(cfg, fig12_redundant),
+        run_experiment(cfg, fig13_incremental),
+        run_experiment(cfg, fig14_multi_instance),
     ]
 }
 

@@ -91,9 +91,9 @@ mod tests {
         cfg.scale = 0.05;
         let r = fig12_redundant(&cfg);
         for kind in ["Excel", "Calc"] {
-            let one = r.series(&format!("{kind} Single formula")).unwrap().last().unwrap();
+            let one = r.expect_series(&format!("{kind} Single formula")).expect_last();
             let five =
-                r.series(&format!("{kind} Multiple formulae (5)")).unwrap().last().unwrap();
+                r.expect_series(&format!("{kind} Multiple formulae (5)")).expect_last();
             let ratio = five.ms / one.ms;
             assert!(
                 (3.5..5.5).contains(&ratio),
@@ -101,9 +101,9 @@ mod tests {
             );
         }
         // Memoized: close to a single instance, far below five.
-        let one = r.series("Excel Single formula").unwrap().last().unwrap();
-        let five = r.series("Excel Multiple formulae (5)").unwrap().last().unwrap();
-        let opt = r.series("Optimized (memoized ×5)").unwrap().last().unwrap();
+        let one = r.expect_series("Excel Single formula").expect_last();
+        let five = r.expect_series("Excel Multiple formulae (5)").expect_last();
+        let opt = r.expect_series("Optimized (memoized ×5)").expect_last();
         assert!(opt.ms < five.ms / 2.0, "memoized {} ≪ repeated {}", opt.ms, five.ms);
         assert!(opt.ms < one.ms * 2.0);
     }

@@ -111,12 +111,12 @@ mod tests {
         let mut cfg = RunConfig::quick();
         cfg.scale = 0.02; // sizes 200..2000
         let r = fig11_shared(&cfg);
-        let rep = r.series("Excel Repeated").unwrap();
-        let reu = r.series("Excel Reusable").unwrap();
-        let (rep_a, rep_b) = (rep.points[0], *rep.points.last().unwrap());
+        let rep = r.expect_series("Excel Repeated");
+        let reu = r.expect_series("Excel Reusable");
+        let (rep_a, rep_b) = (rep.points[0], rep.expect_last());
         let size_ratio = f64::from(rep_b.x) / f64::from(rep_a.x);
         let rep_growth = rep_b.ms / rep_a.ms;
-        let reu_growth = reu.points.last().unwrap().ms / reu.points[0].ms;
+        let reu_growth = reu.expect_last().ms / reu.points[0].ms;
         assert!(
             rep_growth > size_ratio * 3.0,
             "repeated superlinear: ×{rep_growth:.1} for size ×{size_ratio:.1}"
@@ -126,11 +126,11 @@ mod tests {
             "reusable ~linear: ×{reu_growth:.1} for size ×{size_ratio:.1}"
         );
         // Optimized ≤ reusable at the top size.
-        let opt = r.series("Optimized (prefix sharing)").unwrap().last().unwrap();
-        assert!(opt.ms <= reu.points.last().unwrap().ms * 1.5);
+        let opt = r.expect_series("Optimized (prefix sharing)").expect_last();
+        assert!(opt.ms <= reu.expect_last().ms * 1.5);
         // Sheets capped at 30k (scaled to 600).
-        let g = r.series("Google Sheets Repeated").unwrap();
-        assert!(g.points.last().unwrap().x <= 600);
+        let g = r.expect_series("Google Sheets Repeated");
+        assert!(g.expect_last().x <= 600);
     }
 
     #[test]

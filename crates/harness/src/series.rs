@@ -53,6 +53,28 @@ impl Series {
     pub fn last(&self) -> Option<Point> {
         self.points.last().copied()
     }
+
+    /// The last measured point, panicking with the series label when the
+    /// series is empty (e.g. a `--scale` so small every size was clipped).
+    pub fn expect_last(&self) -> Point {
+        self.last().unwrap_or_else(|| panic!("series {:?} has no points", self.label))
+    }
+
+    /// The measured time at size `x`, panicking with the series label and
+    /// the sizes that were measured when `x` is absent.
+    pub fn ms_at(&self, x: u32) -> f64 {
+        self.points
+            .iter()
+            .find(|p| p.x == x)
+            .unwrap_or_else(|| {
+                panic!(
+                    "series {:?} has no point at x={x} (measured: {:?})",
+                    self.label,
+                    self.points.iter().map(|p| p.x).collect::<Vec<_>>()
+                )
+            })
+            .ms
+    }
 }
 
 /// The result of one experiment: a reproduced figure.
@@ -81,6 +103,27 @@ impl ExperimentResult {
     /// Finds a series by label.
     pub fn series(&self, label: &str) -> Option<&Series> {
         self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Finds a series by label, panicking with the experiment id and the
+    /// labels that do exist when it is absent — so a bad `--scale`/`--seed`
+    /// combination reports which experiment failed instead of aborting on
+    /// a bare `unwrap`.
+    pub fn expect_series(&self, label: &str) -> &Series {
+        self.series(label).unwrap_or_else(|| {
+            panic!(
+                "{}: no series {label:?} (have: {:?})",
+                self.id,
+                self.series.iter().map(|s| s.label.as_str()).collect::<Vec<_>>()
+            )
+        })
+    }
+
+    /// Total simulated milliseconds over every point of every series — the
+    /// figure-level quantity the trace exporter reconciles against the sum
+    /// of the figure's `measure` spans.
+    pub fn total_ms(&self) -> f64 {
+        self.series.iter().flat_map(|s| s.points.iter()).map(|p| p.ms).sum()
     }
 
     /// All distinct x values across series, sorted.

@@ -118,6 +118,44 @@ mod tests {
     }
 
     #[test]
+    fn trimmed_mean_degenerate_trims_keep_all_samples() {
+        // 2*trim >= len: trimming would leave nothing (or bias a pair), so
+        // the full mean is used.
+        assert_eq!(trimmed_mean(&[1.0, 9.0], 1), 5.0); // 2*1 == len
+        assert_eq!(trimmed_mean(&[1.0, 5.0, 9.0], 2), 5.0); // 2*2 > len
+        assert_eq!(trimmed_mean(&[7.0], 3), 7.0);
+        // Boundary: len == 2*trim + 1 keeps exactly the median.
+        assert_eq!(trimmed_mean(&[0.0, 5.0, 100.0], 1), 5.0);
+    }
+
+    #[test]
+    fn capped_protocol_collapses_trim_at_exactly_twice() {
+        // trials == 2*trim would trim everything → trim must collapse.
+        let p = Protocol::PAPER.capped(2);
+        assert_eq!(p.trials, 2);
+        assert_eq!(p.trim, 0);
+        // One above the threshold keeps the trim.
+        let p = Protocol { trials: 10, trim: 2 }.capped(5);
+        assert_eq!((p.trials, p.trim), (5, 2));
+        let p = Protocol { trials: 10, trim: 2 }.capped(4);
+        assert_eq!((p.trials, p.trim), (4, 0));
+        // A cap above the trial count is a no-op.
+        let p = Protocol::DEFAULT.capped(100);
+        assert_eq!(p, Protocol::DEFAULT);
+    }
+
+    #[test]
+    fn single_protocol_measures_once_without_trim() {
+        let mut calls = 0;
+        let t = Protocol::SINGLE.measure(|| {
+            calls += 1;
+            42.0
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(t, 42.0);
+    }
+
+    #[test]
     fn stats_of_samples() {
         let s = Stats::of(&[1.0, 2.0, 3.0]);
         assert_eq!(s.mean, 2.0);

@@ -10,6 +10,7 @@ use rand::{Rng, SeedableRng};
 use ssbench_engine::io::{self, SheetData};
 use ssbench_engine::meter::Primitive;
 use ssbench_engine::prelude::*;
+use ssbench_engine::trace::{Category, Span};
 
 use crate::op::OpClass;
 use crate::policy::RecalcTrigger;
@@ -71,6 +72,10 @@ impl SimSystem {
     /// Runs `f` against `sheet` as one scripted operation of class `op`:
     /// charges the remote round trip when applicable, measures the
     /// primitive-count delta, and converts it to simulated milliseconds.
+    ///
+    /// Every call opens a `measure:<op>:<system>` trace span carrying the
+    /// same delta the cost model converts, plus the (noisy) simulated time
+    /// — the invariant the trace exporter validates.
     pub fn measure<R>(
         &self,
         sheet: &mut Sheet,
@@ -78,6 +83,12 @@ impl SimSystem {
         f: impl FnOnce(&mut Sheet) -> R,
     ) -> (R, f64) {
         sheet.set_lookup_strategy(self.profile.policies.lookup);
+        let kind = self.profile.kind;
+        let span = Span::open_metered(
+            Category::Measure,
+            || format!("measure:{}:{}", op.name(), kind.name()),
+            sheet.meter(),
+        );
         let before = sheet.meter().snapshot();
         if self.profile.policies.remote {
             sheet.meter().tick(Primitive::NetworkRtt);
@@ -85,7 +96,10 @@ impl SimSystem {
         let result = f(sheet);
         let delta = sheet.meter().snapshot().since(&before);
         let ms = self.profile.costs.time_ms(op, &delta);
-        (result, self.with_noise(ms))
+        let noisy = self.with_noise(ms);
+        span.set_sim_ms(noisy);
+        span.finish_metered(sheet.meter());
+        (result, noisy)
     }
 
     /// Applies this system's post-operation recalculation trigger.
@@ -118,6 +132,12 @@ impl SimSystem {
     /// loads the visible window lazily but still resolves formula
     /// dependencies for the whole document server-side.
     pub fn open_doc(&self, doc: &SheetData) -> (Sheet, f64) {
+        // Open builds the sheet (and its meter) from scratch, so it cannot
+        // use `measure`'s before/after snapshots; the span's counts are set
+        // explicitly from the fresh sheet's full tally instead.
+        let kind = self.profile.kind;
+        let span =
+            Span::open(Category::Measure, || format!("measure:open:{}", kind.name()));
         let p = &self.profile.policies;
         let mut sheet = if p.lazy_viewport_open {
             io::open_window(doc, Layout::RowMajor, p.viewport_rows)
@@ -148,7 +168,11 @@ impl SimSystem {
         sheet.set_lookup_strategy(p.lookup);
         let counts = sheet.meter().snapshot();
         let ms = self.profile.costs.time_ms(OpClass::Open, &counts);
-        (sheet, self.with_noise(ms))
+        let noisy = self.with_noise(ms);
+        span.set_counts(counts);
+        span.set_sim_ms(noisy);
+        span.finish();
+        (sheet, noisy)
     }
 
     /// Sorts the whole sheet ascending by one column (§4.2.1), then
@@ -156,7 +180,8 @@ impl SimSystem {
     pub fn sort(&self, sheet: &mut Sheet, key_col: u32) -> f64 {
         let trigger = self.profile.policies.recalc_on_sort;
         let (_, ms) = self.measure(sheet, OpClass::Sort, |s| {
-            sort_rows(s, &[SortKey::asc(key_col)]);
+            s.apply(Op::Sort { keys: vec![SortKey::asc(key_col)] })
+                .expect("sort is infallible");
             self.apply_trigger(s, trigger);
         });
         ms
@@ -176,7 +201,8 @@ impl SimSystem {
                 s.nrows().saturating_sub(1)
             };
             let range = Range::column_segment(col, 0, last_row);
-            conditional_format(s, range, criterion, Color::GREEN);
+            s.apply(Op::CondFormat { range, criterion: criterion.clone(), fill: Color::GREEN })
+                .expect("conditional format is infallible");
             self.apply_trigger(s, trigger);
         });
         ms
@@ -186,7 +212,10 @@ impl SimSystem {
     pub fn filter(&self, sheet: &mut Sheet, col: u32, criterion: &Criterion) -> (u32, f64) {
         let trigger = self.profile.policies.recalc_on_filter;
         self.measure(sheet, OpClass::Filter, |s| {
-            let visible = filter_rows(s, col, criterion);
+            let visible = match s.apply(Op::Filter { col, criterion: criterion.clone() }) {
+                Ok(OpOutcome::Filtered { visible }) => visible,
+                other => unreachable!("filter dispatch returned {other:?}"),
+            };
             self.apply_trigger(s, trigger);
             visible
         })
@@ -197,7 +226,10 @@ impl SimSystem {
     pub fn pivot(&self, sheet: &mut Sheet, dim_col: u32, measure_col: u32) -> (PivotTable, f64) {
         let trigger = self.profile.policies.recalc_on_pivot;
         self.measure(sheet, OpClass::Pivot, |s| {
-            let table = pivot(s, dim_col, measure_col, PivotAgg::Sum);
+            let table = match s.apply(Op::Pivot { dim_col, measure_col, agg: PivotAgg::Sum }) {
+                Ok(OpOutcome::Pivoted(table)) => table,
+                other => unreachable!("pivot dispatch returned {other:?}"),
+            };
             // Write into the inserted worksheet; group writes are charged
             // to the measured sheet (one logical operation).
             s.meter().bump(Primitive::GroupWrite, table.len() as u64);
@@ -250,11 +282,19 @@ impl SimSystem {
 
     /// Find-and-replace over the whole sheet (§5.1.2).
     pub fn find_replace(&self, sheet: &mut Sheet, needle: &str, replacement: &str) -> (u32, f64) {
-        self.measure(sheet, OpClass::FindReplace, |s| {
-            match s.used_range() {
-                Some(range) => find_replace(s, range, needle, replacement),
-                None => 0,
+        self.measure(sheet, OpClass::FindReplace, |s| match s.used_range() {
+            Some(range) => {
+                let op = Op::FindReplace {
+                    range,
+                    needle: needle.to_owned(),
+                    replacement: replacement.to_owned(),
+                };
+                match s.apply(op) {
+                    Ok(OpOutcome::Replaced { cells }) => cells,
+                    other => unreachable!("find_replace dispatch returned {other:?}"),
+                }
             }
+            None => 0,
         })
     }
 

@@ -19,4 +19,14 @@ RUST_TEST_THREADS=1 cargo test -q
 echo "==> RECALC_PARALLELISM=4 cargo test -q"
 RECALC_PARALLELISM=4 cargo test -q
 
+# A traced BCT experiment end to end: the bct binary exits non-zero if the
+# trace JSON fails to re-parse or the measure spans don't sum to the
+# figure's reported total (DESIGN.md §8).
+echo "==> traced BCT smoke run"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+./target/release/bct --quick --trace "$trace_dir" fig3 > /dev/null
+test -s "$trace_dir/trace.json" || { echo "missing trace.json" >&2; exit 1; }
+test -s "$trace_dir/trace.txt" || { echo "missing trace.txt" >&2; exit 1; }
+
 echo "==> all checks passed"

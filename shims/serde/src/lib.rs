@@ -118,6 +118,22 @@ pub trait Deserialize: Sized {
     fn from_json(json: &Json) -> Result<Self, DeError>;
 }
 
+// Identity impls: a hand-built `Json` tree is itself serializable, and any
+// parsed document can be recovered as a raw tree. Lets callers render
+// dynamic documents (e.g. trace exports) through `serde_json::to_string`
+// without declaring a mirror struct.
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Deserialize for Json {
+    fn from_json(json: &Json) -> Result<Self, DeError> {
+        Ok(json.clone())
+    }
+}
+
 /// The sink side of [`Serialize::serialize`]. One concrete implementation
 /// exists ([`JsonSerializer`]); the trait is kept generic so call sites
 /// written against real serde (`fn ser<S: serde::Serializer>(..)`)
