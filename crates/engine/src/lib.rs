@@ -38,6 +38,7 @@
 //! ```
 
 pub mod addr;
+pub mod audit;
 pub mod cell;
 pub mod depgraph;
 pub mod error;

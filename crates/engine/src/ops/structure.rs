@@ -144,12 +144,22 @@ pub(crate) fn restructure(sheet: &mut Sheet, axis: Axis, at: u32, count: u32, in
             moved.push((new, cell));
         }
     }
-    // Rebuild the grid.
-    let mut fresh = Sheet::with_layout(crate::sheet::Layout::RowMajor, new_rows, new_cols);
+    // Rebuild the grid, keeping the sheet's own physical layout: a
+    // structural edit must never silently convert a column-major sheet to
+    // row-major (that would corrupt any layout experiment downstream).
+    let mut fresh = Sheet::with_layout(sheet.layout(), new_rows, new_cols);
     std::mem::swap(sheet, &mut fresh);
     sheet.ensure_size(new_rows.max(1), new_cols.max(1));
     // Carry over configuration and accumulated work from the old sheet.
     sheet.set_lookup_strategy(fresh.lookup_strategy());
+    sheet.set_recalc_options(fresh.recalc_options());
+    sheet.set_now_serial(fresh.now_serial());
+    // Named ranges survive the rebuild. (They are carried over verbatim;
+    // shifting a name's target range with the edit is a separate concern.)
+    for name in fresh.names() {
+        let range = fresh.name_range(name).expect("listed name resolves");
+        sheet.define_name(name, range).expect("existing name stays valid");
+    }
     sheet.meter().absorb(&fresh.meter().snapshot());
     for (addr, cell) in moved {
         match cell.content {
@@ -324,6 +334,137 @@ mod tests {
         insert_rows(&mut s, 3, 0);
         delete_rows(&mut s, 99, 1);
         assert_eq!(crate::io::save(&s), snapshot);
+    }
+
+    #[test]
+    fn restructure_preserves_layout_and_options() {
+        use crate::eval::LookupStrategy;
+        use crate::recalc::RecalcOptions;
+        use crate::sheet::Layout;
+
+        let mut s = Sheet::with_layout(Layout::ColumnMajor, 0, 0);
+        let opts = RecalcOptions { parallelism: 3, threshold: 7 };
+        let lookup = LookupStrategy { early_exit_exact: true, binary_search_approx: true };
+        s.set_recalc_options(opts);
+        s.set_lookup_strategy(lookup);
+        s.set_now_serial(44_000.5);
+        for i in 0..4u32 {
+            s.set_value(CellAddr::new(i, 0), i64::from(i + 1));
+        }
+        s.set_formula_str(a("B1"), "=SUM(A1:A4)").unwrap();
+        s.define_name("Data", crate::addr::Range::parse("A1:A4").unwrap()).unwrap();
+
+        for (i, edit) in [
+            Op::InsertRows { at: 1, count: 2 },
+            Op::DeleteRows { at: 1, count: 1 },
+            Op::InsertCols { at: 0, count: 1 },
+            Op::DeleteCols { at: 0, count: 1 },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            s.apply(edit).unwrap();
+            assert_eq!(s.layout(), Layout::ColumnMajor, "edit #{i} reset the layout");
+            assert_eq!(s.recalc_options(), opts, "edit #{i} reset recalc options");
+            assert_eq!(s.lookup_strategy(), lookup, "edit #{i} reset the lookup strategy");
+            assert_eq!(s.now_serial(), 44_000.5, "edit #{i} reset the clock");
+            assert!(s.name_range("Data").is_some(), "edit #{i} dropped named ranges");
+        }
+        recalc::recalc_all(&mut s);
+        // The formula rode along: row edits at row 2 left B1 in place, and
+        // the column insert/delete pair cancelled out.
+        assert_eq!(s.value(a("B1")), Value::Number(10.0)); // 1+2+3+4 intact
+    }
+
+    /// Builds 6 values in column A plus `C1 = SUM(A2:A5)`, deletes
+    /// `count` rows at `at`, and returns the rewritten formula text and
+    /// its recalculated value.
+    fn delete_against_sum(at: u32, count: u32) -> (String, Value) {
+        let mut s = Sheet::new();
+        for i in 0..6u32 {
+            s.set_value(CellAddr::new(i, 0), i64::from(i + 1)); // A: 1..6
+        }
+        s.set_formula_str(a("C1"), "=SUM(A2:A5)").unwrap(); // 2+3+4+5 = 14
+        delete_rows(&mut s, at, count);
+        recalc::recalc_all(&mut s);
+        (s.input_text(a("C1")), s.value(a("C1")))
+    }
+
+    #[test]
+    fn multi_row_delete_straddling_range_start() {
+        // Rows 1–3 (A1..A3) die: the range loses A2, A3 and slides up.
+        // The formula sits at C6 so it survives the band and moves to C3.
+        let mut s = Sheet::new();
+        for i in 0..6u32 {
+            s.set_value(CellAddr::new(i, 0), i64::from(i + 1));
+        }
+        s.set_formula_str(a("C6"), "=SUM(A2:A5)").unwrap();
+        delete_rows(&mut s, 0, 3);
+        assert_eq!(s.input_text(a("C3")), "=SUM(A1:A2)"); // the surviving 4, 5
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("C3")), Value::Number(9.0));
+    }
+
+    #[test]
+    fn multi_row_delete_straddling_range_end() {
+        // Rows 4–6 (A4..A6) die: the range keeps A2, A3.
+        let (text, v) = delete_against_sum(3, 3);
+        assert_eq!(text, "=SUM(A2:A3)");
+        assert_eq!(v, Value::Number(5.0));
+    }
+
+    #[test]
+    fn multi_row_delete_interior_shrinks_range() {
+        // Rows 3–4 (A3, A4) die from the middle of A2:A5.
+        let (text, v) = delete_against_sum(2, 2);
+        assert_eq!(text, "=SUM(A2:A3)"); // survivors 2, 5
+        assert_eq!(v, Value::Number(7.0));
+    }
+
+    #[test]
+    fn multi_row_delete_covering_whole_range_is_ref() {
+        // Rows 2–5 (A2..A5) die: the entire range is gone.
+        let (text, v) = delete_against_sum(1, 4);
+        assert_eq!(text, "=SUM(#REF!)");
+        assert_eq!(v, Value::Error(CellError::Ref));
+    }
+
+    #[test]
+    fn multi_row_delete_superset_of_range_is_ref() {
+        // Rows 1–6 would delete the formula too; delete 2–6 instead: the
+        // deleted band strictly contains the range plus a margin.
+        let (text, v) = delete_against_sum(1, 5);
+        assert_eq!(text, "=SUM(#REF!)");
+        assert_eq!(v, Value::Error(CellError::Ref));
+    }
+
+    #[test]
+    fn delete_at_row_zero_clips_range_start() {
+        // `at = 0` exercises the `at.saturating_sub(1)` clip edge.
+        let mut s = Sheet::new();
+        for i in 0..6u32 {
+            s.set_value(CellAddr::new(i, 0), i64::from(i + 1));
+        }
+        s.set_formula_str(a("C6"), "=SUM(A1:A4)").unwrap();
+        delete_rows(&mut s, 0, 2); // rows 1–2 die; range becomes A1:A2
+        assert_eq!(s.input_text(a("C4")), "=SUM(A1:A2)");
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("C4")), Value::Number(7.0)); // 3+4
+    }
+
+    #[test]
+    fn multi_col_delete_clips_column_ranges() {
+        // Mirror of the row cases on the column axis: SUM(B1:E1) with
+        // columns C–D deleted shrinks to the surviving B, E.
+        let mut s = Sheet::new();
+        for c in 0..6u32 {
+            s.set_value(CellAddr::new(0, c), i64::from(c + 1)); // A1..F1: 1..6
+        }
+        s.set_formula_str(a("A3"), "=SUM(B1:E1)").unwrap(); // 2+3+4+5
+        delete_cols(&mut s, 2, 2); // delete C, D
+        assert_eq!(s.input_text(a("A3")), "=SUM(B1:C1)");
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("A3")), Value::Number(7.0)); // 2+5
     }
 
     #[test]

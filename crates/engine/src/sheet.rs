@@ -84,6 +84,20 @@ impl Sheet {
         &self.meter
     }
 
+    /// The physical storage layout of the grid. Stable across every
+    /// operation, including structural edits that rebuild the grid.
+    pub fn layout(&self) -> Layout {
+        match self.grid {
+            GridStore::Row(_) => Layout::RowMajor,
+            GridStore::Col(_) => Layout::ColumnMajor,
+        }
+    }
+
+    /// The serial `NOW()` returns (see [`Sheet::set_now_serial`]).
+    pub fn now_serial(&self) -> f64 {
+        self.now_serial
+    }
+
     /// Materialized row count.
     pub fn nrows(&self) -> u32 {
         self.grid.nrows()
@@ -243,7 +257,7 @@ impl Sheet {
         if let Some(body) = input.strip_prefix('=') {
             return self.set_formula_str(addr, body);
         }
-        let v = if let Ok(n) = input.trim().parse::<f64>() {
+        let v = if let Some(n) = crate::value::parse_number(input) {
             Value::Number(n)
         } else {
             match input.trim().to_ascii_uppercase().as_str() {
@@ -473,6 +487,24 @@ mod tests {
         assert_eq!(s.value(a("A2")), Value::Bool(true));
         assert_eq!(s.value(a("A3")), Value::text("storm"));
         assert!(s.is_formula(a("A4")));
+    }
+
+    #[test]
+    fn set_input_treats_non_finite_spellings_as_text() {
+        // `parse::<f64>()` accepts these; cell input must not: a grid cell
+        // may never hold NaN or ±inf (the real systems store them as text).
+        let mut s = Sheet::new();
+        for (i, input) in ["inf", "NaN", "infinity", "-inf", "1e999"].iter().enumerate() {
+            let addr = CellAddr::new(i as u32, 0);
+            s.set_input(addr, input).unwrap();
+            assert_eq!(s.value(addr), Value::text(*input), "{input:?} must stay text");
+        }
+    }
+
+    #[test]
+    fn layout_accessor_reports_storage() {
+        assert_eq!(Sheet::new().layout(), Layout::RowMajor);
+        assert_eq!(Sheet::with_layout(Layout::ColumnMajor, 2, 2).layout(), Layout::ColumnMajor);
     }
 
     #[test]

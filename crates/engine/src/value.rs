@@ -56,7 +56,7 @@ impl Value {
             Value::Number(n) => Ok(*n),
             Value::Bool(b) => Ok(if *b { 1.0 } else { 0.0 }),
             Value::Empty => Ok(0.0),
-            Value::Text(s) => s.trim().parse::<f64>().map_err(|_| CellError::Value),
+            Value::Text(s) => parse_number(s).ok_or(CellError::Value),
             Value::Error(e) => Err(*e),
         }
     }
@@ -207,6 +207,16 @@ impl From<CellError> for Value {
     }
 }
 
+/// Parses text as a spreadsheet number. Unlike a bare `parse::<f64>()`,
+/// the non-finite spellings Rust accepts (`"inf"`, `"-inf"`, `"infinity"`,
+/// `"NaN"`) and overflowing literals (`"1e999"`) are rejected: the real
+/// systems treat those as text or `#VALUE!`, and a grid must never hold a
+/// non-finite number (it would poison `sheet_cmp`'s total order and every
+/// downstream aggregate).
+pub fn parse_number(text: &str) -> Option<f64> {
+    text.trim().parse::<f64>().ok().filter(|n| n.is_finite())
+}
+
 /// Formats a number like spreadsheets do in the general format: integers
 /// without a decimal point, others with up to ~15 significant digits and no
 /// trailing zeros.
@@ -252,7 +262,7 @@ impl Criterion {
             } else {
                 ("", s)
             };
-            let num = rest.trim().parse::<f64>().ok();
+            let num = parse_number(rest);
             return match (op, num) {
                 (">=", Some(n)) => Criterion::Ge(n),
                 ("<=", Some(n)) => Criterion::Le(n),
@@ -319,6 +329,29 @@ mod tests {
         assert_eq!(Value::text(" 42 ").coerce_number(), Ok(42.0));
         assert_eq!(Value::text("storm").coerce_number(), Err(CellError::Value));
         assert_eq!(Value::Error(CellError::Na).coerce_number(), Err(CellError::Na));
+    }
+
+    #[test]
+    fn coerce_number_rejects_non_finite_spellings() {
+        // Rust's f64 parser accepts these; spreadsheet coercion must not.
+        for s in ["inf", "-inf", "+inf", "infinity", "Infinity", "NaN", "nan", "1e999", "-1E999"] {
+            assert_eq!(
+                Value::text(s).coerce_number(),
+                Err(CellError::Value),
+                "{s:?} must not coerce to a number"
+            );
+        }
+        assert_eq!(parse_number(" 1e300 "), Some(1e300));
+        assert_eq!(parse_number("inf"), None);
+        assert_eq!(parse_number("NaN"), None);
+    }
+
+    #[test]
+    fn criterion_with_non_finite_operand_is_text_equality() {
+        // ">inf" parses as text equality on ">inf"'s remainder, never as a
+        // numeric comparison against infinity.
+        assert_eq!(Criterion::parse(&Value::text(">inf")), Criterion::Eq(Value::text("inf")));
+        assert_eq!(Criterion::parse(&Value::text("NaN")), Criterion::Eq(Value::text("NaN")));
     }
 
     #[test]

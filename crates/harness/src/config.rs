@@ -18,7 +18,12 @@ options:
   --trace DIR               record span traces; write DIR/trace.json (Chrome
                             about://tracing format) and DIR/trace.txt
   --charts                  also print ASCII charts
-  fig2 fig3 …               only report the named figures";
+  fig2 fig3 …               only report the named figures
+fuzz only:
+  --ops N                   ops per generated sequence (default 200)
+  --shrink                  on failure, delta-debug to a minimal script
+  --corpus DIR              corpus directory (default tests/corpus)
+  replay                    replay every corpus script instead of fuzzing";
 
 /// Configuration for a benchmark run.
 #[derive(Debug, Clone)]
@@ -149,6 +154,12 @@ pub struct CliArgs {
     /// When set, tracing is enabled and `trace.json` + `trace.txt` are
     /// written here at the end of the run.
     pub trace_dir: Option<PathBuf>,
+    /// Ops per generated fuzz sequence (`--ops`, fuzz binary only).
+    pub ops: Option<usize>,
+    /// Shrink failing fuzz scripts before reporting (`--shrink`).
+    pub shrink: bool,
+    /// Corpus directory for fuzz reproducers (`--corpus`).
+    pub corpus: Option<PathBuf>,
     /// Positional figure ids (`fig3`, …); empty = everything.
     pub selectors: Vec<String>,
 }
@@ -158,8 +169,15 @@ impl CliArgs {
     /// (unlike [`RunConfig::from_args`], which forwards them).
     pub fn parse(args: &[String]) -> Result<CliArgs, String> {
         let (cfg, rest) = RunConfig::from_args(args)?;
-        let mut cli =
-            CliArgs { cfg, charts: false, trace_dir: None, selectors: Vec::new() };
+        let mut cli = CliArgs {
+            cfg,
+            charts: false,
+            trace_dir: None,
+            ops: None,
+            shrink: false,
+            corpus: None,
+            selectors: Vec::new(),
+        };
         let mut it = rest.iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -168,6 +186,20 @@ impl CliArgs {
                     let dir =
                         it.next().ok_or_else(|| "--trace needs a directory".to_owned())?;
                     cli.trace_dir = Some(PathBuf::from(dir));
+                }
+                "--ops" => {
+                    cli.ops = Some(
+                        it.next()
+                            .ok_or_else(|| "--ops needs a value".to_owned())?
+                            .parse()
+                            .map_err(|e| format!("--ops: {e}"))?,
+                    );
+                }
+                "--shrink" => cli.shrink = true,
+                "--corpus" => {
+                    let dir =
+                        it.next().ok_or_else(|| "--corpus needs a directory".to_owned())?;
+                    cli.corpus = Some(PathBuf::from(dir));
                 }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
@@ -270,5 +302,21 @@ mod tests {
     fn cli_args_reject_unknown_flags_and_missing_values() {
         assert!(CliArgs::parse(&argv(&["--bogus"])).is_err());
         assert!(CliArgs::parse(&argv(&["--trace"])).is_err());
+        assert!(CliArgs::parse(&argv(&["--ops"])).is_err());
+        assert!(CliArgs::parse(&argv(&["--ops", "many"])).is_err());
+        assert!(CliArgs::parse(&argv(&["--corpus"])).is_err());
+    }
+
+    #[test]
+    fn cli_args_parse_fuzz_flags() {
+        let cli = CliArgs::parse(&argv(&[
+            "--seed", "3", "--ops", "50", "--shrink", "--corpus", "tests/corpus", "replay",
+        ]))
+        .unwrap();
+        assert_eq!(cli.cfg.seed, 3);
+        assert_eq!(cli.ops, Some(50));
+        assert!(cli.shrink);
+        assert_eq!(cli.corpus.as_deref(), Some(std::path::Path::new("tests/corpus")));
+        assert_eq!(cli.selectors, vec!["replay"]);
     }
 }

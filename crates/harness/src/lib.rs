@@ -9,6 +9,9 @@
 //!   (Figures 9–14), each with an extra "Optimized" counterfactual series
 //!   from `ssbench-optimized`;
 //! * [`table2`] — the interactivity summary (Table 2);
+//! * [`oracle`] — the differential testing oracle and its `fuzz` binary
+//!   (DESIGN.md §9): seeded op sequences replayed across the layout ×
+//!   lookup × recalc-mode × parallelism matrix;
 //! * [`taxonomy`] — the operation taxonomy (Table 1);
 //! * [`timing`] — the paper's trial protocol (§3.3);
 //! * [`report`] — text/CSV/JSON rendering; [`chart`] — ASCII line charts.
@@ -22,6 +25,7 @@ pub mod chart;
 pub mod config;
 pub mod grow;
 pub mod oot;
+pub mod oracle;
 pub mod report;
 pub mod series;
 pub mod table2;

@@ -1,0 +1,270 @@
+//! Seeded, deterministic generation of workbooks and op sequences.
+//!
+//! The grammar is deliberately restricted to operations whose results are
+//! *specified* to be configuration-independent, so any divergence the
+//! runner reports is a real bug and never generator noise:
+//!
+//! * range arguments are **single-column** — multi-column aggregates
+//!   would visit cells in storage order and sum floats in a
+//!   layout-dependent order;
+//! * `VLOOKUP` is always **exact-match** (`FALSE`) — approximate match
+//!   over unsorted data may legitimately differ between the scan and
+//!   binary-search strategies;
+//! * non-finite number spellings (`inf`, `NaN`, `1e999`) appear as cell
+//!   *input* on purpose: the engine must treat them as text, and the
+//!   finite-grid audit fails any configuration that lets one through.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ssbench_engine::addr::{col_to_letters, CellAddr};
+use ssbench_engine::sheet::{Layout, Sheet};
+
+use super::script::{Script, ScriptOp};
+
+/// Default initial workbook height. Two formula columns of this many rows
+/// put > 128 formulas in each recalc level, which is what the parallel
+/// executor needs (`MIN_CHUNK = 64`) before it actually fans out.
+pub const DEFAULT_ROWS: u32 = 200;
+
+/// Default generated op-sequence length.
+pub const DEFAULT_OPS: usize = 200;
+
+/// Initial workbook width: A/B numeric data, C text labels, D per-row
+/// formulas, E whole-column aggregates, F second-level formulas.
+const COLS: u32 = 6;
+
+/// Text labels cycle over this many distinct spellings (duplicates feed
+/// find-replace, filter, and pivot grouping).
+const LABELS: u64 = 12;
+
+/// Builds the initial workbook for `script` under the given layout. Pure
+/// function of `(script.seed, script.rows, layout)` — every configuration
+/// starts from cell-identical state.
+pub fn build_workbook(script: &Script, layout: Layout) -> Sheet {
+    let rows = script.rows.max(8);
+    let mut rng = SmallRng::seed_from_u64(script.seed ^ 0x5eed_b00c);
+    let mut sheet = Sheet::with_layout(layout, rows, COLS);
+    for r in 0..rows {
+        let a1 = r + 1; // A1-style row number for formula text
+        sheet.set_value(CellAddr::new(r, 0), rng.random_range(1..=1000i64));
+        sheet.set_value(CellAddr::new(r, 1), rng.random_range(1..=9i64));
+        sheet.set_value(CellAddr::new(r, 2), format!("item{}", rng.random_range(0..LABELS)));
+        sheet
+            .set_formula_str(CellAddr::new(r, 3), &format!("=A{a1}*2+B{a1}"))
+            .expect("generated per-row formula parses");
+        sheet
+            .set_formula_str(CellAddr::new(r, 5), &format!("=D{a1}+$E$1"))
+            .expect("generated second-level formula parses");
+    }
+    for (r, src) in [
+        format!("=SUM(A1:A{rows})"),
+        format!("=MIN(A1:A{rows})"),
+        format!("=MAX(B1:B{rows})"),
+        format!("=COUNTIF(B1:B{rows},\">=5\")"),
+        format!("=VLOOKUP(5,B1:C{rows},2,FALSE)"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        sheet
+            .set_formula_str(CellAddr::new(r as u32, 4), src)
+            .expect("generated aggregate formula parses");
+    }
+    sheet
+}
+
+/// Generates a `Script`: an initial size plus `n_ops` random operations,
+/// all a pure function of `seed`.
+pub fn generate(seed: u64, rows: u32, n_ops: usize) -> Script {
+    let rows = rows.max(8);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0b5e_55ed);
+    let mut gen = OpGen { rng: &mut rng, rows, cols: COLS };
+    let ops = (0..n_ops).map(|_| gen.next_op()).collect();
+    Script { seed, rows, ops }
+}
+
+/// Op-stream generator. Tracks the workbook's *current* extent so row and
+/// column indices stay in range as structural edits grow and shrink it.
+struct OpGen<'a> {
+    rng: &'a mut SmallRng,
+    rows: u32,
+    cols: u32,
+}
+
+impl OpGen<'_> {
+    fn next_op(&mut self) -> ScriptOp {
+        match self.rng.random_range(0..100u32) {
+            0..=34 => self.set_value(),
+            35..=49 => self.set_formula(),
+            50..=56 => ScriptOp::Sort {
+                col: self.rng.random_range(0..3u32.min(self.cols)),
+                asc: self.rng.random_range(0..2u32) == 0,
+            },
+            57..=62 => ScriptOp::Filter {
+                col: 1.min(self.cols - 1),
+                criterion: format!(
+                    "{}{}",
+                    [">=", "<=", "<>"][self.rng.random_range(0..3usize)],
+                    self.rng.random_range(1..=9u32)
+                ),
+            },
+            63..=66 => ScriptOp::ClearFilter,
+            67..=70 => ScriptOp::CondFormat {
+                range: self.column_segment(0),
+                criterion: format!(">={}", self.rng.random_range(100..=900u32)),
+            },
+            71..=74 => {
+                let (from, to) = (
+                    self.rng.random_range(0..LABELS),
+                    self.rng.random_range(0..LABELS),
+                );
+                ScriptOp::FindReplace {
+                    range: self.column_segment(2.min(self.cols - 1)),
+                    needle: format!("item{from}"),
+                    replacement: format!("item{to}"),
+                }
+            }
+            75..=80 => {
+                let src_col = self.rng.random_range(0..self.cols);
+                let src = self.column_segment(src_col);
+                let dst = CellAddr::new(
+                    self.rng.random_range(0..self.rows),
+                    self.rng.random_range(0..self.cols),
+                );
+                ScriptOp::CopyPaste { src, dst: dst.to_a1() }
+            }
+            81..=85 => ScriptOp::Pivot {
+                dim_col: 1.min(self.cols - 1),
+                measure_col: 0,
+                agg: ["sum", "count", "average", "min", "max"]
+                    [self.rng.random_range(0..5usize)]
+                .to_owned(),
+            },
+            86..=96 => self.structural(),
+            _ => ScriptOp::Recalc,
+        }
+    }
+
+    fn set_value(&mut self) -> ScriptOp {
+        let row = self.rng.random_range(0..self.rows);
+        let col = self.rng.random_range(0..3u32.min(self.cols));
+        let text = match self.rng.random_range(0..10u32) {
+            // Mostly ordinary numbers…
+            0..=5 => self.rng.random_range(1..=1000i64).to_string(),
+            6 | 7 => format!("item{}", self.rng.random_range(0..LABELS)),
+            // …but regularly the spellings `parse::<f64>()` would turn
+            // into NaN/±inf if coercion let it.
+            _ => ["inf", "-inf", "NaN", "infinity", "1e999", "-1E999"]
+                [self.rng.random_range(0..6usize)]
+            .to_owned(),
+        };
+        ScriptOp::Set { row, col, text }
+    }
+
+    fn set_formula(&mut self) -> ScriptOp {
+        let row = self.rng.random_range(0..self.rows);
+        let col = self.rng.random_range(3..self.cols.max(4));
+        let r1 = self.rng.random_range(1..=self.rows); // A1-style
+        let text = match self.rng.random_range(0..5u32) {
+            0 => format!("=A{r1}*3-B{r1}"),
+            1 => format!("=SUM({})", self.column_segment(0)),
+            2 => format!("=IF(B{r1}>=5,A{r1},0)"),
+            3 => format!("=COUNTIF({},\">=3\")", self.column_segment(1.min(self.cols - 1))),
+            _ => format!(
+                "=VLOOKUP({},B1:C{},2,FALSE)",
+                self.rng.random_range(1..=9u32),
+                self.rows
+            ),
+        };
+        ScriptOp::Set { row, col, text }
+    }
+
+    fn structural(&mut self) -> ScriptOp {
+        let count = self.rng.random_range(1..=3u32);
+        match self.rng.random_range(0..4u32) {
+            0 => {
+                let at = self.rng.random_range(0..=self.rows);
+                self.rows += count;
+                ScriptOp::InsertRows { at, count }
+            }
+            1 if self.rows > 8 + count => {
+                let at = self.rng.random_range(0..self.rows - count);
+                self.rows -= count;
+                ScriptOp::DeleteRows { at, count }
+            }
+            2 => {
+                let at = self.rng.random_range(0..=self.cols);
+                self.cols += count;
+                ScriptOp::InsertCols { at, count }
+            }
+            3 if self.cols > 2 + count => {
+                let at = self.rng.random_range(0..self.cols - count);
+                self.cols -= count;
+                ScriptOp::DeleteCols { at, count }
+            }
+            // The guarded delete arms fall through here when the sheet is
+            // already at its minimum extent.
+            _ => ScriptOp::Recalc,
+        }
+    }
+
+    /// A random single-column A1 range in `col` (see the module doc for
+    /// why ranges never span columns).
+    fn column_segment(&mut self, col: u32) -> String {
+        let r0 = self.rng.random_range(1..=self.rows);
+        let r1 = self.rng.random_range(r0..=self.rows);
+        let letter = col_to_letters(col);
+        format!("{letter}{r0}:{letter}{r1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate(7, 32, 50);
+        let b = generate(7, 32, 50);
+        assert_eq!(a, b);
+        let c = generate(8, 32, 50);
+        assert_ne!(a.ops, c.ops, "different seeds give different streams");
+    }
+
+    #[test]
+    fn workbooks_are_cell_identical_across_layouts() {
+        let script = generate(3, 24, 0);
+        let row = build_workbook(&script, Layout::RowMajor);
+        let col = build_workbook(&script, Layout::ColumnMajor);
+        assert_eq!(ssbench_engine::io::save(&row), ssbench_engine::io::save(&col));
+        assert_eq!(row.layout(), Layout::RowMajor);
+        assert_eq!(col.layout(), Layout::ColumnMajor);
+    }
+
+    #[test]
+    fn generated_scripts_keep_indices_in_bounds() {
+        // Structural ops move the extent; every later op must still be
+        // replayable. A 500-op stream exercises the tracking thoroughly.
+        let script = generate(11, 16, 500);
+        let (mut rows, mut cols) = (16u32, COLS);
+        for op in &script.ops {
+            match *op {
+                ScriptOp::Set { row, col, .. } => {
+                    assert!(row < rows && col < cols.max(4), "{op:?} out of {rows}x{cols}");
+                }
+                ScriptOp::InsertRows { count, .. } => rows += count,
+                ScriptOp::DeleteRows { at, count } => {
+                    assert!(at + count <= rows);
+                    rows -= count;
+                }
+                ScriptOp::InsertCols { count, .. } => cols += count,
+                ScriptOp::DeleteCols { at, count } => {
+                    assert!(at + count <= cols);
+                    cols -= count;
+                }
+                _ => {}
+            }
+        }
+        assert!(rows >= 8 && cols >= 2);
+    }
+}

@@ -1,0 +1,20 @@
+//! The differential testing oracle (DESIGN.md §9).
+//!
+//! The paper's experiments only mean anything if the engine computes *the
+//! same answers* under every configuration the figures vary: physical
+//! layout (Fig 10), lookup strategy (§6), sequential vs parallel recalc
+//! (PR 1), and full vs incremental recalculation (Figs 13–14). The oracle
+//! enforces that by construction: it generates seeded random workbooks and
+//! op sequences ([`gen`]), replays each sequence under the whole
+//! configuration matrix ([`runner`]), and on any divergence shrinks the
+//! sequence to a minimal reproducer ([`shrink`]) serialized as JSON
+//! ([`script`]) into `tests/corpus/`, where a `cargo test` suite replays
+//! it forever after.
+
+pub mod gen;
+pub mod runner;
+pub mod script;
+pub mod shrink;
+
+pub use runner::{check_script, matrix, Failure, OracleConfig};
+pub use script::{Script, ScriptOp};

@@ -1,0 +1,492 @@
+//! Replays a [`Script`] across the configuration matrix and compares
+//! everything that is *specified* to be configuration-independent:
+//!
+//! * per-op outcomes (sort permutations, filter visibility, pivot tables);
+//! * a per-op digest of every stored value and the hidden-row set, so two
+//!   configurations cannot briefly diverge and reconverge unnoticed;
+//! * the final workbook (input texts and bit-exact values);
+//! * trace span-tree signatures, within groups that share the settings
+//!   which legitimately change the work done (lookup strategy changes
+//!   read counts, incremental recalc changes which formulas run) —
+//!   across layout and worker count the trees must be identical;
+//! * per-op structural invariants on every configuration: the dep-graph
+//!   audit and finite-grid check ([`ssbench_engine::audit`]), plus "the
+//!   sheet keeps its configured layout and `RecalcOptions`" — the two
+//!   regressions this oracle exists to catch (see `tests/corpus/`).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
+use ssbench_engine::addr::{CellAddr, Range};
+use ssbench_engine::audit;
+use ssbench_engine::eval::LookupStrategy;
+use ssbench_engine::io;
+use ssbench_engine::ops::{Op, PivotAgg, SortKey};
+use ssbench_engine::recalc::{self, RecalcOptions};
+use ssbench_engine::sheet::{Layout, Sheet};
+use ssbench_engine::trace;
+use ssbench_engine::value::{Criterion, Value};
+use ssbench_engine::style::Color;
+
+use super::gen;
+use super::script::{Script, ScriptOp};
+
+/// One cell of the configuration matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleConfig {
+    /// Physical storage layout (Fig 10's variable).
+    pub layout: Layout,
+    /// Worker threads for level-parallel recalc (1 = sequential path).
+    pub parallelism: usize,
+    /// Lookup/scan strategy (§6's variable).
+    pub lookup: LookupStrategy,
+    /// Recalculate incrementally from each edit's dirty set instead of
+    /// the whole sheet (Figs 13–14's variable).
+    pub incremental: bool,
+}
+
+impl OracleConfig {
+    /// Compact label for failure messages, e.g. `row/par4/opt-lookup/inc`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/par{}/{}/{}",
+            match self.layout {
+                Layout::RowMajor => "row",
+                Layout::ColumnMajor => "col",
+            },
+            self.parallelism,
+            if self.lookup == LookupStrategy::default() { "naive-lookup" } else { "opt-lookup" },
+            if self.incremental { "inc" } else { "full" },
+        )
+    }
+
+    /// Settings that legitimately change the *work performed* (and thus
+    /// trace signatures and meter counts). Configurations sharing this key
+    /// must produce identical span trees.
+    fn signature_group(&self) -> (bool, bool, bool) {
+        (self.incremental, self.lookup.early_exit_exact, self.lookup.binary_search_approx)
+    }
+}
+
+/// The full 24-configuration matrix: 2 layouts × 2 lookup strategies ×
+/// full/incremental × 1/2/4 workers. The first entry is the reference
+/// configuration everything else is compared against.
+pub fn matrix() -> Vec<OracleConfig> {
+    let optimized = LookupStrategy { early_exit_exact: true, binary_search_approx: true };
+    let mut out = Vec::with_capacity(24);
+    for layout in [Layout::RowMajor, Layout::ColumnMajor] {
+        for lookup in [LookupStrategy::default(), optimized] {
+            for incremental in [false, true] {
+                for parallelism in [1, 2, 4] {
+                    out.push(OracleConfig { layout, parallelism, lookup, incremental });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A divergence or invariant violation found by the oracle.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Label of the offending configuration (or pair, for divergences).
+    pub config: String,
+    /// Index of the op after which the problem appeared, when localized.
+    pub op_index: Option<usize>,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op_index {
+            Some(i) => write!(f, "[{}] after op #{i}: {}", self.config, self.detail),
+            None => write!(f, "[{}]: {}", self.config, self.detail),
+        }
+    }
+}
+
+/// Everything one configuration's replay produced, reduced to the
+/// comparable essentials.
+struct Replay {
+    /// Per-op `(outcome, grid digest)`.
+    per_op: Vec<(String, u64)>,
+    /// Final workbook as input text (layout-independent serial form).
+    final_inputs: Vec<Vec<String>>,
+    /// Final bit-exact value digest.
+    final_digest: u64,
+    /// Concatenated root-span signatures of the op replay.
+    signature: String,
+}
+
+/// Which cells an op dirtied, for the incremental recalc policy.
+enum Dirty {
+    /// Nothing value-bearing changed; skip recalculation.
+    None,
+    /// Exactly these cells changed; incremental configs recalc from them.
+    Cells(Vec<CellAddr>),
+    /// References were rewritten or rows moved; all configs recalc fully.
+    Full,
+}
+
+/// Tracing is process-global state; oracle replays capture span trees, so
+/// two concurrent `check_script` calls (e.g. `cargo test` threads) must
+/// not interleave enable/disable.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Replays `script` under every configuration in [`matrix`] and returns
+/// the first divergence or invariant violation, if any.
+pub fn check_script(script: &Script) -> Result<(), Failure> {
+    let guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let configs = matrix();
+    let mut replays = Vec::with_capacity(configs.len());
+    for config in &configs {
+        replays.push(replay(script, *config)?);
+    }
+    drop(guard);
+
+    // Outcome + value digests: identical across the whole matrix.
+    let (ref_cfg, ref_run) = (&configs[0], &replays[0]);
+    for (config, run) in configs.iter().zip(&replays).skip(1) {
+        let pair = format!("{} vs {}", ref_cfg.label(), config.label());
+        for (i, (a, b)) in ref_run.per_op.iter().zip(&run.per_op).enumerate() {
+            if a.0 != b.0 {
+                return Err(Failure {
+                    config: pair,
+                    op_index: Some(i),
+                    detail: format!("op outcomes diverge: {} != {}", a.0, b.0),
+                });
+            }
+            if a.1 != b.1 {
+                return Err(Failure {
+                    config: pair,
+                    op_index: Some(i),
+                    detail: "grid digests diverge".to_owned(),
+                });
+            }
+        }
+        if ref_run.final_inputs != run.final_inputs {
+            return Err(Failure {
+                config: pair,
+                op_index: None,
+                detail: "final workbooks diverge (input text)".to_owned(),
+            });
+        }
+        if ref_run.final_digest != run.final_digest {
+            return Err(Failure {
+                config: pair,
+                op_index: None,
+                detail: "final workbooks diverge (values)".to_owned(),
+            });
+        }
+    }
+
+    // Span signatures: identical within each (recalc mode, lookup) group.
+    let mut groups: HashMap<(bool, bool, bool), (String, &str)> = HashMap::new();
+    for (config, run) in configs.iter().zip(&replays) {
+        match groups.get(&config.signature_group()) {
+            None => {
+                groups.insert(
+                    config.signature_group(),
+                    (config.label(), run.signature.as_str()),
+                );
+            }
+            Some((first_label, first_sig)) => {
+                if *first_sig != run.signature {
+                    return Err(Failure {
+                        config: format!("{} vs {}", first_label, config.label()),
+                        op_index: None,
+                        detail: "trace span signatures diverge".to_owned(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Replays one configuration, enforcing per-op invariants as it goes.
+fn replay(script: &Script, config: OracleConfig) -> Result<Replay, Failure> {
+    let fail = |op_index: Option<usize>, detail: String| Failure {
+        config: config.label(),
+        op_index,
+        detail,
+    };
+
+    let opts = RecalcOptions {
+        parallelism: config.parallelism,
+        // Force the parallel path even on small dirty sets; threshold
+        // tuning is a performance knob, not a correctness one.
+        threshold: if config.parallelism > 1 { 1 } else { RecalcOptions::default().threshold },
+    };
+    let mut sheet = gen::build_workbook(script, config.layout);
+    sheet.set_lookup_strategy(config.lookup);
+    sheet.set_recalc_options(opts);
+    recalc::recalc_all(&mut sheet);
+
+    // Capture spans for the op replay only (workbook construction is
+    // already covered by the digest of the state after op 0).
+    trace::clear();
+    trace::enable(trace::DEFAULT_CAPACITY);
+    let mut per_op = Vec::with_capacity(script.ops.len());
+    for (i, op) in script.ops.iter().enumerate() {
+        let (outcome, dirty) =
+            apply_script_op(&mut sheet, op).map_err(|e| fail(Some(i), e))?;
+        match dirty {
+            Dirty::None => {}
+            Dirty::Full => {
+                recalc::recalc_all(&mut sheet);
+            }
+            Dirty::Cells(cells) => {
+                if config.incremental {
+                    recalc::recalc_from(&mut sheet, &cells);
+                } else {
+                    recalc::recalc_all(&mut sheet);
+                }
+            }
+        }
+        check_invariants(&sheet, config, opts).map_err(|e| fail(Some(i), e))?;
+        per_op.push((outcome, grid_digest(&sheet)));
+    }
+    let signature: String =
+        trace::drain().iter().map(|s| s.signature()).collect::<Vec<_>>().join("\n");
+    trace::disable();
+
+    Ok(Replay {
+        per_op,
+        final_inputs: io::save(&sheet).rows,
+        final_digest: grid_digest(&sheet),
+        signature,
+    })
+}
+
+/// Applies one [`ScriptOp`], returning its outcome descriptor and dirty
+/// set. Errors are corpus problems (unparsable ranges), not divergences.
+fn apply_script_op(sheet: &mut Sheet, op: &ScriptOp) -> Result<(String, Dirty), String> {
+    let parse_range = |s: &str| Range::parse(s).map_err(|e| format!("bad range {s:?}: {e}"));
+    let outcome = |o: ssbench_engine::ops::OpOutcome| format!("{o:?}");
+    match op {
+        ScriptOp::Set { row, col, text } => {
+            let addr = CellAddr::new(*row, *col);
+            match sheet.set_input(addr, text) {
+                Ok(()) => Ok((format!("set {}", addr.to_a1()), Dirty::Cells(vec![addr]))),
+                // A rejected formula edits nothing; record it as an
+                // outcome so all configurations must reject identically.
+                Err(e) => Ok((format!("set {} rejected: {e}", addr.to_a1()), Dirty::None)),
+            }
+        }
+        ScriptOp::Sort { col, asc } => {
+            let key = if *asc { SortKey::asc(*col) } else { SortKey::desc(*col) };
+            let o = sheet.apply(Op::Sort { keys: vec![key] }).map_err(|e| e.to_string())?;
+            Ok((outcome(o), Dirty::Full))
+        }
+        ScriptOp::Filter { col, criterion } => {
+            let crit = Criterion::parse(&Value::text(criterion.clone()));
+            let o = sheet
+                .apply(Op::Filter { col: *col, criterion: crit })
+                .map_err(|e| e.to_string())?;
+            Ok((outcome(o), Dirty::None))
+        }
+        ScriptOp::ClearFilter => {
+            let o = sheet.apply(Op::ClearFilter).map_err(|e| e.to_string())?;
+            Ok((outcome(o), Dirty::None))
+        }
+        ScriptOp::CondFormat { range, criterion } => {
+            let crit = Criterion::parse(&Value::text(criterion.clone()));
+            let o = sheet
+                .apply(Op::CondFormat {
+                    range: parse_range(range)?,
+                    criterion: crit,
+                    fill: Color::GREEN,
+                })
+                .map_err(|e| e.to_string())?;
+            Ok((outcome(o), Dirty::None))
+        }
+        ScriptOp::FindReplace { range, needle, replacement } => {
+            let range = parse_range(range)?;
+            // The hit list *is* the set of cells the replace will rewrite;
+            // computed up front so incremental configs know what dirtied.
+            let hits = ssbench_engine::ops::find_all(sheet, range, needle);
+            let o = sheet
+                .apply(Op::FindReplace {
+                    range,
+                    needle: needle.clone(),
+                    replacement: replacement.clone(),
+                })
+                .map_err(|e| e.to_string())?;
+            Ok((outcome(o), Dirty::Cells(hits)))
+        }
+        ScriptOp::CopyPaste { src, dst } => {
+            let dst = CellAddr::parse(dst).map_err(|e| format!("bad dst {dst:?}: {e}"))?;
+            let o = sheet
+                .apply(Op::CopyPaste { src: parse_range(src)?, dst })
+                .map_err(|e| e.to_string())?;
+            let dirty = match &o {
+                ssbench_engine::ops::OpOutcome::Pasted { dst } => dst.iter().collect(),
+                _ => Vec::new(),
+            };
+            Ok((outcome(o), Dirty::Cells(dirty)))
+        }
+        ScriptOp::Pivot { dim_col, measure_col, agg } => {
+            let agg = match agg.as_str() {
+                "sum" => PivotAgg::Sum,
+                "count" => PivotAgg::Count,
+                "average" => PivotAgg::Average,
+                "min" => PivotAgg::Min,
+                "max" => PivotAgg::Max,
+                other => return Err(format!("bad pivot agg {other:?}")),
+            };
+            let o = sheet
+                .apply(Op::Pivot { dim_col: *dim_col, measure_col: *measure_col, agg })
+                .map_err(|e| e.to_string())?;
+            Ok((outcome(o), Dirty::None))
+        }
+        ScriptOp::InsertRows { at, count } => {
+            let o = sheet
+                .apply(Op::InsertRows { at: *at, count: *count })
+                .map_err(|e| e.to_string())?;
+            Ok((outcome(o), Dirty::Full))
+        }
+        ScriptOp::DeleteRows { at, count } => {
+            let o = sheet
+                .apply(Op::DeleteRows { at: *at, count: *count })
+                .map_err(|e| e.to_string())?;
+            Ok((outcome(o), Dirty::Full))
+        }
+        ScriptOp::InsertCols { at, count } => {
+            let o = sheet
+                .apply(Op::InsertCols { at: *at, count: *count })
+                .map_err(|e| e.to_string())?;
+            Ok((outcome(o), Dirty::Full))
+        }
+        ScriptOp::DeleteCols { at, count } => {
+            let o = sheet
+                .apply(Op::DeleteCols { at: *at, count: *count })
+                .map_err(|e| e.to_string())?;
+            Ok((outcome(o), Dirty::Full))
+        }
+        ScriptOp::Recalc => Ok(("recalc".to_owned(), Dirty::Full)),
+    }
+}
+
+/// Per-op invariants: the configured layout and recalc options must
+/// survive every op (the restructure-layout-reset bug class), and the
+/// grid and dep graph must audit clean (the non-finite-coercion and
+/// stale-edge bug classes).
+fn check_invariants(
+    sheet: &Sheet,
+    config: OracleConfig,
+    opts: RecalcOptions,
+) -> Result<(), String> {
+    if sheet.layout() != config.layout {
+        return Err(format!(
+            "sheet layout changed to {:?} (configured {:?})",
+            sheet.layout(),
+            config.layout
+        ));
+    }
+    if sheet.recalc_options() != opts {
+        return Err(format!(
+            "recalc options changed to {:?} (configured {opts:?})",
+            sheet.recalc_options()
+        ));
+    }
+    if sheet.lookup_strategy() != config.lookup {
+        return Err(format!(
+            "lookup strategy changed to {:?} (configured {:?})",
+            sheet.lookup_strategy(),
+            config.lookup
+        ));
+    }
+    audit::check_all(sheet)
+}
+
+/// FNV-1a digest of every stored value (bit-exact for numbers) plus the
+/// hidden-row set. Cheap enough to run after every op, strong enough that
+/// a transient divergence cannot cancel itself out before the final
+/// comparison.
+fn grid_digest(sheet: &Sheet) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    if let Some(used) = sheet.used_range() {
+        for addr in used.iter() {
+            let v = sheet.value(addr);
+            if v == Value::Empty {
+                continue;
+            }
+            eat(&addr.row.to_le_bytes());
+            eat(&addr.col.to_le_bytes());
+            match v {
+                Value::Empty => unreachable!(),
+                Value::Number(n) => {
+                    eat(&[1]);
+                    eat(&n.to_bits().to_le_bytes());
+                }
+                Value::Text(s) => {
+                    eat(&[2]);
+                    eat(s.as_bytes());
+                }
+                Value::Bool(b) => eat(&[3, u8::from(b)]),
+                Value::Error(e) => {
+                    eat(&[4]);
+                    eat(format!("{e:?}").as_bytes());
+                }
+            }
+        }
+    }
+    for row in 0..sheet.nrows() {
+        if sheet.is_row_hidden(row) {
+            eat(&[5]);
+            eat(&row.to_le_bytes());
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::gen;
+
+    #[test]
+    fn matrix_covers_all_dimensions() {
+        let m = matrix();
+        assert_eq!(m.len(), 24);
+        assert!(m.iter().any(|c| c.layout == Layout::ColumnMajor));
+        assert!(m.iter().any(|c| c.parallelism == 4));
+        assert!(m.iter().any(|c| c.lookup.early_exit_exact));
+        assert!(m.iter().any(|c| c.incremental));
+        // Reference config is the plainest one.
+        assert_eq!(m[0].label(), "row/par1/naive-lookup/full");
+    }
+
+    #[test]
+    fn small_generated_script_passes_the_oracle() {
+        let script = gen::generate(0xD1FF, 32, 30);
+        if let Err(f) = check_script(&script) {
+            panic!("oracle failed on a healthy engine: {f}");
+        }
+    }
+
+    #[test]
+    fn digest_sees_value_changes_and_hidden_rows() {
+        let script = gen::generate(5, 16, 0);
+        let mut sheet = gen::build_workbook(&script, Layout::RowMajor);
+        recalc::recalc_all(&mut sheet);
+        let before = grid_digest(&sheet);
+        sheet.set_value(CellAddr::new(0, 0), 123_456i64);
+        recalc::recalc_all(&mut sheet);
+        assert_ne!(before, grid_digest(&sheet));
+        let unhidden = grid_digest(&sheet);
+        sheet.set_row_hidden(3, true);
+        assert_ne!(unhidden, grid_digest(&sheet));
+    }
+}

@@ -1,0 +1,132 @@
+//! The serialized form of an oracle run: a seed, an initial workbook
+//! size, and a sequence of ops. A `Script` is the unit the generator
+//! produces, the runner replays, the shrinker minimizes, and the corpus
+//! stores as JSON — one schema end to end, so a fuzz failure written
+//! today replays unchanged as a regression test tomorrow.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// One scripted operation. Mirrors [`ssbench_engine::ops::Op`] plus cell
+/// input and explicit recalculation, but in a self-contained, text-only
+/// spelling (A1 ranges, criterion strings) so corpus files stay readable
+/// and diffable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScriptOp {
+    /// Type `text` into the cell — values and `=formulas` alike, exactly
+    /// the `Sheet::set_input` path a user edit takes.
+    Set { row: u32, col: u32, text: String },
+    /// Stable single-key row sort.
+    Sort { col: u32, asc: bool },
+    /// Hide rows whose `col` cell fails `criterion` (COUNTIF spelling).
+    Filter { col: u32, criterion: String },
+    /// Unhide every row.
+    ClearFilter,
+    /// Conditionally fill `range` (A1 form) where `criterion` matches.
+    CondFormat { range: String, criterion: String },
+    /// Replace `needle` with `replacement` in text cells of `range`.
+    FindReplace { range: String, needle: String, replacement: String },
+    /// Copy `src` (A1 range) to the block anchored at `dst` (A1 cell).
+    CopyPaste { src: String, dst: String },
+    /// Aggregate `measure_col` grouped by `dim_col`; `agg` is one of
+    /// `sum|count|average|min|max`.
+    Pivot { dim_col: u32, measure_col: u32, agg: String },
+    /// Insert `count` blank rows before row `at`.
+    InsertRows { at: u32, count: u32 },
+    /// Delete `count` rows starting at row `at`.
+    DeleteRows { at: u32, count: u32 },
+    /// Insert `count` blank columns before column `at`.
+    InsertCols { at: u32, count: u32 },
+    /// Delete `count` columns starting at column `at`.
+    DeleteCols { at: u32, count: u32 },
+    /// Force a full recalculation now.
+    Recalc,
+}
+
+/// A complete, self-describing oracle input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Script {
+    /// Seeds the initial workbook contents (and, for generated scripts,
+    /// the op stream that produced `ops`).
+    pub seed: u64,
+    /// Data rows in the initial workbook.
+    pub rows: u32,
+    /// The op sequence to replay.
+    pub ops: Vec<ScriptOp>,
+}
+
+impl Script {
+    /// Renders the script as pretty-printed JSON (the corpus format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("script serialization is infallible")
+    }
+
+    /// Parses a corpus JSON document.
+    pub fn from_json(text: &str) -> Result<Script, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Loads every `*.json` script under `dir`, sorted by file name so
+    /// replay order (and therefore failure output) is stable.
+    pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, Script)>, String> {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| format!("{}: {e}", dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        paths.sort();
+        let mut out = Vec::with_capacity(paths.len());
+        for path in paths {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            let script = Script::from_json(&text)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            out.push((path, script));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Script {
+        Script {
+            seed: 42,
+            rows: 16,
+            ops: vec![
+                ScriptOp::Set { row: 0, col: 0, text: "=SUM(A2:A9)".into() },
+                ScriptOp::Sort { col: 1, asc: false },
+                ScriptOp::Filter { col: 1, criterion: ">=5".into() },
+                ScriptOp::ClearFilter,
+                ScriptOp::CondFormat { range: "A1:A16".into(), criterion: ">=500".into() },
+                ScriptOp::FindReplace {
+                    range: "C1:C16".into(),
+                    needle: "item3".into(),
+                    replacement: "item7".into(),
+                },
+                ScriptOp::CopyPaste { src: "D1:D8".into(), dst: "G1".into() },
+                ScriptOp::Pivot { dim_col: 1, measure_col: 0, agg: "sum".into() },
+                ScriptOp::InsertRows { at: 2, count: 3 },
+                ScriptOp::DeleteCols { at: 4, count: 1 },
+                ScriptOp::Recalc,
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_variant() {
+        let s = sample();
+        let text = s.to_json();
+        let back = Script::from_json(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error_not_a_panic() {
+        assert!(Script::from_json("{").is_err());
+        assert!(Script::from_json("{\"seed\": 1}").is_err());
+    }
+}

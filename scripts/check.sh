@@ -29,4 +29,16 @@ trap 'rm -rf "$trace_dir"' EXIT
 test -s "$trace_dir/trace.json" || { echo "missing trace.json" >&2; exit 1; }
 test -s "$trace_dir/trace.txt" || { echo "missing trace.txt" >&2; exit 1; }
 
+# Differential oracle (DESIGN.md §9): a bounded fixed-seed fuzz sweep —
+# deterministic, so CI cannot flake — plus a replay of every shrunk
+# reproducer in the corpus. The fuzz binary exits non-zero on any
+# divergence or invariant violation across the 24-configuration matrix.
+echo "==> differential fuzz smoke (3 seeds x 200 ops)"
+for seed in 1 2 3; do
+  ./target/release/fuzz --seed "$seed" --ops 200
+done
+
+echo "==> corpus replay"
+./target/release/fuzz replay --corpus tests/corpus
+
 echo "==> all checks passed"

@@ -1,0 +1,39 @@
+//! Replays every corpus reproducer under `tests/corpus/` through the
+//! differential oracle. Each file is a shrunk, once-failing script (see
+//! DESIGN.md §9); this suite makes those failures permanent regressions.
+
+use std::path::PathBuf;
+
+use ssbench::harness::oracle::{check_script, Script};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn every_corpus_script_passes_the_oracle() {
+    let scripts = Script::load_dir(&corpus_dir()).expect("corpus directory loads");
+    assert!(!scripts.is_empty(), "corpus must not be empty");
+    let mut failures = Vec::new();
+    for (path, script) in &scripts {
+        assert!(
+            script.ops.len() <= 10,
+            "{}: corpus reproducers must stay minimal (≤ 10 ops), got {}",
+            path.display(),
+            script.ops.len()
+        );
+        if let Err(f) = check_script(script) {
+            failures.push(format!("{}: {f}", path.display()));
+        }
+    }
+    assert!(failures.is_empty(), "corpus regressions:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn corpus_files_round_trip_through_the_script_codec() {
+    for (path, script) in Script::load_dir(&corpus_dir()).expect("corpus directory loads") {
+        let back = Script::from_json(&script.to_json())
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(back, script, "{} round-trips", path.display());
+    }
+}

@@ -1,0 +1,42 @@
+//! Bounded in-test fuzz smoke: a fixed-seed generated sequence replayed
+//! across the full 24-configuration matrix. Deterministic (fixed seed,
+//! shimmed RNG), so CI cannot flake — the long random exploration lives
+//! in the `fuzz` binary, exercised by `scripts/check.sh`.
+
+use ssbench::harness::oracle::{check_script, gen};
+
+#[test]
+fn fixed_seed_sequence_is_configuration_independent() {
+    let script = gen::generate(0xF00D, 64, 60);
+    // The grammar must actually exercise the interesting ops at this
+    // length, or the oracle is vacuous.
+    let names: Vec<&str> = script.ops.iter().map(|op| variant_name(op)).collect();
+    for expected in ["Set", "Sort", "Filter"] {
+        assert!(
+            names.contains(&expected),
+            "60-op stream never produced a {expected} op: {names:?}"
+        );
+    }
+    if let Err(f) = check_script(&script) {
+        panic!("oracle divergence on a healthy engine: {f}");
+    }
+}
+
+fn variant_name(op: &ssbench::harness::oracle::ScriptOp) -> &'static str {
+    use ssbench::harness::oracle::ScriptOp::*;
+    match op {
+        Set { .. } => "Set",
+        Sort { .. } => "Sort",
+        Filter { .. } => "Filter",
+        ClearFilter => "ClearFilter",
+        CondFormat { .. } => "CondFormat",
+        FindReplace { .. } => "FindReplace",
+        CopyPaste { .. } => "CopyPaste",
+        Pivot { .. } => "Pivot",
+        InsertRows { .. } => "InsertRows",
+        DeleteRows { .. } => "DeleteRows",
+        InsertCols { .. } => "InsertCols",
+        DeleteCols { .. } => "DeleteCols",
+        Recalc => "Recalc",
+    }
+}
