@@ -1,0 +1,161 @@
+//! Ablation: compiled formula programs vs the tree-walking interpreter
+//! on the recalc hot path (DESIGN.md §10).
+//!
+//! Workload: a 100k-row fill-down aggregate column — every cell of
+//! column B computes a trailing 500-row `SUM` window over column A plus
+//! a scalar term. Under R1C1 normalization the whole column is one
+//! template (plus the clipped window-start variants near row 1), so the
+//! program cache compiles ~500 programs for 100k formulas. Three rungs:
+//!
+//! * `interp`            — the tree-walking interpreter;
+//! * `compiled`          — bytecode VM, cache on, kernels off (what the
+//!                         template cache alone buys);
+//! * `compiled+kernels`  — bytecode VM with the vectorized range
+//!                         kernels (what slice scans buy on top).
+//!
+//! Besides the criterion groups, this binary measures a median
+//! ns-per-formula-cell baseline per backend, writes it as JSON to
+//! `$BENCH_EVAL_JSON` (default `BENCH_eval.json` in the working
+//! directory), and exits non-zero if `compiled+kernels` fails the >= 3x
+//! speedup acceptance bar over the interpreter.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use ssbench_engine::prelude::*;
+
+const ROWS: u32 = 100_000;
+const WINDOW: u32 = 500;
+
+fn variants() -> [(&'static str, RecalcOptions); 3] {
+    let base = RecalcOptions::sequential();
+    [
+        ("interp", RecalcOptions { backend: EvalBackend::Interpreted, ..base }),
+        ("compiled", RecalcOptions { backend: EvalBackend::Compiled, kernels: false, ..base }),
+        ("compiled+kernels", RecalcOptions { backend: EvalBackend::Compiled, ..base }),
+    ]
+}
+
+/// The fill-down sheet: `A1:A100000` values, `B{r} = SUM(A{r-499}:A{r})*2
+/// + A{r}` (window clipped at the top). Returns the formula addresses in
+/// fill order. Column-major layout: a trailing column window is then one
+/// contiguous grid slice, the kernels' designed-for case (the row-major
+/// strided case is covered by the differential tests, not benchmarked).
+fn fill_down_sheet(rows: u32, opts: RecalcOptions) -> (Sheet, Vec<CellAddr>) {
+    let mut s = Sheet::with_layout(Layout::ColumnMajor, 0, 0);
+    s.set_recalc_options(opts);
+    for r in 0..rows {
+        s.set_value(CellAddr::new(r, 0), (r % 97) as i64);
+    }
+    let mut formulas = Vec::with_capacity(rows as usize);
+    for r in 0..rows {
+        let lo = r.saturating_sub(WINDOW - 1) + 1; // 1-based, clipped
+        let addr = CellAddr::new(r, 1);
+        s.set_formula_str(addr, &format!("=SUM(A{lo}:A{hi})*2+A{hi}", hi = r + 1)).unwrap();
+        formulas.push(addr);
+    }
+    (s, formulas)
+}
+
+/// One pass of the evaluation hot path alone (no planning, no stores):
+/// what `run_plan`'s inner loop pays per formula.
+fn eval_pass(sheet: &Sheet, formulas: &[CellAddr]) {
+    for &addr in formulas {
+        black_box(recalc::eval_formula_at(sheet, addr));
+    }
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_compile/eval_100k_fill_down");
+    for (name, opts) in variants() {
+        let (sheet, formulas) = fill_down_sheet(ROWS, opts);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), move |b, _| {
+            b.iter(|| eval_pass(&sheet, &formulas))
+        });
+    }
+    group.finish();
+}
+
+fn bench_recalc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_compile/recalc_100k_fill_down");
+    for (name, opts) in variants() {
+        let (mut sheet, _) = fill_down_sheet(ROWS, opts);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), move |b, _| {
+            b.iter(|| recalc::recalc_all(&mut sheet))
+        });
+    }
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_eval, bench_recalc
+}
+
+/// Median ns per formula cell over 5 timed eval passes (one warm-up
+/// pass first, which also fills the program cache).
+fn median_ns_per_cell(opts: RecalcOptions) -> f64 {
+    let (sheet, formulas) = fill_down_sheet(ROWS, opts);
+    eval_pass(&sheet, &formulas);
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            eval_pass(&sheet, &formulas);
+            start.elapsed().as_secs_f64() * 1e9 / formulas.len() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn write_baseline() {
+    let named: Vec<(&str, f64)> =
+        variants().iter().map(|&(name, opts)| (name, median_ns_per_cell(opts))).collect();
+    let (interp, compiled, kernels) = (named[0].1, named[1].1, named[2].1);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"ablation_compile\",\n",
+            "  \"workload\": \"fill_down_sum_window{window}_rows{rows}\",\n",
+            "  \"median_ns_per_cell\": {{\n",
+            "    \"interp\": {interp:.1},\n",
+            "    \"compiled\": {compiled:.1},\n",
+            "    \"compiled_kernels\": {kernels:.1}\n",
+            "  }},\n",
+            "  \"speedup_vs_interp\": {{\n",
+            "    \"compiled\": {s_compiled:.2},\n",
+            "    \"compiled_kernels\": {s_kernels:.2}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        window = WINDOW,
+        rows = ROWS,
+        interp = interp,
+        compiled = compiled,
+        kernels = kernels,
+        s_compiled = interp / compiled,
+        s_kernels = interp / kernels,
+    );
+    let path =
+        std::env::var("BENCH_EVAL_JSON").unwrap_or_else(|_| "BENCH_eval.json".to_string());
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("baseline written to {path}:\n{json}");
+    let speedup = interp / kernels;
+    if speedup < 3.0 {
+        eprintln!("FAIL: compiled+kernels speedup {speedup:.2}x is below the 3x acceptance bar");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    benches();
+    write_baseline();
+}

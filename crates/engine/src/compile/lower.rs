@@ -1,0 +1,495 @@
+//! Lowering: AST → flat stack bytecode.
+//!
+//! The compiler performs exactly three optimizations, all decided at
+//! compile time so the VM's hot loop stays branch-light:
+//!
+//! * **Constant folding** — literal-pure subtrees (no refs, ranges, or
+//!   calls) are evaluated once here, using the interpreter's own
+//!   `apply_unary`/`apply_binary`, so folding can never change semantics;
+//!   a folded subtree may legitimately be an error constant (`1/0`).
+//! * **Literal pooling** — constants live in a per-program pool; text
+//!   literals are `Arc<str>`, so pushing one at run time is a refcount
+//!   bump, never a string allocation.
+//! * **Dense function IDs** — call sites store an index into a fixed
+//!   builtin table instead of a name, replacing the per-call string match
+//!   with an array load. `IF`/`IFERROR` lower to explicit jumps, keeping
+//!   the interpreter's lazy-branch semantics.
+
+use crate::addr::CellAddr;
+use crate::error::CellError;
+use crate::eval::{apply_binary, apply_unary, EvalCtx};
+use crate::formula::ast::{BinOp, Expr, UnaryOp};
+use crate::formula::r1c1::{RangeSpec, RefSpec};
+use crate::functions::{self, Arg};
+use crate::value::Value;
+
+/// A dense builtin-function identifier: an index into [`BUILTINS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuncId(pub(crate) u16);
+
+impl FuncId {
+    /// The builtin's uppercase name.
+    pub fn name(self) -> &'static str {
+        BUILTINS[self.0 as usize].0
+    }
+}
+
+/// The signature every builtin shares (see `functions::call`).
+pub(crate) type BuiltinFn = fn(&EvalCtx<'_>, &[Arg]) -> Value;
+
+fn true_fn(_: &EvalCtx<'_>, _: &[Arg]) -> Value {
+    Value::Bool(true)
+}
+fn false_fn(_: &EvalCtx<'_>, _: &[Arg]) -> Value {
+    Value::Bool(false)
+}
+fn na_fn(_: &EvalCtx<'_>, _: &[Arg]) -> Value {
+    Value::Error(CellError::Na)
+}
+
+/// Every dispatchable builtin, mirroring `functions::call` exactly (minus
+/// `IF`/`IFERROR`, which are control flow, not calls). The paired test
+/// checks each entry against the string dispatcher.
+pub(crate) static BUILTINS: &[(&str, BuiltinFn)] = &[
+    ("SUM", functions::stats::sum),
+    ("AVERAGE", functions::stats::average),
+    ("COUNT", functions::stats::count),
+    ("COUNTA", functions::stats::counta),
+    ("COUNTBLANK", functions::stats::countblank),
+    ("MIN", functions::stats::min),
+    ("MAX", functions::stats::max),
+    ("PRODUCT", functions::stats::product),
+    ("MEDIAN", functions::stats::median),
+    ("STDEV", functions::stats::stdev),
+    ("VAR", functions::stats::var),
+    ("COUNTIF", functions::stats::countif),
+    ("SUMIF", functions::stats::sumif),
+    ("AVERAGEIF", functions::stats::averageif),
+    ("SUMIFS", functions::multi::sumifs),
+    ("COUNTIFS", functions::multi::countifs),
+    ("AVERAGEIFS", functions::multi::averageifs),
+    ("SUMPRODUCT", functions::multi::sumproduct),
+    ("LARGE", functions::multi::large),
+    ("SMALL", functions::multi::small),
+    ("RANK", functions::multi::rank),
+    ("MODE", functions::multi::mode),
+    ("ABS", functions::math::abs),
+    ("SIGN", functions::math::sign),
+    ("INT", functions::math::int),
+    ("ROUND", functions::math::round),
+    ("ROUNDUP", functions::math::roundup),
+    ("ROUNDDOWN", functions::math::rounddown),
+    ("MOD", functions::math::modulo),
+    ("POWER", functions::math::power),
+    ("SQRT", functions::math::sqrt),
+    ("EXP", functions::math::exp),
+    ("LN", functions::math::ln),
+    ("LOG", functions::math::log),
+    ("LOG10", functions::math::log10),
+    ("PI", functions::math::pi),
+    ("AND", functions::logical::and),
+    ("OR", functions::logical::or),
+    ("NOT", functions::logical::not),
+    ("XOR", functions::logical::xor),
+    ("TRUE", true_fn),
+    ("FALSE", false_fn),
+    ("CONCATENATE", functions::text::concatenate),
+    ("LEN", functions::text::len),
+    ("LEFT", functions::text::left),
+    ("RIGHT", functions::text::right),
+    ("MID", functions::text::mid),
+    ("UPPER", functions::text::upper),
+    ("LOWER", functions::text::lower),
+    ("TRIM", functions::text::trim),
+    ("FIND", functions::text::find),
+    ("SUBSTITUTE", functions::text::substitute),
+    ("REPT", functions::text::rept),
+    ("VALUE", functions::text::value),
+    ("EXACT", functions::text::exact),
+    ("TEXTJOIN", functions::text::textjoin),
+    ("VLOOKUP", functions::lookup::vlookup),
+    ("XLOOKUP", functions::lookup::xlookup),
+    ("OFFSET", functions::lookup::offset),
+    ("HLOOKUP", functions::lookup::hlookup),
+    ("INDEX", functions::lookup::index),
+    ("MATCH", functions::lookup::match_fn),
+    ("LOOKUP", functions::lookup::lookup),
+    ("CHOOSE", functions::lookup::choose),
+    ("ISBLANK", functions::info::isblank),
+    ("ISNUMBER", functions::info::isnumber),
+    ("ISTEXT", functions::info::istext),
+    ("ISLOGICAL", functions::info::islogical),
+    ("ISERROR", functions::info::iserror),
+    ("ISNA", functions::info::isna),
+    ("NA", na_fn),
+    ("ROW", functions::info::row),
+    ("COLUMN", functions::info::column),
+    ("NOW", functions::datetime::now),
+    ("TODAY", functions::datetime::today),
+    ("DATE", functions::datetime::date),
+    ("YEAR", functions::datetime::year),
+    ("MONTH", functions::datetime::month),
+    ("DAY", functions::datetime::day),
+    ("WEEKDAY", functions::datetime::weekday),
+    ("DAYS", functions::datetime::days),
+    ("EDATE", functions::datetime::edate),
+];
+
+/// Resolves an uppercase name to its dense ID.
+pub fn func_id(name: &str) -> Option<FuncId> {
+    BUILTINS.iter().position(|(n, _)| *n == name).map(|i| FuncId(i as u16))
+}
+
+/// A vectorized range-aggregate kernel the VM may dispatch to. Chosen at
+/// compile time from the function and the *shape* of its arguments; the VM
+/// still falls back to the generic builtin when no grid slices are
+/// available (non-`Sheet` cell sources).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    Sum,
+    Average,
+    Count,
+    Min,
+    Max,
+    CountIf,
+    SumIf,
+}
+
+/// One bytecode instruction. Jump targets are absolute code indices.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Inst {
+    /// Push `consts[i]`.
+    Const(u32),
+    /// Resolve + read one cell (scalar position).
+    ReadCell(RefSpec),
+    /// Bare range in scalar position: single-cell collapses to a read
+    /// (implicit intersection), anything larger is `#VALUE!`.
+    Intersect(RangeSpec),
+    /// Push a one-cell range argument (bare ref in call-argument position,
+    /// keeping reference semantics for `ROW(C7)`-style builtins).
+    CellArg(RefSpec),
+    /// Push a range argument.
+    RangeArg(RangeSpec),
+    /// Apply a unary operator to the top of stack.
+    Unary(UnaryOp),
+    /// Apply a binary operator to the top two (b above a).
+    Binary(BinOp),
+    /// Call a builtin on the top `argc` arguments.
+    Call { id: FuncId, argc: u32, kernel: Option<Kernel> },
+    /// Unknown function: discard `argc` evaluated arguments, push `#NAME?`.
+    NameError(u32),
+    /// Unconditional jump.
+    Jump(u32),
+    /// `IF` dispatch: pops the condition; true falls through (then-branch),
+    /// false jumps to `on_false` (else-branch), a coercion error pushes the
+    /// error and jumps to `on_end`.
+    IfCond { on_false: u32, on_end: u32 },
+    /// `IFERROR` dispatch: pops the value; a non-error pushes it back and
+    /// jumps past the fallback, an error falls through into the fallback.
+    SkipIfNotError(u32),
+}
+
+/// A compiled formula template: flat code plus its constant pool. Shared
+/// via `Arc` by every cell instantiating the template and by the parallel
+/// recalc workers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub(crate) code: Vec<Inst>,
+    pub(crate) consts: Vec<Value>,
+}
+
+impl Program {
+    /// Number of instructions (diagnostics/tests).
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Number of pooled constants (diagnostics/tests).
+    pub fn const_count(&self) -> usize {
+        self.consts.len()
+    }
+}
+
+/// Compiles `expr`, anchored at `origin`, into a program. The program is a
+/// pure function of the formula's R1C1 template, so any cell whose formula
+/// normalizes to the same key may execute it.
+pub fn compile(expr: &Expr, origin: CellAddr) -> Program {
+    let mut l = Lowerer { code: Vec::new(), consts: Vec::new(), origin };
+    l.lower_scalar(expr);
+    Program { code: l.code, consts: l.consts }
+}
+
+/// What an emitted call argument is, for kernel selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    Scalar,
+    Range,
+}
+
+struct Lowerer {
+    code: Vec<Inst>,
+    consts: Vec<Value>,
+    origin: CellAddr,
+}
+
+impl Lowerer {
+    fn konst(&mut self, v: Value) -> u32 {
+        self.consts.push(v);
+        (self.consts.len() - 1) as u32
+    }
+
+    fn emit_const(&mut self, v: Value) {
+        let i = self.konst(v);
+        self.code.push(Inst::Const(i));
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    /// Lowers `expr` in scalar position (its value ends on the stack).
+    fn lower_scalar(&mut self, expr: &Expr) {
+        if let Some(v) = fold(expr) {
+            self.emit_const(v);
+            return;
+        }
+        match expr {
+            // Literal leaves are always folded above.
+            Expr::Number(_) | Expr::Text(_) | Expr::Bool(_) | Expr::Error(_) => unreachable!(),
+            Expr::Ref(r) => self.code.push(Inst::ReadCell(RefSpec::from_ref(*r, self.origin))),
+            Expr::RangeRef(r) => {
+                self.code.push(Inst::Intersect(RangeSpec::from_range(r, self.origin)));
+            }
+            Expr::Unary(op, a) => {
+                self.lower_scalar(a);
+                self.code.push(Inst::Unary(*op));
+            }
+            Expr::Binary(op, a, b) => {
+                self.lower_scalar(a);
+                self.lower_scalar(b);
+                self.code.push(Inst::Binary(*op));
+            }
+            Expr::Call(name, args) => self.lower_call(name, args),
+        }
+    }
+
+    fn lower_call(&mut self, name: &str, args: &[Expr]) {
+        if name == "IF" {
+            return self.lower_if(args);
+        }
+        if name == "IFERROR" {
+            return self.lower_iferror(args);
+        }
+        let mut shapes = Vec::with_capacity(args.len());
+        for a in args {
+            match a {
+                Expr::RangeRef(r) => {
+                    self.code.push(Inst::RangeArg(RangeSpec::from_range(r, self.origin)));
+                    shapes.push(Shape::Range);
+                }
+                Expr::Ref(r) => {
+                    self.code.push(Inst::CellArg(RefSpec::from_ref(*r, self.origin)));
+                    shapes.push(Shape::Range);
+                }
+                other => {
+                    self.lower_scalar(other);
+                    shapes.push(Shape::Scalar);
+                }
+            }
+        }
+        let argc = args.len() as u32;
+        match func_id(name) {
+            Some(id) => {
+                let kernel = kernel_for(name, &shapes);
+                self.code.push(Inst::Call { id, argc, kernel });
+            }
+            None => self.code.push(Inst::NameError(argc)),
+        }
+    }
+
+    /// `IF(cond, then, [else])` with the interpreter's lazy semantics: the
+    /// untaken branch never executes (its reads never happen, its errors
+    /// never surface), and a condition error is the result.
+    fn lower_if(&mut self, args: &[Expr]) {
+        if args.len() < 2 || args.len() > 3 {
+            // `eval_if` rejects the arity without evaluating anything.
+            return self.emit_const(Value::Error(CellError::Value));
+        }
+        self.lower_scalar(&args[0]);
+        let dispatch = self.here() as usize;
+        self.code.push(Inst::IfCond { on_false: u32::MAX, on_end: u32::MAX });
+        self.lower_scalar(&args[1]);
+        let jump_end = self.here() as usize;
+        self.code.push(Inst::Jump(u32::MAX));
+        let on_false = self.here();
+        match args.get(2) {
+            Some(e) => self.lower_scalar(e),
+            None => self.emit_const(Value::Bool(false)),
+        }
+        let on_end = self.here();
+        self.code[dispatch] = Inst::IfCond { on_false, on_end };
+        self.code[jump_end] = Inst::Jump(on_end);
+    }
+
+    /// `IFERROR(value, fallback)`: the fallback only executes when the
+    /// value is an error.
+    fn lower_iferror(&mut self, args: &[Expr]) {
+        if args.len() != 2 {
+            return self.emit_const(Value::Error(CellError::Value));
+        }
+        self.lower_scalar(&args[0]);
+        let dispatch = self.here() as usize;
+        self.code.push(Inst::SkipIfNotError(u32::MAX));
+        self.lower_scalar(&args[1]);
+        let end = self.here();
+        self.code[dispatch] = Inst::SkipIfNotError(end);
+    }
+}
+
+/// Evaluates a literal-pure subtree at compile time; `None` when the
+/// subtree touches the sheet (refs/ranges) or calls any function (calls
+/// may be volatile or context-dependent, so they never fold).
+fn fold(expr: &Expr) -> Option<Value> {
+    match expr {
+        Expr::Number(n) => Some(Value::Number(*n)),
+        Expr::Text(s) => Some(Value::Text(s.clone())),
+        Expr::Bool(b) => Some(Value::Bool(*b)),
+        Expr::Error(e) => Some(Value::Error(*e)),
+        Expr::Unary(op, a) => Some(apply_unary(*op, fold(a)?)),
+        Expr::Binary(op, a, b) => Some(apply_binary(*op, fold(a)?, fold(b)?)),
+        Expr::Ref(_) | Expr::RangeRef(_) | Expr::Call(..) => None,
+    }
+}
+
+/// Kernel selection: the aggregate's range argument must be an actual
+/// reference (so the kernel can walk grid slices) and the arity must be
+/// the simple form whose semantics the kernel replicates.
+fn kernel_for(name: &str, shapes: &[Shape]) -> Option<Kernel> {
+    let range0 = shapes.first() == Some(&Shape::Range);
+    match name {
+        "SUM" if shapes.len() == 1 && range0 => Some(Kernel::Sum),
+        "AVERAGE" if shapes.len() == 1 && range0 => Some(Kernel::Average),
+        "COUNT" if shapes.len() == 1 && range0 => Some(Kernel::Count),
+        "MIN" if shapes.len() == 1 && range0 => Some(Kernel::Min),
+        "MAX" if shapes.len() == 1 && range0 => Some(Kernel::Max),
+        "COUNTIF" if shapes.len() == 2 && range0 => Some(Kernel::CountIf),
+        // The 3-arg SUMIF (separate sum range) does offset-aligned point
+        // reads; it stays on the generic path.
+        "SUMIF" if shapes.len() == 2 && range0 => Some(Kernel::SumIf),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::ValueMatrix;
+    use crate::formula::parse;
+    use crate::meter::Meter;
+
+    fn lower(src: &str) -> Program {
+        compile(&parse(src).unwrap(), CellAddr::new(4, 3))
+    }
+
+    #[test]
+    fn literal_pure_trees_fold_to_one_const() {
+        for (src, want) in [
+            ("1+2*3", Value::Number(7.0)),
+            ("-(4)%", Value::Number(-0.04)),
+            ("\"a\"&\"b\"", Value::text("ab")),
+            ("1/0", Value::Error(CellError::Div0)), // errors fold too
+            ("2<3", Value::Bool(true)),
+        ] {
+            let p = lower(src);
+            assert_eq!(p.code_len(), 1, "{src}");
+            assert_eq!(p.code[0], Inst::Const(0), "{src}");
+            assert_eq!(p.consts[0], want, "{src}");
+        }
+    }
+
+    #[test]
+    fn refs_block_folding_but_siblings_still_fold() {
+        let p = lower("A1+(2*3)");
+        // ReadCell, Const(6), Binary(Add)
+        assert_eq!(p.code_len(), 3);
+        assert_eq!(p.consts, vec![Value::Number(6.0)]);
+        assert!(matches!(p.code[0], Inst::ReadCell(_)));
+        assert!(matches!(p.code[2], Inst::Binary(BinOp::Add)));
+    }
+
+    #[test]
+    fn calls_never_fold() {
+        let p = lower("PI()");
+        assert!(matches!(p.code[0], Inst::Call { .. }));
+        let p = lower("NOW()");
+        assert!(matches!(p.code[0], Inst::Call { .. }));
+    }
+
+    #[test]
+    fn kernels_selected_by_shape() {
+        let kernel_of = |src: &str| -> Option<Kernel> {
+            lower(src).code.iter().find_map(|i| match i {
+                Inst::Call { kernel, .. } => Some(*kernel),
+                _ => None,
+            })?
+        };
+        assert_eq!(kernel_of("SUM(A1:A9)"), Some(Kernel::Sum));
+        assert_eq!(kernel_of("AVERAGE(B1:B4)"), Some(Kernel::Average));
+        assert_eq!(kernel_of("COUNTIF(J1:J100,1)"), Some(Kernel::CountIf));
+        assert_eq!(kernel_of("SUMIF(A1:A9,\">2\")"), Some(Kernel::SumIf));
+        // Multi-argument SUM and scalar-only aggregates stay generic.
+        assert_eq!(kernel_of("SUM(A1:A9,B1)"), None);
+        assert_eq!(kernel_of("SUM(1,2)"), None);
+        assert_eq!(kernel_of("SUMIF(A1:A9,\">2\",C1:C9)"), None);
+    }
+
+    #[test]
+    fn unknown_functions_lower_to_name_error() {
+        let p = lower("FROBNICATE(A1,2)");
+        assert!(matches!(p.code.last(), Some(Inst::NameError(2))));
+    }
+
+    #[test]
+    fn if_lowering_has_patched_jumps() {
+        let p = lower("IF(A1>0,B1,C1)");
+        let (on_false, on_end) = p
+            .code
+            .iter()
+            .find_map(|i| match i {
+                Inst::IfCond { on_false, on_end } => Some((*on_false, *on_end)),
+                _ => None,
+            })
+            .expect("IfCond emitted");
+        assert!(on_false < p.code_len() as u32);
+        assert_eq!(on_end, p.code_len() as u32);
+        // Wrong arity collapses to the interpreter's #VALUE!.
+        let p = lower("IF(1)");
+        assert_eq!(p.consts, vec![Value::Error(CellError::Value)]);
+    }
+
+    #[test]
+    fn dense_ids_match_string_dispatch() {
+        let m = ValueMatrix::default();
+        let meter = Meter::new();
+        let ctx = EvalCtx::new(&m, &meter, CellAddr::new(0, 0));
+        let samples: Vec<Vec<Arg>> = vec![
+            vec![],
+            vec![Arg::Value(Value::Number(2.0))],
+            vec![Arg::Value(Value::Number(2.0)), Arg::Value(Value::Number(7.0))],
+        ];
+        for (i, (name, f)) in BUILTINS.iter().enumerate() {
+            assert!(functions::is_builtin(name), "{name} not a builtin");
+            assert_eq!(func_id(name), Some(FuncId(i as u16)), "{name}");
+            for args in &samples {
+                assert_eq!(
+                    f(&ctx, args),
+                    functions::call(name, &ctx, args),
+                    "{name} diverges from string dispatch on {args:?}"
+                );
+            }
+        }
+        // IF/IFERROR are control flow, never table entries.
+        assert_eq!(func_id("IF"), None);
+        assert_eq!(func_id("IFERROR"), None);
+    }
+}

@@ -1,0 +1,507 @@
+//! The stack VM that executes compiled programs, plus the vectorized
+//! range-aggregate kernels.
+//!
+//! The VM runs against the same [`EvalCtx`] as the interpreter, so every
+//! cell read charges the meter identically. The kernels are the one place
+//! execution diverges *mechanically*: an aggregate over a contiguous range
+//! walks the grid's row/column slices directly instead of going through the
+//! per-cell `read_range` callback, then charges the meter in bulk with the
+//! exact counts the callback path would have produced. Values are
+//! bit-identical because each kernel replicates its builtin's semantics
+//! (skip/abort rules) *and* the layout's clipping and iteration order, so
+//! even floating-point accumulation order matches.
+
+use crate::addr::Range;
+use crate::cell::Cell;
+use crate::error::CellError;
+use crate::eval::{apply_binary, apply_unary, EvalCtx};
+use crate::functions::{scalar, Arg};
+use crate::grid::{Grid, GridStore};
+use crate::meter::Primitive;
+use crate::value::{Criterion, Value};
+
+use super::lower::{Inst, Kernel, Program, BUILTINS};
+use crate::formula::r1c1::RangeSpec;
+
+/// Executes `prog` for the cell `ctx.current`. `grid` enables the
+/// vectorized kernels; pass `None` when evaluating against a non-grid
+/// [`CellSource`](crate::eval::CellSource) and every call takes the generic
+/// builtin path (still value- and meter-identical, just not vectorized).
+pub fn run(prog: &Program, ctx: &EvalCtx<'_>, grid: Option<&GridStore>) -> Value {
+    // One scratch stack per thread: a fill-down recalc runs millions of
+    // short programs, and a fresh heap allocation per run is measurable
+    // against a ~100-cell kernel scan. `take` leaves an empty Vec behind,
+    // so a (currently impossible) reentrant run degrades to allocating.
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<Vec<Arg>> =
+            std::cell::RefCell::new(Vec::with_capacity(16));
+    }
+    SCRATCH.with(|scratch| {
+        let mut stack = scratch.take();
+        stack.clear();
+        let v = exec(prog, ctx, grid, &mut stack);
+        scratch.replace(stack);
+        v
+    })
+}
+
+fn exec(
+    prog: &Program,
+    ctx: &EvalCtx<'_>,
+    grid: Option<&GridStore>,
+    stack: &mut Vec<Arg>,
+) -> Value {
+    let mut pc = 0usize;
+    while let Some(inst) = prog.code.get(pc) {
+        pc += 1;
+        match inst {
+            Inst::Const(i) => stack.push(Arg::Value(prog.consts[*i as usize].clone())),
+            Inst::ReadCell(spec) => {
+                let v = match spec.resolve(ctx.current) {
+                    Some(a) => ctx.read(a),
+                    None => Value::Error(CellError::Ref),
+                };
+                stack.push(Arg::Value(v));
+            }
+            Inst::Intersect(spec) => {
+                // Bare range in scalar position: the interpreter collapses
+                // a single cell (implicit intersection), else `#VALUE!`.
+                let v = match resolve_range(spec, ctx) {
+                    Ok(r) if r.len() == 1 => ctx.read(r.start),
+                    Ok(_) => Value::Error(CellError::Value),
+                    Err(e) => Value::Error(e),
+                };
+                stack.push(Arg::Value(v));
+            }
+            Inst::CellArg(spec) => stack.push(match spec.resolve(ctx.current) {
+                Some(a) => Arg::Range(Range::cell(a)),
+                None => Arg::Value(Value::Error(CellError::Ref)),
+            }),
+            Inst::RangeArg(spec) => stack.push(match resolve_range(spec, ctx) {
+                Ok(r) => Arg::Range(r),
+                Err(e) => Arg::Value(Value::Error(e)),
+            }),
+            Inst::Unary(op) => {
+                let v = pop_value(stack, ctx);
+                stack.push(Arg::Value(apply_unary(*op, v)));
+            }
+            Inst::Binary(op) => {
+                let b = pop_value(stack, ctx);
+                let a = pop_value(stack, ctx);
+                stack.push(Arg::Value(apply_binary(*op, a, b)));
+            }
+            Inst::Call { id, argc, kernel } => {
+                let base = stack.len().saturating_sub(*argc as usize);
+                let args = &stack[base..];
+                let v = match (*kernel, grid) {
+                    (Some(k), Some(g)) => run_kernel(k, g, ctx, args)
+                        .unwrap_or_else(|| (BUILTINS[id.0 as usize].1)(ctx, args)),
+                    _ => (BUILTINS[id.0 as usize].1)(ctx, args),
+                };
+                stack.truncate(base);
+                stack.push(Arg::Value(v));
+            }
+            Inst::NameError(argc) => {
+                let base = stack.len().saturating_sub(*argc as usize);
+                stack.truncate(base);
+                stack.push(Arg::Value(Value::Error(CellError::Name)));
+            }
+            Inst::Jump(t) => pc = *t as usize,
+            Inst::IfCond { on_false, on_end } => {
+                let c = pop_value(stack, ctx);
+                match c.coerce_bool() {
+                    Ok(true) => {}
+                    Ok(false) => pc = *on_false as usize,
+                    Err(e) => {
+                        stack.push(Arg::Value(Value::Error(e)));
+                        pc = *on_end as usize;
+                    }
+                }
+            }
+            Inst::SkipIfNotError(t) => {
+                let v = pop_value(stack, ctx);
+                if !v.is_error() {
+                    stack.push(Arg::Value(v));
+                    pc = *t as usize;
+                }
+            }
+        }
+    }
+    pop_value(stack, ctx)
+}
+
+/// Pops a scalar. Scalar positions only ever hold `Arg::Value` by
+/// construction; the range arm is defensive (a lowering bug would degrade
+/// to the interpreter's implicit-intersection rule, not a panic).
+fn pop_value(stack: &mut Vec<Arg>, ctx: &EvalCtx<'_>) -> Value {
+    match stack.pop() {
+        Some(Arg::Value(v)) => v,
+        Some(arg @ Arg::Range(_)) => scalar(ctx, &arg),
+        None => Value::Error(CellError::Value),
+    }
+}
+
+/// Resolves both corners at the evaluating cell. `Range::new` re-normalizes
+/// the corners exactly like `RangeRef::range()` does for the interpreter.
+fn resolve_range(spec: &RangeSpec, ctx: &EvalCtx<'_>) -> Result<Range, CellError> {
+    match (spec.start.resolve(ctx.current), spec.end.resolve(ctx.current)) {
+        (Some(a), Some(b)) => Ok(Range::new(a, b)),
+        _ => Err(CellError::Ref),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Vectorized range-aggregate kernels.
+// ---------------------------------------------------------------------
+
+/// Runs the kernel, or `None` when the range argument turned out not to be
+/// a range at run time (e.g. an off-sheet `#REF!`), in which case the
+/// caller falls back to the generic builtin.
+fn run_kernel(k: Kernel, grid: &GridStore, ctx: &EvalCtx<'_>, args: &[Arg]) -> Option<Value> {
+    let Some(Arg::Range(range)) = args.first() else {
+        return None;
+    };
+    let range = *range;
+    Some(match k {
+        Kernel::Sum => {
+            let mut total = 0.0;
+            match numeric_scan(grid, ctx, range, |n| total += n) {
+                Ok(()) => Value::Number(total),
+                Err(e) => Value::Error(e),
+            }
+        }
+        Kernel::Average => {
+            let mut total = 0.0;
+            let mut count = 0u64;
+            match numeric_scan(grid, ctx, range, |n| {
+                total += n;
+                count += 1;
+            }) {
+                Ok(()) if count > 0 => Value::Number(total / count as f64),
+                Ok(()) => Value::Error(CellError::Div0),
+                Err(e) => Value::Error(e),
+            }
+        }
+        Kernel::Count => {
+            let mut n = 0u64;
+            let (visited, formulas) = scan(grid, range, &mut |v| {
+                if matches!(v, Value::Number(_)) {
+                    n += 1;
+                }
+            });
+            charge(ctx, visited, formulas);
+            Value::Number(n as f64)
+        }
+        Kernel::Min => extremum_scan(grid, ctx, range, |best, n| best <= n),
+        Kernel::Max => extremum_scan(grid, ctx, range, |best, n| best >= n),
+        Kernel::CountIf => {
+            // Criterion first: its scalar resolution may read a cell, and
+            // the interpreter charges that read before the range scan.
+            let criterion = Criterion::parse(&scalar(ctx, &args[1]));
+            let mut n = 0u64;
+            let (visited, formulas) = scan(grid, range, &mut |v| {
+                if criterion.matches(v) {
+                    n += 1;
+                }
+            });
+            charge(ctx, visited, formulas);
+            Value::Number(n as f64)
+        }
+        Kernel::SumIf => {
+            let criterion = Criterion::parse(&scalar(ctx, &args[1]));
+            let mut total = 0.0;
+            let (visited, formulas) = scan(grid, range, &mut |v| {
+                if criterion.matches(v) {
+                    if let Value::Number(n) = v {
+                        total += n;
+                    }
+                }
+            });
+            charge(ctx, visited, formulas);
+            Value::Number(total)
+        }
+    })
+}
+
+/// The `fold_numbers` contract over one range: number cells feed `f`,
+/// text/bool/empty are skipped, the first error aborts accumulation — but
+/// the scan (and its metering) still covers the whole range, exactly like
+/// the interpreter's `read_range`-based fold.
+fn numeric_scan(
+    grid: &GridStore,
+    ctx: &EvalCtx<'_>,
+    range: Range,
+    mut f: impl FnMut(f64),
+) -> Result<(), CellError> {
+    let mut first_err: Option<CellError> = None;
+    let (visited, formulas) = scan(grid, range, &mut |v| {
+        if first_err.is_some() {
+            return;
+        }
+        match v {
+            Value::Number(n) => f(*n),
+            Value::Error(e) => first_err = Some(*e),
+            _ => {}
+        }
+    });
+    charge(ctx, visited, formulas);
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// MIN/MAX over one range, `0` when no numbers (the interpreter's
+/// `extremum` with a single range argument).
+fn extremum_scan(
+    grid: &GridStore,
+    ctx: &EvalCtx<'_>,
+    range: Range,
+    better: fn(f64, f64) -> bool,
+) -> Value {
+    let mut best: Option<f64> = None;
+    match numeric_scan(grid, ctx, range, |n| {
+        best = Some(match best {
+            Some(b) if better(b, n) => b,
+            _ => n,
+        });
+    }) {
+        Ok(()) => Value::Number(best.unwrap_or(0.0)),
+        Err(e) => Value::Error(e),
+    }
+}
+
+/// Bulk meter charge for a completed scan: one `CellRead` per visited cell
+/// plus one `FormulaRecheck` per visited formula cell — the same totals
+/// `EvalCtx::read_range` ticks one cell at a time.
+fn charge(ctx: &EvalCtx<'_>, visited: u64, formulas: u64) {
+    ctx.meter.bump(Primitive::CellRead, visited);
+    ctx.meter.bump(Primitive::FormulaRecheck, formulas);
+}
+
+/// Walks `range` clipped to the materialized extent in the store's own
+/// iteration order (row-major over row slices, column-major over column
+/// slices), feeding each cell's displayed value to `f`. Returns
+/// `(visited, formula_cells)` for the meter.
+fn scan<F: FnMut(&Value)>(grid: &GridStore, range: Range, f: &mut F) -> (u64, u64) {
+    let mut visited = 0u64;
+    let mut formulas = 0u64;
+    match grid {
+        GridStore::Row(g) => {
+            if g.nrows() == 0 || g.ncols() == 0 {
+                return (0, 0);
+            }
+            let r1 = range.end.row.min(g.nrows() - 1);
+            let c1 = range.end.col.min(g.ncols() - 1);
+            if range.start.row > r1 || range.start.col > c1 {
+                return (0, 0);
+            }
+            for r in range.start.row..=r1 {
+                let row = g.row(r).expect("row within clipped bounds");
+                let slice = &row[range.start.col as usize..=c1 as usize];
+                visit_slice(slice, &mut visited, &mut formulas, f);
+            }
+        }
+        GridStore::Col(g) => {
+            if g.nrows() == 0 || g.ncols() == 0 {
+                return (0, 0);
+            }
+            let r1 = range.end.row.min(g.nrows() - 1);
+            let c1 = range.end.col.min(g.ncols() - 1);
+            if range.start.row > r1 || range.start.col > c1 {
+                return (0, 0);
+            }
+            for c in range.start.col..=c1 {
+                let col = g.column(c).expect("column within clipped bounds");
+                let slice = &col[range.start.row as usize..=r1 as usize];
+                visit_slice(slice, &mut visited, &mut formulas, f);
+            }
+        }
+    }
+    (visited, formulas)
+}
+
+fn visit_slice<F: FnMut(&Value)>(slice: &[Cell], visited: &mut u64, formulas: &mut u64, f: &mut F) {
+    *visited += slice.len() as u64;
+    // One match per cell (not is_formula + display_value, which branch on
+    // the same tag twice) — this loop is the kernels' inner loop.
+    for cell in slice {
+        match &cell.content {
+            crate::cell::CellContent::Value(v) => f(v),
+            crate::cell::CellContent::Formula(fm) => {
+                *formulas += 1;
+                f(&fm.cached);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::CellAddr;
+    use crate::compile::compile;
+    use crate::eval::evaluate;
+    use crate::formula::parse;
+    use crate::meter::Meter;
+    use crate::recalc::recalc_all;
+    use crate::sheet::{Layout, Sheet};
+    use crate::value::Value;
+
+    /// A sheet exercising every value kind the kernels must handle: a
+    /// numeric column, text, booleans, errors, empties, and formula cells.
+    fn fixture(layout: Layout) -> Sheet {
+        let mut s = Sheet::with_layout(layout, 12, 4);
+        for r in 0..10u32 {
+            s.set_value(CellAddr::new(r, 0), f64::from(r) + 0.5);
+        }
+        s.set_value(CellAddr::new(1, 1), "text");
+        s.set_value(CellAddr::new(2, 1), true);
+        s.set_value(CellAddr::new(3, 1), 42.0);
+        s.set_formula(CellAddr::new(4, 1), parse("1/0").unwrap());
+        s.set_formula(CellAddr::new(5, 1), parse("A1+A2").unwrap());
+        s.set_value(CellAddr::new(6, 1), 7.0);
+        recalc_all(&mut s);
+        s.meter().reset();
+        s
+    }
+
+    /// Evaluates `src` at D1 under both backends on fresh meters and
+    /// asserts identical values *and* identical primitive counts.
+    fn assert_identical(sheet: &Sheet, src: &str) -> Value {
+        let origin = CellAddr::parse("D1").unwrap();
+        let expr = parse(src).unwrap();
+
+        let interp_meter = Meter::new();
+        let ictx = sheet.eval_ctx_with(origin, &interp_meter);
+        let want = evaluate(&expr, &ictx);
+
+        let vm_meter = Meter::new();
+        let vctx = sheet.eval_ctx_with(origin, &vm_meter);
+        let prog = compile(&expr, origin);
+        let got = run(&prog, &vctx, Some(sheet.grid_store()));
+
+        assert_eq!(got, want, "{src}: value diverged");
+        assert_eq!(
+            vm_meter.snapshot(),
+            interp_meter.snapshot(),
+            "{src}: meter diverged"
+        );
+        want
+    }
+
+    fn both_layouts(f: impl Fn(&Sheet)) {
+        f(&fixture(Layout::RowMajor));
+        f(&fixture(Layout::ColumnMajor));
+    }
+
+    #[test]
+    fn kernels_match_interpreter_on_clean_numeric_column() {
+        both_layouts(|s| {
+            assert_eq!(assert_identical(s, "SUM(A1:A10)"), Value::Number(50.0));
+            assert_identical(s, "AVERAGE(A1:A10)");
+            assert_identical(s, "COUNT(A1:A10)");
+            assert_identical(s, "MIN(A1:A10)");
+            assert_identical(s, "MAX(A1:A10)");
+            assert_identical(s, "COUNTIF(A1:A10,\">4\")");
+            assert_identical(s, "SUMIF(A1:A10,\">=2.5\")");
+        });
+    }
+
+    #[test]
+    fn kernels_match_on_mixed_types_errors_and_formulas() {
+        both_layouts(|s| {
+            // B5 is `1/0` → #DIV/0!: aborts SUM/MIN/MAX but not COUNT*.
+            for src in [
+                "SUM(B1:B8)",
+                "AVERAGE(B1:B8)",
+                "COUNT(B1:B8)",
+                "MIN(B1:B8)",
+                "MAX(B1:B8)",
+                "COUNTIF(B1:B8,42)",
+                "COUNTIF(B1:B8,\"text\")",
+                "SUMIF(B1:B8,\">0\")",
+                // 2-D range spanning both columns.
+                "SUM(A1:B4)",
+                "COUNTIF(A1:B10,\">1\")",
+            ] {
+                assert_identical(s, src);
+            }
+        });
+    }
+
+    #[test]
+    fn kernels_match_on_clipped_and_empty_ranges() {
+        both_layouts(|s| {
+            // Extends past the materialized grid → clipped identically.
+            assert_identical(s, "SUM(A1:A500)");
+            assert_identical(s, "AVERAGE(A11:A500)"); // fully past content: #DIV/0!
+            assert_identical(s, "COUNT(C1:C12)"); // materialized but empty
+            assert_identical(s, "SUM(Z100:Z200)"); // fully off-grid
+            assert_identical(s, "MIN(A11:A12)"); // empty → 0
+        });
+    }
+
+    #[test]
+    fn generic_path_and_control_flow_match() {
+        both_layouts(|s| {
+            for src in [
+                "A1+A2*2",
+                "-A3%",
+                "SUM(A1:A3,B7,4)",       // multi-arg: no kernel
+                "SUMIF(A1:A4,\">1\",A5:A8)", // 3-arg: no kernel
+                "IF(A1>0,SUM(A1:A10),1/0)",
+                "IF(A1>100,1/0,\"ok\")",
+                "IF(B5>0,1,2)",          // error condition propagates
+                "IFERROR(B5,\"fallback\")",
+                "IFERROR(A1,B5)",
+                "CONCATENATE(B2,\"-\",A1)",
+                "VLOOKUP(2.5,A1:B10,1)",
+                "NOSUCHFN(A1,2)",
+                "A1:A10+1", // bare range in scalar position → #VALUE!
+                "B6:B6*2",  // single-cell range collapses
+                "ROW(A5)+COLUMN(C1)",
+                "NOW()-TODAY()",
+            ] {
+                assert_identical(s, src);
+            }
+        });
+    }
+
+    #[test]
+    fn off_sheet_relative_refs_are_ref_errors() {
+        both_layouts(|s| {
+            // Compile at D1, but run at A1 so a left-relative ref walks off
+            // the sheet: the spec fails to resolve and the VM yields #REF!.
+            let origin = CellAddr::parse("D1").unwrap();
+            let prog = compile(&parse("A1+1").unwrap(), origin);
+            let meter = Meter::new();
+            let ctx = s.eval_ctx_with(CellAddr::parse("A1").unwrap(), &meter);
+            assert_eq!(
+                run(&prog, &ctx, Some(s.grid_store())),
+                Value::Error(CellError::Ref)
+            );
+            // Same for a range corner.
+            let prog = compile(&parse("SUM(A1:B2)").unwrap(), origin);
+            assert_eq!(
+                run(&prog, &ctx, Some(s.grid_store())),
+                Value::Error(CellError::Ref)
+            );
+        });
+    }
+
+    #[test]
+    fn without_grid_slices_kernels_fall_back_generically() {
+        both_layouts(|s| {
+            let origin = CellAddr::parse("D1").unwrap();
+            let expr = parse("SUM(A1:A10)").unwrap();
+            let prog = compile(&expr, origin);
+            let m1 = Meter::new();
+            let with_grid = run(&prog, &s.eval_ctx_with(origin, &m1), Some(s.grid_store()));
+            let m2 = Meter::new();
+            let without = run(&prog, &s.eval_ctx_with(origin, &m2), None);
+            assert_eq!(with_grid, without);
+            assert_eq!(m1.snapshot(), m2.snapshot());
+        });
+    }
+}

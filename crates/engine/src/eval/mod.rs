@@ -41,7 +41,13 @@ pub fn evaluate(expr: &Expr, ctx: &EvalCtx<'_>) -> Value {
 }
 
 fn eval_unary(op: UnaryOp, inner: &Expr, ctx: &EvalCtx<'_>) -> Value {
-    let v = evaluate(inner, ctx);
+    apply_unary(op, evaluate(inner, ctx))
+}
+
+/// Applies a unary operator to an already-evaluated operand. Shared by the
+/// tree-walking interpreter and the compiled VM so both backends get the
+/// exact same coercion/error semantics.
+pub(crate) fn apply_unary(op: UnaryOp, v: Value) -> Value {
     match op {
         UnaryOp::Pos => v,
         UnaryOp::Neg => match v.coerce_number() {
@@ -58,6 +64,12 @@ fn eval_unary(op: UnaryOp, inner: &Expr, ctx: &EvalCtx<'_>) -> Value {
 fn eval_binary(op: BinOp, a: &Expr, b: &Expr, ctx: &EvalCtx<'_>) -> Value {
     let va = evaluate(a, ctx);
     let vb = evaluate(b, ctx);
+    apply_binary(op, va, vb)
+}
+
+/// Applies a binary operator to already-evaluated operands (both backends;
+/// see [`apply_unary`]).
+pub(crate) fn apply_binary(op: BinOp, va: Value, vb: Value) -> Value {
     match op {
         BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Pow => {
             let (x, y) = match (va.coerce_number(), vb.coerce_number()) {
@@ -87,7 +99,7 @@ fn eval_binary(op: BinOp, a: &Expr, b: &Expr, ctx: &EvalCtx<'_>) -> Value {
             }
         }
         BinOp::Concat => match (va.coerce_text(), vb.coerce_text()) {
-            (Ok(x), Ok(y)) => Value::Text(x + &y),
+            (Ok(x), Ok(y)) => Value::text(x + &y),
             (Err(e), _) | (_, Err(e)) => Value::Error(e),
         },
         BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {

@@ -1,6 +1,7 @@
 //! The formula abstract syntax tree.
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 use crate::addr::{CellAddr, CellRef, Range};
 use crate::error::CellError;
@@ -96,7 +97,8 @@ pub enum UnaryOp {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Expr {
     Number(f64),
-    Text(String),
+    /// A text literal, shared so evaluation never re-allocates it.
+    Text(Arc<str>),
     Bool(bool),
     /// A literal error such as `#N/A` typed into a formula.
     Error(CellError),

@@ -4,6 +4,7 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
+pub mod r1c1;
 
 pub use ast::{BinOp, Expr, RangeRef, UnaryOp};
 pub use parser::{parse, parse_with, NameResolver, NoNames};

@@ -142,7 +142,7 @@ impl Parser<'_> {
     fn parse_primary(&mut self) -> Result<Expr, EngineError> {
         match self.next() {
             Some(Token::Number(n)) => Ok(Expr::Number(n)),
-            Some(Token::Str(s)) => Ok(Expr::Text(s)),
+            Some(Token::Str(s)) => Ok(Expr::Text(s.into())),
             Some(Token::ErrorLit(s)) => Ok(Expr::Error(parse_error_literal(&s)?)),
             Some(Token::LParen) => {
                 let e = self.parse_expr(0)?;

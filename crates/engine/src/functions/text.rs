@@ -15,7 +15,7 @@ pub fn concatenate(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
             Err(e) => return Value::Error(e),
         }
     }
-    Value::Text(out)
+    Value::text(out)
 }
 
 /// `LEN(text)` — character (not byte) count.
@@ -34,7 +34,7 @@ pub fn left(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
         Ok((s, n))
     }) {
         Ok((_, n)) if n < 0.0 => Value::Error(CellError::Value),
-        Ok((s, n)) => Value::Text(s.chars().take(n as usize).collect()),
+        Ok((s, n)) => Value::text(s.chars().take(n as usize).collect::<String>()),
         Err(e) => Value::Error(e),
     }
 }
@@ -50,7 +50,7 @@ pub fn right(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
         Ok((s, n)) => {
             let chars: Vec<char> = s.chars().collect();
             let k = (n as usize).min(chars.len());
-            Value::Text(chars[chars.len() - k..].iter().collect())
+            Value::text(chars[chars.len() - k..].iter().collect::<String>())
         }
         Err(e) => Value::Error(e),
     }
@@ -63,7 +63,7 @@ pub fn mid(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
     }) {
         Ok((_, start, n)) if start < 1.0 || n < 0.0 => Value::Error(CellError::Value),
         Ok((s, start, n)) => {
-            Value::Text(s.chars().skip(start as usize - 1).take(n as usize).collect())
+            Value::text(s.chars().skip(start as usize - 1).take(n as usize).collect::<String>())
         }
         Err(e) => Value::Error(e),
     }
@@ -72,7 +72,7 @@ pub fn mid(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
 /// `UPPER(text)`.
 pub fn upper(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
     match check_arity(args, 1, 1).and_then(|_| text_of(ctx, &args[0])) {
-        Ok(s) => Value::Text(s.to_uppercase()),
+        Ok(s) => Value::text(s.to_uppercase()),
         Err(e) => Value::Error(e),
     }
 }
@@ -80,7 +80,7 @@ pub fn upper(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
 /// `LOWER(text)`.
 pub fn lower(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
     match check_arity(args, 1, 1).and_then(|_| text_of(ctx, &args[0])) {
-        Ok(s) => Value::Text(s.to_lowercase()),
+        Ok(s) => Value::text(s.to_lowercase()),
         Err(e) => Value::Error(e),
     }
 }
@@ -88,7 +88,7 @@ pub fn lower(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
 /// `TRIM(text)` — strips leading/trailing spaces and collapses runs.
 pub fn trim(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
     match check_arity(args, 1, 1).and_then(|_| text_of(ctx, &args[0])) {
-        Ok(s) => Value::Text(s.split_whitespace().collect::<Vec<_>>().join(" ")),
+        Ok(s) => Value::text(s.split_whitespace().collect::<Vec<_>>().join(" ")),
         Err(e) => Value::Error(e),
     }
 }
@@ -133,8 +133,8 @@ pub fn substitute(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
             },
         ))
     }) {
-        Ok((s, old, _, _)) if old.is_empty() => Value::Text(s),
-        Ok((s, old, new, None)) => Value::Text(s.replace(&old, &new)),
+        Ok((s, old, _, _)) if old.is_empty() => Value::text(s),
+        Ok((s, old, new, None)) => Value::text(s.replace(&old, &new)),
         Ok((_, _, _, Some(k))) if k < 1.0 => Value::Error(CellError::Value),
         Ok((s, old, new, Some(k))) => {
             let k = k as usize;
@@ -152,7 +152,7 @@ pub fn substitute(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
                 rest = &rest[pos + old.len()..];
             }
             out.push_str(rest);
-            Value::Text(out)
+            Value::text(out)
         }
         Err(e) => Value::Error(e),
     }
@@ -164,7 +164,7 @@ pub fn rept(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
         .and_then(|_| Ok((text_of(ctx, &args[0])?, num(ctx, &args[1])?)))
     {
         Ok((_, n)) if n < 0.0 => Value::Error(CellError::Value),
-        Ok((s, n)) => Value::Text(s.repeat(n as usize)),
+        Ok((s, n)) => Value::text(s.repeat(n as usize)),
         Err(e) => Value::Error(e),
     }
 }
@@ -218,7 +218,7 @@ pub fn textjoin(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
     }
     match err {
         Some(e) => Value::Error(e),
-        None => Value::Text(parts.join(&delim)),
+        None => Value::text(parts.join(&delim)),
     }
 }
 

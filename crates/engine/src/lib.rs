@@ -40,6 +40,7 @@
 pub mod addr;
 pub mod audit;
 pub mod cell;
+pub mod compile;
 pub mod depgraph;
 pub mod error;
 pub mod eval;
@@ -58,6 +59,7 @@ pub mod workbook;
 
 // Root re-exports: the API surface downstream crates actually program
 // against, so they need not deep-import module paths.
+pub use crate::compile::EvalBackend;
 pub use crate::error::{CellError, EngineError};
 pub use crate::meter::{Counts, Meter, Primitive};
 pub use crate::ops::{Op, OpOutcome};
@@ -68,6 +70,7 @@ pub use crate::sheet::Sheet;
 pub mod prelude {
     pub use crate::addr::{CellAddr, CellRef, Range};
     pub use crate::cell::{Cell, CellContent, Formula};
+    pub use crate::compile::EvalBackend;
     pub use crate::error::{CellError, EngineError};
     pub use crate::eval::{CellSource, EvalCtx, LookupStrategy};
     pub use crate::formula::{parse, print, Expr};

@@ -76,7 +76,7 @@ pub(crate) fn find_replace_impl(
                 _ => continue, // formulas and non-text values are not rewritten
             }
         };
-        sheet.set_value(addr, Value::Text(new_text));
+        sheet.set_value(addr, Value::text(new_text));
         changed += 1;
     }
     changed

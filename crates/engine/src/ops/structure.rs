@@ -343,7 +343,7 @@ mod tests {
         use crate::sheet::Layout;
 
         let mut s = Sheet::with_layout(Layout::ColumnMajor, 0, 0);
-        let opts = RecalcOptions { parallelism: 3, threshold: 7 };
+        let opts = RecalcOptions { parallelism: 3, threshold: 7, ..RecalcOptions::default() };
         let lookup = LookupStrategy { early_exit_exact: true, binary_search_approx: true };
         s.set_recalc_options(opts);
         s.set_lookup_strategy(lookup);

@@ -28,6 +28,7 @@ use std::num::NonZeroUsize;
 use std::sync::OnceLock;
 
 use crate::addr::CellAddr;
+use crate::compile::{vm, EvalBackend};
 use crate::depgraph::DirtyPlan;
 use crate::error::CellError;
 use crate::eval::evaluate;
@@ -54,18 +55,33 @@ pub struct RecalcOptions {
     /// engages. Small dirty sets — the single-cell-edit workloads of
     /// §5.5 — must not pay thread-spawn overhead.
     pub threshold: usize,
+    /// How formulae are evaluated: the tree-walking interpreter or the
+    /// template-cached bytecode VM (see [`crate::compile`]). Values and
+    /// meter counts are bit-identical either way.
+    pub backend: EvalBackend,
+    /// Whether the compiled backend may dispatch range aggregates to the
+    /// vectorized grid kernels. `false` forces the VM's generic per-cell
+    /// path — an ablation knob (bytecode + cache alone vs kernels on
+    /// top); results and meter counts are identical either way. Ignored
+    /// by the interpreter.
+    pub kernels: bool,
 }
 
 impl Default for RecalcOptions {
     fn default() -> Self {
-        RecalcOptions { parallelism: default_parallelism(), threshold: 1024 }
+        RecalcOptions {
+            parallelism: default_parallelism(),
+            threshold: 1024,
+            backend: default_backend(),
+            kernels: true,
+        }
     }
 }
 
 impl RecalcOptions {
     /// The classic single-threaded executor.
     pub fn sequential() -> Self {
-        RecalcOptions { parallelism: 1, threshold: usize::MAX }
+        RecalcOptions { parallelism: 1, threshold: usize::MAX, backend: default_backend(), kernels: true }
     }
 
     /// Default thresholds with an explicit worker count.
@@ -99,6 +115,19 @@ impl RecalcOptionsBuilder {
         self
     }
 
+    /// Evaluation backend (interpreter or compiled bytecode).
+    pub fn backend(mut self, backend: EvalBackend) -> Self {
+        self.opts.backend = backend;
+        self
+    }
+
+    /// Enables or disables the VM's vectorized range kernels (compiled
+    /// backend only; an ablation knob, not a correctness one).
+    pub fn kernels(mut self, on: bool) -> Self {
+        self.opts.kernels = on;
+        self
+    }
+
     /// The finished options.
     pub fn build(self) -> RecalcOptions {
         self.opts
@@ -121,19 +150,47 @@ fn default_parallelism() -> usize {
     })
 }
 
+/// Backend used by `RecalcOptions::default()`: the `SSBENCH_EVAL_BACKEND`
+/// environment variable (`interp` / `compiled`) when set, otherwise the
+/// interpreter. Read once per process.
+fn default_backend() -> EvalBackend {
+    static CACHE: OnceLock<EvalBackend> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("SSBENCH_EVAL_BACKEND")
+            .ok()
+            .and_then(|v| EvalBackend::parse(&v))
+            .unwrap_or_default()
+    })
+}
+
 /// Evaluates the formula at `addr` against the sheet's current state and
 /// returns its value; `None` when the cell is not a formula.
 pub fn eval_formula_at(sheet: &Sheet, addr: CellAddr) -> Option<Value> {
-    eval_formula_with(sheet, addr, sheet.meter())
+    let opts = sheet.recalc_options();
+    eval_formula_with(sheet, addr, sheet.meter(), opts.backend, opts.kernels)
 }
 
-/// Like [`eval_formula_at`] but charging an arbitrary meter — the hook
-/// the parallel path uses to give each worker its own counter.
-fn eval_formula_with(sheet: &Sheet, addr: CellAddr, meter: &Meter) -> Option<Value> {
+/// Like [`eval_formula_at`] but charging an arbitrary meter (the hook the
+/// parallel path uses to give each worker its own counter) and evaluating
+/// through an explicit backend.
+fn eval_formula_with(
+    sheet: &Sheet,
+    addr: CellAddr,
+    meter: &Meter,
+    backend: EvalBackend,
+    kernels: bool,
+) -> Option<Value> {
     let expr = sheet.formula_expr(addr)?;
     let ctx = sheet.eval_ctx_with(addr, meter);
     meter.tick(Primitive::FormulaEval);
-    Some(evaluate(expr, &ctx))
+    Some(match backend {
+        EvalBackend::Interpreted => evaluate(expr, &ctx),
+        EvalBackend::Compiled => {
+            let prog = sheet.program_cache().get_or_compile(expr, addr);
+            let grid = if kernels { Some(sheet.grid_store()) } else { None };
+            vm::run(&prog, &ctx, grid)
+        }
+    })
 }
 
 /// Executes a plan: evaluates level by level (each level parallel when the
@@ -152,6 +209,21 @@ fn run_plan(sheet: &mut Sheet, plan: &DirtyPlan, opts: RecalcOptions, pass: &'st
     );
     let workers = opts.parallelism.max(1);
     let parallel = workers > 1 && plan.order.len() >= opts.threshold;
+    if opts.backend == EvalBackend::Compiled && !plan.order.is_empty() {
+        // Warm the program cache up front so the parallel workers only
+        // ever take the read lock. One compile per distinct template.
+        let cspan = Span::open_metered(
+            Category::Compile,
+            || format!("precompile ({} formulas)", plan.order.len()),
+            sheet.meter(),
+        );
+        for &addr in &plan.order {
+            if let Some(expr) = sheet.formula_expr(addr) {
+                sheet.program_cache().get_or_compile(expr, addr);
+            }
+        }
+        cspan.finish_metered(sheet.meter());
+    }
     for k in 0..plan.level_count() {
         let level = plan.level(k);
         let lspan = Span::open_metered(
@@ -162,12 +234,12 @@ fn run_plan(sheet: &mut Sheet, plan: &DirtyPlan, opts: RecalcOptions, pass: &'st
         let fanout = if parallel { workers.min(level.len() / MIN_CHUNK).max(1) } else { 1 };
         if fanout == 1 {
             for &addr in level {
-                if let Some(v) = eval_formula_at(sheet, addr) {
+                if let Some(v) = eval_formula_with(sheet, addr, sheet.meter(), opts.backend, opts.kernels) {
                     sheet.store_cached(addr, v);
                 }
             }
         } else {
-            run_level_parallel(sheet, level, fanout);
+            run_level_parallel(sheet, level, fanout, opts.backend, opts.kernels);
         }
         lspan.finish_metered(sheet.meter());
     }
@@ -197,7 +269,13 @@ const MIN_CHUNK: usize = 64;
 /// trace buffers (empty today — formula evaluation opens no spans — but
 /// the contract holds for any future in-worker span) are adopted in chunk
 /// order, which is determined by the plan alone.
-fn run_level_parallel(sheet: &mut Sheet, level: &[CellAddr], fanout: usize) {
+fn run_level_parallel(
+    sheet: &mut Sheet,
+    level: &[CellAddr],
+    fanout: usize,
+    backend: EvalBackend,
+    kernels: bool,
+) {
     let chunk_len = level.len().div_ceil(fanout);
     let shared: &Sheet = sheet;
     let tracing = trace::enabled();
@@ -211,7 +289,8 @@ fn run_level_parallel(sheet: &mut Sheet, level: &[CellAddr], fanout: usize) {
                         let results: Vec<(CellAddr, Value)> = chunk
                             .iter()
                             .filter_map(|&addr| {
-                                eval_formula_with(shared, addr, &local).map(|v| (addr, v))
+                                eval_formula_with(shared, addr, &local, backend, kernels)
+                                    .map(|v| (addr, v))
                             })
                             .collect();
                         let events = if tracing { trace::drain() } else { Vec::new() };
@@ -370,7 +449,7 @@ mod tests {
         let mut seq = wide_dag_sheet(n, RecalcOptions::sequential());
         let mut par = wide_dag_sheet(
             n,
-            RecalcOptions { parallelism: 4, threshold: 1 },
+            RecalcOptions { parallelism: 4, threshold: 1, ..RecalcOptions::default() },
         );
         let seq_stats = recalc_all(&mut seq);
         let par_stats = recalc_all(&mut par);
@@ -392,7 +471,7 @@ mod tests {
         let mut seq = wide_dag_sheet(n, RecalcOptions::sequential());
         let mut par = wide_dag_sheet(
             n,
-            RecalcOptions { parallelism: 3, threshold: 1 },
+            RecalcOptions { parallelism: 3, threshold: 1, ..RecalcOptions::default() },
         );
         recalc_all(&mut seq);
         recalc_all(&mut par);
@@ -429,7 +508,7 @@ mod tests {
     #[test]
     fn parallel_path_marks_cycles_like_sequential() {
         let mut s = Sheet::new();
-        s.set_recalc_options(RecalcOptions { parallelism: 4, threshold: 1 });
+        s.set_recalc_options(RecalcOptions { parallelism: 4, threshold: 1, ..RecalcOptions::default() });
         for i in 0..200u32 {
             s.set_value(CellAddr::new(i, 0), 1);
             s.set_formula_str(CellAddr::new(i, 1), &format!("=A{0}+1", i + 1)).unwrap();
@@ -456,5 +535,129 @@ mod tests {
         recalc_all(&mut s);
         let delta = s.meter().snapshot().since(&before);
         assert_eq!(delta.get(Primitive::CellRead), 5 * 50);
+    }
+
+    fn with_backend(backend: EvalBackend) -> RecalcOptions {
+        RecalcOptions { backend, ..RecalcOptions::sequential() }
+    }
+
+    #[test]
+    fn compiled_backend_matches_interpreter_full_and_dirty() {
+        let n = 300;
+        let mut interp = wide_dag_sheet(n, with_backend(EvalBackend::Interpreted));
+        let mut comp = wide_dag_sheet(n, with_backend(EvalBackend::Compiled));
+        assert_eq!(recalc_all(&mut interp), recalc_all(&mut comp));
+        for row in 0..n {
+            for col in 1..3 {
+                let addr = CellAddr::new(row, col);
+                assert_eq!(interp.value(addr), comp.value(addr), "{addr:?}");
+            }
+        }
+        assert_eq!(interp.value(a("D1")), comp.value(a("D1")));
+        // The correctness bar: meter counts bit-identical across backends.
+        assert_eq!(interp.meter().snapshot(), comp.meter().snapshot());
+        // Template sharing: 2n+1 formulas collapse to a handful of
+        // programs (one per fill-down template + window-start variants).
+        let templates = comp.program_cache().len();
+        assert!(
+            templates < 40,
+            "expected template sharing, got {templates} programs for {} formulas",
+            2 * n + 1
+        );
+        assert_eq!(comp.program_cache().misses(), templates as u64);
+
+        // Dirty pass over value edits: cache stays warm, results identical.
+        let misses_before = comp.program_cache().misses();
+        for s in [&mut interp, &mut comp] {
+            s.set_value(a("A5"), 1000);
+            s.set_value(CellAddr::new(250, 0), -3);
+        }
+        let changed = [a("A5"), CellAddr::new(250, 0)];
+        assert_eq!(recalc_from(&mut interp, &changed), recalc_from(&mut comp, &changed));
+        for row in 0..n {
+            let addr = CellAddr::new(row, 2);
+            assert_eq!(interp.value(addr), comp.value(addr), "{addr:?}");
+        }
+        assert_eq!(interp.meter().snapshot(), comp.meter().snapshot());
+        assert_eq!(comp.program_cache().misses(), misses_before, "value edits must not recompile");
+    }
+
+    #[test]
+    fn compiled_backend_without_kernels_matches_interpreter() {
+        // The ablation knob: bytecode + cache alone (generic per-cell
+        // range path) must still be observationally identical.
+        let n = 300;
+        let mut interp = wide_dag_sheet(n, with_backend(EvalBackend::Interpreted));
+        let mut comp = wide_dag_sheet(
+            n,
+            RecalcOptions { kernels: false, ..with_backend(EvalBackend::Compiled) },
+        );
+        assert_eq!(recalc_all(&mut interp), recalc_all(&mut comp));
+        for row in 0..n {
+            for col in 1..3 {
+                let addr = CellAddr::new(row, col);
+                assert_eq!(interp.value(addr), comp.value(addr), "{addr:?}");
+            }
+        }
+        assert_eq!(interp.meter().snapshot(), comp.meter().snapshot());
+    }
+
+    #[test]
+    fn compiled_backend_parallel_matches_compiled_sequential() {
+        let n = 600;
+        let mut seq = wide_dag_sheet(n, with_backend(EvalBackend::Compiled));
+        let mut par = wide_dag_sheet(
+            n,
+            RecalcOptions {
+                parallelism: 4,
+                threshold: 1,
+                ..with_backend(EvalBackend::Compiled)
+            },
+        );
+        assert_eq!(recalc_all(&mut seq), recalc_all(&mut par));
+        for row in 0..n {
+            for col in 1..3 {
+                let addr = CellAddr::new(row, col);
+                assert_eq!(seq.value(addr), par.value(addr), "{addr:?}");
+            }
+        }
+        assert_eq!(seq.meter().snapshot(), par.meter().snapshot());
+        // The precompile pass means workers only ever hit the cache.
+        assert_eq!(par.program_cache().len() as u64, par.program_cache().misses());
+    }
+
+    #[test]
+    fn program_cache_invalidates_on_formula_edit_and_rebuild() {
+        let mut s = Sheet::new();
+        s.set_recalc_options(with_backend(EvalBackend::Compiled));
+        s.set_value(a("A1"), 2);
+        s.set_formula_str(a("B1"), "=A1*3").unwrap();
+        recalc_all(&mut s);
+        assert_eq!(s.program_cache().len(), 1);
+        // Value edit into a value cell keeps the cache warm (§5.5 workloads).
+        s.set_value(a("A1"), 5);
+        recalc_from(&mut s, &[a("A1")]);
+        assert_eq!(s.value(a("B1")), Value::Number(15.0));
+        assert_eq!(s.program_cache().misses(), 1);
+        // Editing a formula clears the cache; the next pass recompiles.
+        s.set_formula_str(a("B1"), "=A1*4").unwrap();
+        assert!(s.program_cache().is_empty());
+        recalc_all(&mut s);
+        assert_eq!(s.value(a("B1")), Value::Number(20.0));
+        assert_eq!(s.program_cache().len(), 1);
+        // Structural rebuilds (sort/insert/delete paths) clear it too.
+        s.rebuild_deps();
+        assert!(s.program_cache().is_empty());
+    }
+
+    #[test]
+    fn cycles_become_circ_errors_under_compiled_backend() {
+        let mut s = Sheet::new();
+        s.set_recalc_options(with_backend(EvalBackend::Compiled));
+        s.set_formula_str(a("A1"), "=B1+1").unwrap();
+        s.set_formula_str(a("B1"), "=A1+1").unwrap();
+        let stats = recalc_all(&mut s);
+        assert_eq!(stats.cyclic, 2);
+        assert_eq!(s.value(a("A1")), Value::Error(CellError::Circular));
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::addr::{CellAddr, CellRef, Range};
 use crate::cell::{Cell, CellContent};
+use crate::compile::ProgramCache;
 use crate::depgraph::DepGraph;
 use crate::error::EngineError;
 use crate::eval::context::DEFAULT_NOW_SERIAL;
@@ -38,6 +39,11 @@ pub struct Sheet {
     names: NameTable,
     /// Executor knobs used by `recalc_all` / `recalc_from`.
     recalc_opts: RecalcOptions,
+    /// Compiled-backend program cache, keyed by R1C1 template. Programs
+    /// are pure functions of their key, so the cache can never go stale;
+    /// it is cleared on formula edits and dependency rebuilds only to
+    /// bound growth.
+    programs: ProgramCache,
 }
 
 /// The sheet's named-range table; implements the parser's name resolver.
@@ -74,6 +80,7 @@ impl Sheet {
             now_serial: DEFAULT_NOW_SERIAL,
             names: NameTable::default(),
             recalc_opts: RecalcOptions::default(),
+            programs: ProgramCache::new(),
         }
     }
 
@@ -82,6 +89,18 @@ impl Sheet {
     /// The cost meter.
     pub fn meter(&self) -> &Meter {
         &self.meter
+    }
+
+    /// The compiled-backend program cache (templates compiled so far,
+    /// hit/miss tallies).
+    pub fn program_cache(&self) -> &ProgramCache {
+        &self.programs
+    }
+
+    /// The underlying grid storage, for slice-level access by the
+    /// compiled backend's range kernels.
+    pub(crate) fn grid_store(&self) -> &GridStore {
+        &self.grid
     }
 
     /// The physical storage layout of the grid. Stable across every
@@ -195,6 +214,9 @@ impl Sheet {
         self.meter.tick(Primitive::CellWrite);
         if self.deps.contains(addr) {
             self.deps.remove(addr);
+            // A formula was overwritten; value edits into value cells keep
+            // the cache warm (the BCT incremental workloads).
+            self.programs.clear();
         }
         let cell = self.grid.cell_mut(addr);
         cell.content = CellContent::Value(v.into());
@@ -205,6 +227,7 @@ impl Sheet {
         self.meter.tick(Primitive::CellWrite);
         self.deps.add(addr, &expr);
         self.grid.set(addr, Cell::formula(expr));
+        self.programs.clear();
     }
 
     /// Parses and installs `src` (with or without a leading `=`),
@@ -359,6 +382,7 @@ impl Sheet {
     /// structural changes).
     pub fn rebuild_deps(&mut self) {
         self.deps.clear();
+        self.programs.clear();
         let Some(range) = self.used_range() else { return };
         let mut formulas: Vec<(CellAddr, Expr)> = Vec::new();
         self.grid.for_each_in_range(range, &mut |addr, cell| {

@@ -53,16 +53,19 @@ pub enum Category {
     Recalc,
     /// One topological level of a recalculation pass.
     Level,
+    /// One formula-compilation pass (program-cache population).
+    Compile,
 }
 
 /// Every category, for iteration in reports.
-pub const ALL_CATEGORIES: [Category; 6] = [
+pub const ALL_CATEGORIES: [Category; 7] = [
     Category::Experiment,
     Category::Point,
     Category::Measure,
     Category::Op,
     Category::Recalc,
     Category::Level,
+    Category::Compile,
 ];
 
 impl Category {
@@ -75,6 +78,7 @@ impl Category {
             Category::Op => "op",
             Category::Recalc => "recalc",
             Category::Level => "level",
+            Category::Compile => "compile",
         }
     }
 }

@@ -4,6 +4,7 @@
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::error::CellError;
 
@@ -16,8 +17,10 @@ pub enum Value {
     Empty,
     /// A floating-point number.
     Number(f64),
-    /// A text string.
-    Text(String),
+    /// A text string. Shared via `Arc` so evaluating a text literal (or
+    /// copying a text value between cells) is a refcount bump, not a heap
+    /// allocation.
+    Text(Arc<str>),
     /// A boolean (`TRUE`/`FALSE`).
     Bool(bool),
     /// An in-cell error value.
@@ -26,7 +29,7 @@ pub enum Value {
 
 impl Value {
     /// Text constructor convenience.
-    pub fn text(s: impl Into<String>) -> Self {
+    pub fn text(s: impl Into<Arc<str>>) -> Self {
         Value::Text(s.into())
     }
 
@@ -91,7 +94,7 @@ impl Value {
         match self {
             Value::Empty => String::new(),
             Value::Number(n) => format_number(*n),
-            Value::Text(s) => s.clone(),
+            Value::Text(s) => s.to_string(),
             Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_owned(),
             Value::Error(e) => e.code().to_owned(),
         }
@@ -191,13 +194,13 @@ impl From<bool> for Value {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Text(s.to_owned())
+        Value::Text(Arc::from(s))
     }
 }
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
-        Value::Text(s)
+        Value::Text(Arc::from(s))
     }
 }
 

@@ -35,7 +35,7 @@ fn fuzz_once(cli: &CliArgs, corpus: &Path) -> bool {
     let n_ops = cli.ops.unwrap_or(gen::DEFAULT_OPS);
     let script = gen::generate(cli.cfg.seed, gen::DEFAULT_ROWS, n_ops);
     eprintln!(
-        "fuzz: seed {} — {} ops over a {}-row workbook, 24 configurations",
+        "fuzz: seed {} — {} ops over a {}-row workbook, 48 configurations",
         script.seed,
         script.ops.len(),
         script.rows

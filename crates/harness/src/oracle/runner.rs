@@ -20,6 +20,7 @@ use std::sync::Mutex;
 
 use ssbench_engine::addr::{CellAddr, Range};
 use ssbench_engine::audit;
+use ssbench_engine::compile::EvalBackend;
 use ssbench_engine::eval::LookupStrategy;
 use ssbench_engine::io;
 use ssbench_engine::ops::{Op, PivotAgg, SortKey};
@@ -44,13 +45,18 @@ pub struct OracleConfig {
     /// Recalculate incrementally from each edit's dirty set instead of
     /// the whole sheet (Figs 13–14's variable).
     pub incremental: bool,
+    /// Evaluation backend (ISSUE 4's variable): tree-walking interpreter
+    /// or compiled bytecode with vectorized range kernels. Values must be
+    /// bit-identical across backends.
+    pub backend: EvalBackend,
 }
 
 impl OracleConfig {
-    /// Compact label for failure messages, e.g. `row/par4/opt-lookup/inc`.
+    /// Compact label for failure messages, e.g.
+    /// `row/par4/opt-lookup/inc/compiled`.
     pub fn label(&self) -> String {
         format!(
-            "{}/par{}/{}/{}",
+            "{}/par{}/{}/{}/{}",
             match self.layout {
                 Layout::RowMajor => "row",
                 Layout::ColumnMajor => "col",
@@ -58,28 +64,47 @@ impl OracleConfig {
             self.parallelism,
             if self.lookup == LookupStrategy::default() { "naive-lookup" } else { "opt-lookup" },
             if self.incremental { "inc" } else { "full" },
+            self.backend.name(),
         )
     }
 
     /// Settings that legitimately change the *work performed* (and thus
     /// trace signatures and meter counts). Configurations sharing this key
-    /// must produce identical span trees.
-    fn signature_group(&self) -> (bool, bool, bool) {
-        (self.incremental, self.lookup.early_exit_exact, self.lookup.binary_search_approx)
+    /// must produce identical span trees. The backend is part of the key
+    /// because compiled replays add `compile` (precompile-pass) spans; the
+    /// meter counts inside the shared spans still agree across backends —
+    /// the per-op value digests enforce that indirectly, and the engine's
+    /// own tests enforce it directly.
+    fn signature_group(&self) -> (bool, bool, bool, EvalBackend) {
+        (
+            self.incremental,
+            self.lookup.early_exit_exact,
+            self.lookup.binary_search_approx,
+            self.backend,
+        )
     }
 }
 
-/// The full 24-configuration matrix: 2 layouts × 2 lookup strategies ×
-/// full/incremental × 1/2/4 workers. The first entry is the reference
-/// configuration everything else is compared against.
+/// The full 48-configuration matrix: 2 layouts × 2 lookup strategies ×
+/// full/incremental × 1/2/4 workers × 2 evaluation backends. The first
+/// entry is the reference configuration everything else is compared
+/// against.
 pub fn matrix() -> Vec<OracleConfig> {
     let optimized = LookupStrategy { early_exit_exact: true, binary_search_approx: true };
-    let mut out = Vec::with_capacity(24);
+    let mut out = Vec::with_capacity(48);
     for layout in [Layout::RowMajor, Layout::ColumnMajor] {
         for lookup in [LookupStrategy::default(), optimized] {
             for incremental in [false, true] {
                 for parallelism in [1, 2, 4] {
-                    out.push(OracleConfig { layout, parallelism, lookup, incremental });
+                    for backend in [EvalBackend::Interpreted, EvalBackend::Compiled] {
+                        out.push(OracleConfig {
+                            layout,
+                            parallelism,
+                            lookup,
+                            incremental,
+                            backend,
+                        });
+                    }
                 }
             }
         }
@@ -182,8 +207,9 @@ pub fn check_script(script: &Script) -> Result<(), Failure> {
         }
     }
 
-    // Span signatures: identical within each (recalc mode, lookup) group.
-    let mut groups: HashMap<(bool, bool, bool), (String, &str)> = HashMap::new();
+    // Span signatures: identical within each (recalc mode, lookup,
+    // backend) group.
+    let mut groups: HashMap<(bool, bool, bool, EvalBackend), (String, &str)> = HashMap::new();
     for (config, run) in configs.iter().zip(&replays) {
         match groups.get(&config.signature_group()) {
             None => {
@@ -219,6 +245,8 @@ fn replay(script: &Script, config: OracleConfig) -> Result<Replay, Failure> {
         // Force the parallel path even on small dirty sets; threshold
         // tuning is a performance knob, not a correctness one.
         threshold: if config.parallelism > 1 { 1 } else { RecalcOptions::default().threshold },
+        backend: config.backend,
+        ..RecalcOptions::default()
     };
     let mut sheet = gen::build_workbook(script, config.layout);
     sheet.set_lookup_strategy(config.lookup);
@@ -459,13 +487,14 @@ mod tests {
     #[test]
     fn matrix_covers_all_dimensions() {
         let m = matrix();
-        assert_eq!(m.len(), 24);
+        assert_eq!(m.len(), 48);
         assert!(m.iter().any(|c| c.layout == Layout::ColumnMajor));
         assert!(m.iter().any(|c| c.parallelism == 4));
         assert!(m.iter().any(|c| c.lookup.early_exit_exact));
         assert!(m.iter().any(|c| c.incremental));
-        // Reference config is the plainest one.
-        assert_eq!(m[0].label(), "row/par1/naive-lookup/full");
+        assert!(m.iter().any(|c| c.backend == EvalBackend::Compiled));
+        // Reference config is the plainest one: sequential interpreter.
+        assert_eq!(m[0].label(), "row/par1/naive-lookup/full/interp");
     }
 
     #[test]

@@ -5,14 +5,15 @@
 //! of a typed column run several times faster than random probes.
 
 use ssbench_engine::prelude::*;
+use std::sync::Arc;
 
 /// A typed column: homogeneous storage when possible, mixed otherwise.
 #[derive(Debug, Clone)]
 pub enum TypedColumn {
     /// All-numeric column stored as a dense `f64` vector (empty = NaN).
     Numbers(Vec<f64>),
-    /// All-text column.
-    Texts(Vec<String>),
+    /// All-text column (shared `Arc<str>` payloads, as in `Value::Text`).
+    Texts(Vec<Arc<str>>),
     /// Heterogeneous fallback.
     Mixed(Vec<Value>),
 }

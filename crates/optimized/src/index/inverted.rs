@@ -100,10 +100,10 @@ pub fn find_replace_indexed(
     for addr in hits {
         let Value::Text(old) = sheet.value(addr) else { continue };
         let new_text = replace_token(&old, needle, replacement);
-        if new_text != old {
+        if *new_text != *old {
             index.unindex_cell(addr, &old);
             index.index_cell(addr, &new_text);
-            sheet.set_value(addr, Value::Text(new_text));
+            sheet.set_value(addr, Value::text(new_text));
             changed += 1;
         }
     }

@@ -112,7 +112,7 @@ pub fn countif_expr(row: u32, j: usize) -> Expr {
         "COUNTIF".to_owned(),
         vec![
             Expr::Ref(CellRef::relative(event_addr)),
-            Expr::Text(EVENT_KEYWORDS[j].to_owned()),
+            Expr::Text(EVENT_KEYWORDS[j].into()),
         ],
     )
 }

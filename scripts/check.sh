@@ -7,8 +7,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release (warnings are errors)"
+RUSTFLAGS="-D warnings" cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
@@ -32,7 +32,7 @@ test -s "$trace_dir/trace.txt" || { echo "missing trace.txt" >&2; exit 1; }
 # Differential oracle (DESIGN.md §9): a bounded fixed-seed fuzz sweep —
 # deterministic, so CI cannot flake — plus a replay of every shrunk
 # reproducer in the corpus. The fuzz binary exits non-zero on any
-# divergence or invariant violation across the 24-configuration matrix.
+# divergence or invariant violation across the 48-configuration matrix.
 echo "==> differential fuzz smoke (3 seeds x 200 ops)"
 for seed in 1 2 3; do
   ./target/release/fuzz --seed "$seed" --ops 200
@@ -40,5 +40,13 @@ done
 
 echo "==> corpus replay"
 ./target/release/fuzz replay --corpus tests/corpus
+
+# Compiled-backend ablation (DESIGN.md §10): interpreter vs bytecode vs
+# bytecode+kernels on the 100k-row fill-down aggregate column. The bench
+# binary writes the median ns/cell baseline per backend to BENCH_eval.json
+# and exits non-zero if compiled+kernels falls below the 3x speedup bar.
+echo "==> ablation_compile baseline (writes BENCH_eval.json)"
+BENCH_EVAL_JSON="$PWD/BENCH_eval.json" cargo bench -p ssbench-bench --bench ablation_compile
+test -s BENCH_eval.json || { echo "missing BENCH_eval.json" >&2; exit 1; }
 
 echo "==> all checks passed"

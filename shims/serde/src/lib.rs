@@ -242,6 +242,21 @@ impl Serialize for str {
     }
 }
 
+impl Serialize for std::sync::Arc<str> {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn from_json(json: &Json) -> Result<Self, DeError> {
+        match json {
+            Json::Str(s) => Ok(std::sync::Arc::from(s.as_str())),
+            other => Err(DeError::new(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
 impl Serialize for char {
     fn to_json(&self) -> Json {
         Json::Str(self.to_string())

@@ -22,7 +22,7 @@ fn arb_leaf() -> impl Strategy<Value = Expr> {
         // Finite, positive numbers: negative literals print as unary minus,
         // which still round-trips but changes the tree shape.
         (0.0f64..1e9).prop_map(Expr::Number),
-        "[a-zA-Z0-9 _:;.!?-]{0,12}".prop_map(Expr::Text),
+        "[a-zA-Z0-9 _:;.!?-]{0,12}".prop_map(|s| Expr::Text(s.into())),
         any::<bool>().prop_map(Expr::Bool),
         arb_cellref().prop_map(Expr::Ref),
         (arb_cellref(), arb_cellref()).prop_map(|(a, b)| {
@@ -242,7 +242,7 @@ proptest! {
             recalc::recalc_all(&mut s);
             s
         };
-        let par_opts = RecalcOptions { parallelism: 4, threshold: 1 };
+        let par_opts = RecalcOptions { parallelism: 4, threshold: 1, ..RecalcOptions::default() };
         let mut seq = build(RecalcOptions::sequential());
         let mut par = build(par_opts);
         for i in 0..n as u32 {
@@ -458,5 +458,118 @@ proptest! {
             let total = sheet.value(CellAddr::new(0, 2));
             prop_assert_eq!(total, Value::Number(survivors as f64));
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compiled backend (bytecode VM) vs the tree-walking interpreter
+// ---------------------------------------------------------------------
+
+/// Leaves for the backend-differential generator: literals of every kind
+/// (including explicit error values), cell references, and range
+/// references (which exercise implicit intersection when they appear in
+/// scalar positions).
+fn arb_vm_leaf() -> impl Strategy<Value = Expr> {
+    use ssbench::engine::error::CellError;
+    prop_oneof![
+        (-1.0e6f64..1.0e6).prop_map(Expr::Number),
+        "[a-z0-9 ]{0,8}".prop_map(|s| Expr::Text(s.into())),
+        any::<bool>().prop_map(Expr::Bool),
+        prop_oneof![
+            Just(CellError::Div0),
+            Just(CellError::Value),
+            Just(CellError::Ref),
+            Just(CellError::Na),
+            Just(CellError::Num),
+        ]
+        .prop_map(Expr::Error),
+        arb_cellref().prop_map(Expr::Ref),
+        (arb_cellref(), arb_cellref()).prop_map(|(a, b)| {
+            let (start, end) = if (a.addr.row, a.addr.col) <= (b.addr.row, b.addr.col) {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            Expr::RangeRef(RangeRef { start, end })
+        }),
+    ]
+}
+
+/// Random expressions biased toward the constructs where the two
+/// backends could plausibly diverge: short-circuit IF / AND / OR,
+/// IFERROR's error-swallowing, aggregate calls over ranges (the
+/// vectorized-kernel path), the volatile NOW, and unknown names.
+fn arb_vm_expr() -> impl Strategy<Value = Expr> {
+    arb_vm_leaf().prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arb_binop())
+                .prop_map(|(a, b, op)| Expr::Binary(op, Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|e| Expr::Unary(UnaryOp::Neg, Box::new(e))),
+            inner.clone().prop_map(|e| Expr::Unary(UnaryOp::Percent, Box::new(e))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| Expr::Call("IF".into(), vec![c, t, e])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(c, t)| Expr::Call("IF".into(), vec![c, t])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(v, f)| Expr::Call("IFERROR".into(), vec![v, f])),
+            prop::collection::vec(inner.clone(), 0..4)
+                .prop_map(|args| Expr::Call("AND".into(), args)),
+            prop::collection::vec(inner.clone(), 0..4)
+                .prop_map(|args| Expr::Call("OR".into(), args)),
+            prop::collection::vec(inner.clone(), 1..4)
+                .prop_map(|args| Expr::Call("SUM".into(), args)),
+            prop::collection::vec(inner.clone(), 1..3)
+                .prop_map(|args| Expr::Call("COUNT".into(), args)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(r, c)| Expr::Call("COUNTIF".into(), vec![r, c])),
+            Just(Expr::Call("NOW".into(), vec![])),
+            inner.prop_map(|e| Expr::Call("NOSUCHFN".into(), vec![e])),
+        ]
+    })
+}
+
+proptest! {
+    /// The bytecode VM is observationally identical to the tree-walking
+    /// interpreter on random expression trees: same value for every
+    /// formula (including error propagation, implicit intersection,
+    /// short-circuit IF/AND/OR, and volatile NOW) and the same meter
+    /// counts, cell for cell and tick for tick.
+    #[test]
+    fn compiled_backend_matches_interpreter_on_random_exprs(
+        exprs in prop::collection::vec(arb_vm_expr(), 1..6),
+        values in prop::collection::vec(-50i64..50, 24),
+    ) {
+        let build = |backend: EvalBackend| {
+            let mut s = Sheet::new();
+            s.set_recalc_options(RecalcOptions { backend, ..RecalcOptions::sequential() });
+            // A mixed fixture in the top-left corner: numbers, text,
+            // booleans, and formula cells (one of which evaluates to an
+            // error). References outside it hit empty cells.
+            for (i, &v) in values.iter().enumerate() {
+                let (r, c) = (i as u32 / 4, (i % 4) as u32);
+                match i % 6 {
+                    0..=2 => s.set_value(CellAddr::new(r, c), v),
+                    3 => s.set_value(CellAddr::new(r, c), format!("t{v}")),
+                    4 => s.set_value(CellAddr::new(r, c), v % 2 == 0),
+                    _ => s
+                        .set_formula_str(CellAddr::new(r, c), &format!("=1/{}", v.rem_euclid(3)))
+                        .unwrap(),
+                }
+            }
+            // The generated formulas live in column AE, outside the
+            // generator's reference window, so the DAG stays acyclic.
+            for (i, e) in exprs.iter().enumerate() {
+                s.set_formula(CellAddr::new(i as u32, 30), e.clone());
+            }
+            recalc::recalc_all(&mut s);
+            s
+        };
+        let interp = build(EvalBackend::Interpreted);
+        let vm = build(EvalBackend::Compiled);
+        for i in 0..exprs.len() as u32 {
+            let addr = CellAddr::new(i, 30);
+            prop_assert_eq!(interp.value(addr), vm.value(addr), "formula {}", i);
+        }
+        prop_assert_eq!(interp.meter().snapshot(), vm.meter().snapshot());
     }
 }
