@@ -18,6 +18,13 @@
 //! `$BENCH_EVAL_JSON` (default `BENCH_eval.json` in the working
 //! directory), and exits non-zero if `compiled+kernels` fails the >= 3x
 //! speedup acceptance bar over the interpreter.
+//!
+//! A fourth measurement isolates the static verifier (DESIGN.md §11):
+//! the VM run directly on verified programs (stack pre-reserved to the
+//! proven bound) vs the same programs with the bound stripped
+//! (`Program::without_stack_bound`, the grow-on-demand behavior). The
+//! verified path must be at most 1% slower — verification is a
+//! compile-time cost only.
 
 use std::time::Instant;
 
@@ -116,10 +123,53 @@ fn median_ns_per_cell(opts: RecalcOptions) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Measures the VM directly (no program cache, no kernels) on the same
+/// fill-down programs twice: verified (operand stack pre-reserved to the
+/// proven `max_stack` bound) and with the bound stripped
+/// (`Program::without_stack_bound`, grow-on-demand). Rounds are
+/// interleaved and the min taken, so both variants share scratch and
+/// cache warm-up. Returns (verified, unbounded) ns per formula cell.
+fn stack_bound_ablation() -> (f64, f64) {
+    use ssbench_engine::compile::{compile, vm, Program};
+    let mut sheet = Sheet::with_layout(Layout::ColumnMajor, 0, 0);
+    for r in 0..ROWS {
+        sheet.set_value(CellAddr::new(r, 0), (r % 97) as i64);
+    }
+    let verified: Vec<(CellAddr, Program)> = (0..ROWS)
+        .map(|r| {
+            let lo = r.saturating_sub(WINDOW - 1) + 1;
+            let expr = parse(&format!("SUM(A{lo}:A{hi})*2+A{hi}", hi = r + 1)).unwrap();
+            let addr = CellAddr::new(r, 1);
+            (addr, compile(&expr, addr))
+        })
+        .collect();
+    let unbounded: Vec<(CellAddr, Program)> =
+        verified.iter().map(|(a, p)| (*a, p.without_stack_bound())).collect();
+    let pass = |progs: &[(CellAddr, Program)]| {
+        let meter = Meter::new();
+        for (addr, prog) in progs {
+            black_box(vm::run(prog, &EvalCtx::new(&sheet, &meter, *addr), None));
+        }
+    };
+    pass(&verified); // warm-up
+    pass(&unbounded);
+    let mut best = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..5 {
+        let t = Instant::now();
+        pass(&verified);
+        best.0 = best.0.min(t.elapsed().as_secs_f64() * 1e9 / verified.len() as f64);
+        let t = Instant::now();
+        pass(&unbounded);
+        best.1 = best.1.min(t.elapsed().as_secs_f64() * 1e9 / unbounded.len() as f64);
+    }
+    best
+}
+
 fn write_baseline() {
     let named: Vec<(&str, f64)> =
         variants().iter().map(|&(name, opts)| (name, median_ns_per_cell(opts))).collect();
     let (interp, compiled, kernels) = (named[0].1, named[1].1, named[2].1);
+    let (vm_verified, vm_unbounded) = stack_bound_ablation();
     let json = format!(
         concat!(
             "{{\n",
@@ -133,6 +183,11 @@ fn write_baseline() {
             "  \"speedup_vs_interp\": {{\n",
             "    \"compiled\": {s_compiled:.2},\n",
             "    \"compiled_kernels\": {s_kernels:.2}\n",
+            "  }},\n",
+            "  \"vm_stack_bound_ns_per_cell\": {{\n",
+            "    \"verified\": {vm_verified:.1},\n",
+            "    \"unbounded\": {vm_unbounded:.1},\n",
+            "    \"verified_over_unbounded\": {vm_ratio:.4}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -143,6 +198,9 @@ fn write_baseline() {
         kernels = kernels,
         s_compiled = interp / compiled,
         s_kernels = interp / kernels,
+        vm_verified = vm_verified,
+        vm_unbounded = vm_unbounded,
+        vm_ratio = vm_verified / vm_unbounded,
     );
     let path =
         std::env::var("BENCH_EVAL_JSON").unwrap_or_else(|_| "BENCH_eval.json".to_string());
@@ -151,6 +209,14 @@ fn write_baseline() {
     let speedup = interp / kernels;
     if speedup < 3.0 {
         eprintln!("FAIL: compiled+kernels speedup {speedup:.2}x is below the 3x acceptance bar");
+        std::process::exit(1);
+    }
+    let ratio = vm_verified / vm_unbounded;
+    if ratio > 1.01 {
+        eprintln!(
+            "FAIL: verified VM is {:.2}% slower than unbounded (bar: 1%)",
+            (ratio - 1.0) * 100.0
+        );
         std::process::exit(1);
     }
 }

@@ -4,6 +4,8 @@
 //! `benches/`), plus ablation benches for the `ssbench-optimized`
 //! implementations. This library only hosts shared helpers.
 
+#![deny(rust_2018_idioms, unreachable_pub)]
+
 use ssbench_harness::RunConfig;
 
 /// The configuration criterion benches run the harness experiments with:

@@ -1,0 +1,974 @@
+//! Static analysis over formula ASTs and compiled bytecode (DESIGN.md §11).
+//!
+//! Three passes:
+//!
+//! 1. **Bytecode verification** ([`verify`]) — an abstract execution of a
+//!    [`Program`]'s stack effects: every operand pop is backed by a push,
+//!    constant-pool and builtin-table indices are in bounds, jump targets
+//!    land inside the program (or exactly at its end, the valid exit),
+//!    control-flow merge points agree on stack depth, and execution
+//!    provably terminates with exactly one value on the stack. The proven
+//!    maximum stack depth is stored on the program so `compile::vm` can
+//!    pre-reserve its scratch stack.
+//! 2. **Abstract interpretation** ([`analyze`]) — evaluates the AST over a
+//!    small value-type lattice ([`TySet`]) with constant propagation
+//!    through the interpreter's own `apply_unary`/`apply_binary` (the same
+//!    folding the lowerer performs, so the two can never disagree), and
+//!    infers *volatility* (NOW/RAND-rooted templates) and the *static
+//!    read-set* as R1C1-relative windows ([`ReadSet`]).
+//! 3. **Dep-graph soundness** ([`check_sheet`]) — proves, per formula
+//!    instance, that every statically predicted read window is covered by
+//!    the precedents `rebuild_deps` registered. Where `audit::check_deps`
+//!    re-derives the registration dynamically, this pass closes the other
+//!    half of the loop: the registration covers everything evaluation can
+//!    *read*, so dirty propagation can never miss an edit.
+//!
+//! The inferred facts feed back into the engine: volatile templates bypass
+//! the program cache's per-address memo, and pure templates survive
+//! structural-rebuild invalidation (`ProgramCache::retain_pure`).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::addr::{CellAddr, CellRef, Range};
+use crate::compile::lower::{Inst, Program, BUILTINS};
+use crate::eval::{apply_binary, apply_unary, CellSource};
+use crate::formula::ast::{BinOp, Expr, RangeRef, UnaryOp};
+use crate::formula::r1c1::{self, RangeSpec, RefSpec};
+use crate::functions;
+use crate::sheet::Sheet;
+use crate::value::Value;
+
+/// Maximum operand-stack depth the verifier accepts — the bytecode-side
+/// analog of the parser's
+/// [`MAX_FORMULA_DEPTH`](crate::formula::parser::MAX_FORMULA_DEPTH): a
+/// formula that parses within the depth limit lowers to a program within
+/// this bound (nesting adds at most one slot per level; only call *arity*,
+/// which is breadth, can exceed it).
+pub const MAX_STACK_DEPTH: u32 = 512;
+
+// ---------------------------------------------------------------------
+// Pass 1: bytecode verification
+// ---------------------------------------------------------------------
+
+/// A structural defect in a compiled program. Everything except
+/// [`VerifyError::StackLimit`] indicates a lowerer bug: the bytecode could
+/// underflow, read out of bounds, or leave the stack unbalanced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// An instruction pops more operands than the stack provably holds.
+    StackUnderflow { pc: usize },
+    /// A `Const` index exceeds the literal pool.
+    ConstOutOfBounds { pc: usize, index: u32 },
+    /// A `Call`'s dense function ID exceeds the builtin table.
+    FuncOutOfBounds { pc: usize, id: u16 },
+    /// A jump target lies beyond the end of the program.
+    JumpOutOfBounds { pc: usize, target: u32 },
+    /// Two control-flow paths reach the same pc with different depths.
+    DepthMismatch { pc: usize, expected: u32, found: u32 },
+    /// An instruction no path can reach (forward-only control flow means
+    /// every reachable pc has a recorded depth by the time we visit it).
+    UnreachableCode { pc: usize },
+    /// Execution exits with a stack depth other than exactly one value.
+    BadExitDepth { depth: u32 },
+    /// The program is well-formed but its proven maximum stack depth
+    /// exceeds [`MAX_STACK_DEPTH`] (e.g. a call with thousands of
+    /// arguments). It still *runs* — the VM's stack grows — but strict
+    /// verification contexts reject it, mirroring the parser depth limit.
+    StackLimit { depth: u32 },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::StackUnderflow { pc } => write!(f, "stack underflow at pc {pc}"),
+            VerifyError::ConstOutOfBounds { pc, index } => {
+                write!(f, "constant index {index} out of bounds at pc {pc}")
+            }
+            VerifyError::FuncOutOfBounds { pc, id } => {
+                write!(f, "function id {id} out of bounds at pc {pc}")
+            }
+            VerifyError::JumpOutOfBounds { pc, target } => {
+                write!(f, "jump target {target} out of bounds at pc {pc}")
+            }
+            VerifyError::DepthMismatch { pc, expected, found } => write!(
+                f,
+                "control-flow merge at pc {pc} disagrees on stack depth \
+                 (expected {expected}, found {found})"
+            ),
+            VerifyError::UnreachableCode { pc } => write!(f, "unreachable instruction at pc {pc}"),
+            VerifyError::BadExitDepth { depth } => {
+                write!(f, "program exits with stack depth {depth}, expected 1")
+            }
+            VerifyError::StackLimit { depth } => write!(
+                f,
+                "proven stack depth {depth} exceeds the limit {MAX_STACK_DEPTH}"
+            ),
+        }
+    }
+}
+
+/// Verifies `prog` by abstract execution of its stack effects and returns
+/// the proven maximum operand-stack depth.
+///
+/// The lowerer emits forward jumps only, so a single in-order pass works:
+/// by the time a pc is visited, every edge into it (fallthrough or jump)
+/// has already recorded its expected depth, and a pc with no recorded
+/// depth is dead code. Index `code_len()` is the exit; its recorded depth
+/// must be exactly 1.
+pub fn verify(prog: &Program) -> Result<u32, VerifyError> {
+    let len = prog.code_len();
+    // depth_at[pc] = stack depth on entry to pc; depth_at[len] = exit depth.
+    let mut depth_at: Vec<Option<u32>> = vec![None; len + 1];
+    depth_at[0] = Some(0);
+    let mut max = 0u32;
+
+    fn record(
+        depth_at: &mut [Option<u32>],
+        max: &mut u32,
+        pc: usize,
+        target: u32,
+        depth: u32,
+    ) -> Result<(), VerifyError> {
+        let slot = depth_at
+            .get_mut(target as usize)
+            .ok_or(VerifyError::JumpOutOfBounds { pc, target })?;
+        match *slot {
+            Some(expected) if expected != depth => {
+                return Err(VerifyError::DepthMismatch { pc: target as usize, expected, found: depth })
+            }
+            _ => *slot = Some(depth),
+        }
+        *max = (*max).max(depth);
+        Ok(())
+    }
+
+    for pc in 0..len {
+        let Some(depth) = depth_at[pc] else {
+            return Err(VerifyError::UnreachableCode { pc });
+        };
+        let need = |n: u32| -> Result<(), VerifyError> {
+            if depth < n {
+                return Err(VerifyError::StackUnderflow { pc });
+            }
+            Ok(())
+        };
+        // `Some(d)` = fall through to pc+1 at depth d; `None` = no
+        // fallthrough (unconditional jump).
+        let fall = match &prog.code[pc] {
+            Inst::Const(i) => {
+                if *i as usize >= prog.const_count() {
+                    return Err(VerifyError::ConstOutOfBounds { pc, index: *i });
+                }
+                Some(depth + 1)
+            }
+            Inst::ReadCell(_) | Inst::Intersect(_) | Inst::CellArg(_) | Inst::RangeArg(_) => {
+                Some(depth + 1)
+            }
+            Inst::Unary(_) => {
+                need(1)?;
+                Some(depth)
+            }
+            Inst::Binary(_) => {
+                need(2)?;
+                Some(depth - 1)
+            }
+            Inst::Call { id, argc, .. } => {
+                if id.0 as usize >= BUILTINS.len() {
+                    return Err(VerifyError::FuncOutOfBounds { pc, id: id.0 });
+                }
+                need(*argc)?;
+                Some(depth - argc + 1)
+            }
+            Inst::NameError(argc) => {
+                need(*argc)?;
+                Some(depth - argc + 1)
+            }
+            Inst::Jump(t) => {
+                record(&mut depth_at, &mut max, pc, *t, depth)?;
+                None
+            }
+            Inst::IfCond { on_false, on_end } => {
+                need(1)?;
+                // Else-branch entry: condition popped. Error exit: the
+                // condition is replaced by the error value, depth unchanged.
+                record(&mut depth_at, &mut max, pc, *on_false, depth - 1)?;
+                record(&mut depth_at, &mut max, pc, *on_end, depth)?;
+                Some(depth - 1)
+            }
+            Inst::SkipIfNotError(t) => {
+                need(1)?;
+                // Non-error: value pushed back, jump past the fallback.
+                // Error: value consumed, fall into the fallback.
+                record(&mut depth_at, &mut max, pc, *t, depth)?;
+                Some(depth - 1)
+            }
+        };
+        if let Some(d) = fall {
+            record(&mut depth_at, &mut max, pc, (pc + 1) as u32, d)?;
+        }
+    }
+
+    match depth_at[len] {
+        Some(1) => {}
+        Some(depth) => return Err(VerifyError::BadExitDepth { depth }),
+        None => return Err(VerifyError::BadExitDepth { depth: 0 }),
+    }
+    if max > MAX_STACK_DEPTH {
+        return Err(VerifyError::StackLimit { depth: max });
+    }
+    Ok(max)
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: abstract interpretation (type lattice, volatility, read-set)
+// ---------------------------------------------------------------------
+
+/// A set of possible value kinds — the abstract domain. The lattice is the
+/// powerset of `{Num, Text, Bool, Err, Empty}` under union; `ANY` is top.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct TySet(u8);
+
+impl TySet {
+    pub const NUM: TySet = TySet(1);
+    pub const TEXT: TySet = TySet(1 << 1);
+    pub const BOOL: TySet = TySet(1 << 2);
+    pub const ERR: TySet = TySet(1 << 3);
+    pub const EMPTY: TySet = TySet(1 << 4);
+    /// Top: any value kind.
+    pub const ANY: TySet = TySet(0b1_1111);
+
+    /// Lattice join (set union).
+    pub const fn join(self, other: TySet) -> TySet {
+        TySet(self.0 | other.0)
+    }
+
+    /// Whether every kind in `other` is in `self`.
+    pub const fn contains(self, other: TySet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// The singleton kind of a concrete value.
+    pub fn of(v: &Value) -> TySet {
+        match v {
+            Value::Empty => TySet::EMPTY,
+            Value::Number(_) => TySet::NUM,
+            Value::Text(_) => TySet::TEXT,
+            Value::Bool(_) => TySet::BOOL,
+            Value::Error(_) => TySet::ERR,
+        }
+    }
+
+    /// Soundness predicate: the concrete value is among the predicted kinds.
+    pub fn admits(self, v: &Value) -> bool {
+        self.contains(TySet::of(v))
+    }
+}
+
+fn fmt_tyset(t: TySet, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if t == TySet::ANY {
+        return write!(f, "Any");
+    }
+    let mut first = true;
+    for (bit, name) in [
+        (TySet::NUM, "Num"),
+        (TySet::TEXT, "Text"),
+        (TySet::BOOL, "Bool"),
+        (TySet::ERR, "Err"),
+        (TySet::EMPTY, "Empty"),
+    ] {
+        if t.contains(bit) {
+            if !first {
+                write!(f, "|")?;
+            }
+            write!(f, "{name}")?;
+            first = false;
+        }
+    }
+    if first {
+        write!(f, "Never")?;
+    }
+    Ok(())
+}
+
+impl fmt::Debug for TySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_tyset(*self, f)
+    }
+}
+
+impl fmt::Display for TySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_tyset(*self, f)
+    }
+}
+
+/// The static read-set of a template, as R1C1-relative windows: resolving
+/// each window at an instance address yields the concrete ranges that
+/// instance may read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadSet {
+    /// Evaluation reads only cells inside these windows (resolved at the
+    /// evaluating cell). A window that fails to resolve at some address is
+    /// never read there (evaluation yields `#REF!` instead).
+    Windows(Vec<RangeSpec>),
+    /// The template calls a builtin whose reads are computed from argument
+    /// *values* at run time (OFFSET; 3-argument SUMIF/AVERAGEIF, whose sum
+    /// range is offset-aligned to the criteria range's shape; 3-argument
+    /// LOOKUP, whose result range is not shape-checked against the lookup
+    /// range) — no syntactic window bounds them.
+    Unbounded,
+}
+
+impl ReadSet {
+    /// Whether the read-set is statically bounded.
+    pub fn is_bounded(&self) -> bool {
+        matches!(self, ReadSet::Windows(_))
+    }
+}
+
+impl fmt::Display for ReadSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadSet::Unbounded => write!(f, "unbounded"),
+            ReadSet::Windows(ws) => {
+                write!(f, "[")?;
+                for (i, w) in ws.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{w}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// Everything the abstract interpreter proves about one template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// The set of value kinds evaluation can produce.
+    pub ty: TySet,
+    /// `Some` when the whole expression constant-folds (literal-pure tree).
+    pub const_value: Option<Value>,
+    /// Whether the template is rooted in a volatile builtin (NOW, TODAY,
+    /// RAND, RANDBETWEEN) anywhere in its tree. Volatile templates bypass
+    /// the program cache's per-address memo and are dropped by
+    /// `ProgramCache::retain_pure`.
+    pub volatile: bool,
+    /// The static read-set.
+    pub reads: ReadSet,
+}
+
+/// Builtins whose result depends on evaluation time/randomness rather than
+/// cell state alone. RAND/RANDBETWEEN are not in `BUILTINS` today (they
+/// would break the deterministic oracle) but are listed defensively so
+/// adding them cannot silently produce cacheable-looking templates.
+const VOLATILE: &[&str] = &["NOW", "TODAY", "RAND", "RANDBETWEEN"];
+
+/// Builtins whose reads escape their syntactic argument windows for the
+/// given arity (see [`ReadSet::Unbounded`]). Every other builtin either
+/// reads only through its `Range`/`Ref` arguments or bounds-checks into
+/// them before reading.
+fn dynamic_reads(name: &str, argc: usize) -> bool {
+    match name {
+        "OFFSET" => true,
+        "SUMIF" | "AVERAGEIF" => argc == 3,
+        "LOOKUP" => argc == 3,
+        _ => false,
+    }
+}
+
+/// Abstractly interprets `expr` anchored at `origin`.
+pub fn analyze(expr: &Expr, origin: CellAddr) -> Analysis {
+    let mut a = Analyzer { origin, volatile: false, unbounded: false, windows: Vec::new() };
+    let v = a.go(expr);
+    let (ty, const_value) = match v {
+        AbsVal::Const(c) => (TySet::of(&c), Some(c)),
+        AbsVal::Ty(t) => (t, None),
+    };
+    let reads = if a.unbounded { ReadSet::Unbounded } else { ReadSet::Windows(a.windows) };
+    Analysis { ty, const_value, volatile: a.volatile, reads }
+}
+
+/// An abstract value: either a known constant (propagated through the
+/// interpreter's own scalar ops, exactly like the lowerer's fold) or a set
+/// of possible kinds.
+enum AbsVal {
+    Const(Value),
+    Ty(TySet),
+}
+
+impl AbsVal {
+    fn ty(&self) -> TySet {
+        match self {
+            AbsVal::Const(c) => TySet::of(c),
+            AbsVal::Ty(t) => *t,
+        }
+    }
+}
+
+struct Analyzer {
+    origin: CellAddr,
+    volatile: bool,
+    unbounded: bool,
+    windows: Vec<RangeSpec>,
+}
+
+impl Analyzer {
+    fn push_window(&mut self, w: RangeSpec) {
+        if !self.windows.contains(&w) {
+            self.windows.push(w);
+        }
+    }
+
+    fn window_ref(&mut self, r: CellRef) {
+        let spec = RefSpec::from_ref(r, self.origin);
+        self.push_window(RangeSpec { start: spec, end: spec });
+    }
+
+    fn window_range(&mut self, r: &RangeRef) {
+        self.push_window(RangeSpec::from_range(r, self.origin));
+    }
+
+    fn go(&mut self, e: &Expr) -> AbsVal {
+        match e {
+            Expr::Number(n) => AbsVal::Const(Value::Number(*n)),
+            Expr::Text(s) => AbsVal::Const(Value::Text(s.clone())),
+            Expr::Bool(b) => AbsVal::Const(Value::Bool(*b)),
+            Expr::Error(err) => AbsVal::Const(Value::Error(*err)),
+            // A cell can hold anything. (References in argument position
+            // that are never dereferenced — `ROW(C7)` — still contribute a
+            // window: the read-set is a superset of actual reads, matching
+            // the superset the dep graph registers.)
+            Expr::Ref(r) => {
+                self.window_ref(*r);
+                AbsVal::Ty(TySet::ANY)
+            }
+            Expr::RangeRef(r) => {
+                self.window_range(r);
+                AbsVal::Ty(TySet::ANY)
+            }
+            Expr::Unary(op, a) => match (op, self.go(a)) {
+                (_, AbsVal::Const(c)) => AbsVal::Const(apply_unary(*op, c)),
+                // `+x` is the identity on any value.
+                (UnaryOp::Pos, v) => v,
+                (UnaryOp::Neg | UnaryOp::Percent, _) => {
+                    AbsVal::Ty(TySet::NUM.join(TySet::ERR))
+                }
+            },
+            Expr::Binary(op, a, b) => {
+                let va = self.go(a);
+                let vb = self.go(b);
+                if let (AbsVal::Const(ca), AbsVal::Const(cb)) = (&va, &vb) {
+                    return AbsVal::Const(apply_binary(*op, ca.clone(), cb.clone()));
+                }
+                AbsVal::Ty(binop_ty(*op))
+            }
+            Expr::Call(name, args) => {
+                let arg_tys: Vec<TySet> = args.iter().map(|a| self.go(a).ty()).collect();
+                if VOLATILE.contains(&name.as_str()) {
+                    self.volatile = true;
+                }
+                if dynamic_reads(name, args.len()) {
+                    self.unbounded = true;
+                }
+                AbsVal::Ty(call_ty(name, &arg_tys))
+            }
+        }
+    }
+}
+
+fn binop_ty(op: BinOp) -> TySet {
+    let num_err = TySet::NUM.join(TySet::ERR);
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Pow => num_err,
+        BinOp::Concat => TySet::TEXT.join(TySet::ERR),
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            TySet::BOOL.join(TySet::ERR)
+        }
+    }
+}
+
+/// Return-kind table for calls. Coarse by design: every entry includes
+/// `ERR` (any builtin can fail on arity or coercion) and the fallback for
+/// a builtin without a sharper row is `ANY`. Unknown names evaluate to
+/// `#NAME?`, i.e. exactly `ERR`.
+fn call_ty(name: &str, arg_tys: &[TySet]) -> TySet {
+    let num_err = TySet::NUM.join(TySet::ERR);
+    let bool_err = TySet::BOOL.join(TySet::ERR);
+    let text_err = TySet::TEXT.join(TySet::ERR);
+    match name {
+        // Control flow: the result is one of the branches (IF's missing
+        // else yields FALSE; a condition error propagates).
+        "IF" => match arg_tys.len() {
+            2 => arg_tys[1].join(TySet::BOOL).join(TySet::ERR),
+            3 => arg_tys[1].join(arg_tys[2]).join(TySet::ERR),
+            _ => TySet::ERR,
+        },
+        "IFERROR" => match arg_tys.len() {
+            2 => arg_tys[0].join(arg_tys[1]).join(TySet::ERR),
+            _ => TySet::ERR,
+        },
+        // Numeric results.
+        "SUM" | "AVERAGE" | "COUNT" | "COUNTA" | "COUNTBLANK" | "MIN" | "MAX" | "PRODUCT"
+        | "MEDIAN" | "STDEV" | "VAR" | "COUNTIF" | "SUMIF" | "AVERAGEIF" | "SUMIFS"
+        | "COUNTIFS" | "AVERAGEIFS" | "SUMPRODUCT" | "LARGE" | "SMALL" | "RANK" | "MODE"
+        | "ABS" | "SIGN" | "INT" | "ROUND" | "ROUNDUP" | "ROUNDDOWN" | "MOD" | "POWER"
+        | "SQRT" | "EXP" | "LN" | "LOG" | "LOG10" | "PI" | "LEN" | "FIND" | "VALUE" | "ROW"
+        | "COLUMN" | "MATCH" | "NOW" | "TODAY" | "DATE" | "YEAR" | "MONTH" | "DAY"
+        | "WEEKDAY" | "DAYS" | "EDATE" => num_err,
+        // Boolean results.
+        "AND" | "OR" | "NOT" | "XOR" | "TRUE" | "FALSE" | "EXACT" | "ISBLANK" | "ISNUMBER"
+        | "ISTEXT" | "ISLOGICAL" | "ISERROR" | "ISNA" => bool_err,
+        // Text results.
+        "CONCATENATE" | "LEFT" | "RIGHT" | "MID" | "UPPER" | "LOWER" | "TRIM" | "SUBSTITUTE"
+        | "REPT" | "TEXTJOIN" => text_err,
+        "NA" => TySet::ERR,
+        // Lookups and selectors hand back whatever the data holds.
+        _ if functions::is_builtin(name) => TySet::ANY,
+        // Unknown name: `#NAME?`.
+        _ => TySet::ERR,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Read instrumentation (for the soundness proptest)
+// ---------------------------------------------------------------------
+
+/// A [`CellSource`] wrapper that records every cell address evaluation
+/// actually reads — the dynamic ground truth the static read-set must
+/// over-approximate. Single-threaded by design (tests drive one
+/// evaluation at a time).
+pub struct RecordingSource<'a> {
+    inner: &'a dyn CellSource,
+    seen: RefCell<Vec<CellAddr>>,
+}
+
+impl<'a> RecordingSource<'a> {
+    /// Wraps `inner`, starting with an empty record.
+    pub fn new(inner: &'a dyn CellSource) -> Self {
+        RecordingSource { inner, seen: RefCell::new(Vec::new()) }
+    }
+
+    /// The addresses read so far, in read order (duplicates preserved).
+    pub fn reads(&self) -> Vec<CellAddr> {
+        self.seen.borrow().clone()
+    }
+}
+
+impl CellSource for RecordingSource<'_> {
+    fn value_at(&self, addr: CellAddr) -> Value {
+        self.seen.borrow_mut().push(addr);
+        self.inner.value_at(addr)
+    }
+
+    fn is_formula_at(&self, addr: CellAddr) -> bool {
+        self.inner.is_formula_at(addr)
+    }
+
+    fn bounds(&self) -> (u32, u32) {
+        self.inner.bounds()
+    }
+
+    fn visit_range(&self, range: Range, f: &mut dyn FnMut(CellAddr, &Value, bool)) {
+        let seen = &self.seen;
+        self.inner.visit_range(range, &mut |addr, v, is_formula| {
+            seen.borrow_mut().push(addr);
+            f(addr, v, is_formula);
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 3: dep-graph soundness
+// ---------------------------------------------------------------------
+
+/// Per-template facts gathered by [`check_sheet`], for reports
+/// (`fuzz --analyze`) and diagnostics.
+#[derive(Debug, Clone)]
+pub struct TemplateReport {
+    /// The R1C1-normalized template string (the program-cache key).
+    pub template: String,
+    /// The first instance address encountered (row-major scan order).
+    pub anchor: CellAddr,
+    /// How many formula cells instantiate the template.
+    pub instances: usize,
+    /// Verifier-proven maximum operand-stack depth.
+    pub max_stack: u32,
+    /// Result-kind prediction.
+    pub ty: TySet,
+    /// Whether the template is volatile.
+    pub volatile: bool,
+    /// The static read-set.
+    pub reads: ReadSet,
+}
+
+impl fmt::Display for TemplateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} @{} x{}: stack={} ty={} {} reads={}",
+            self.template,
+            self.anchor.to_a1(),
+            self.instances,
+            self.max_stack,
+            self.ty,
+            if self.volatile { "volatile" } else { "pure" },
+            self.reads,
+        )
+    }
+}
+
+/// Statically verifies every formula on the sheet:
+///
+/// * each template's compiled bytecode passes [`verify`] strictly
+///   (including the [`MAX_STACK_DEPTH`] bound);
+/// * the facts stored on the cached [`Program`] agree with a fresh
+///   [`analyze`] of the instance (they are template-invariant, so a cache
+///   hit from another anchor must carry identical facts);
+/// * for every instance with a bounded read-set, each window that resolves
+///   at the instance address is covered by the precedents the dep graph
+///   registered for that instance (a window that does not resolve is never
+///   read — evaluation yields `#REF!` there).
+///
+/// Returns the per-template reports (sorted by template string), or the
+/// first violation, naming the template and — for coverage failures — the
+/// missing window.
+pub fn check_sheet(sheet: &Sheet) -> Result<Vec<TemplateReport>, String> {
+    let mut reports: BTreeMap<String, TemplateReport> = BTreeMap::new();
+    let Some(used) = sheet.used_range() else { return Ok(Vec::new()) };
+    let deps = sheet.deps();
+    for addr in used.iter() {
+        let Some(expr) = sheet.formula_expr(addr) else { continue };
+        let key = r1c1::normalize(expr, addr);
+        let analysis = analyze(expr, addr);
+        let prog = sheet.program_cache().get_or_compile(expr, addr);
+        if let Some(report) = reports.get_mut(&key) {
+            report.instances += 1;
+        } else {
+            let max_stack = verify(&prog).map_err(|e| {
+                format!("template {key:?} at {}: bytecode verification failed: {e}", addr.to_a1())
+            })?;
+            if prog.is_volatile() != analysis.volatile || *prog.reads() != analysis.reads {
+                return Err(format!(
+                    "template {key:?} at {}: cached program facts diverge from analysis \
+                     (program: volatile={} reads={}; analysis: volatile={} reads={})",
+                    addr.to_a1(),
+                    prog.is_volatile(),
+                    prog.reads(),
+                    analysis.volatile,
+                    analysis.reads,
+                ));
+            }
+            reports.insert(
+                key.clone(),
+                TemplateReport {
+                    template: key.clone(),
+                    anchor: addr,
+                    instances: 1,
+                    max_stack,
+                    ty: analysis.ty,
+                    volatile: analysis.volatile,
+                    reads: analysis.reads.clone(),
+                },
+            );
+        }
+
+        // Dep-graph coverage, per instance: the registration must cover
+        // everything this instance can read.
+        let ReadSet::Windows(windows) = &analysis.reads else { continue };
+        let Some(prec) = deps.precedents_of(addr) else {
+            return Err(format!(
+                "template {key:?}: instance at {} is not registered in the dep graph",
+                addr.to_a1()
+            ));
+        };
+        for w in windows {
+            let (Some(start), Some(end)) = (w.start.resolve(addr), w.end.resolve(addr)) else {
+                continue; // off-sheet here: evaluation yields #REF!, no read
+            };
+            let resolved = Range::new(start, end);
+            if !prec.covers(resolved) {
+                return Err(format!(
+                    "template {key:?} at {}: static read window {w} (resolves to {}) \
+                     is not covered by the registered precedents {prec:?}",
+                    addr.to_a1(),
+                    resolved.to_a1(),
+                ));
+            }
+        }
+    }
+    Ok(reports.into_values().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::lower::{compile, FuncId};
+    use crate::error::CellError;
+    use crate::eval::{evaluate, EvalCtx};
+    use crate::formula::parse;
+    use crate::meter::Meter;
+    use crate::recalc;
+    use crate::value::Value;
+
+    fn a(s: &str) -> CellAddr {
+        CellAddr::parse(s).unwrap()
+    }
+
+    fn analyzed(src: &str) -> Analysis {
+        analyze(&parse(src).unwrap(), a("D4"))
+    }
+
+    fn verified(src: &str) -> u32 {
+        let prog = compile(&parse(src).unwrap(), a("D4"));
+        verify(&prog).unwrap_or_else(|e| panic!("{src}: {e}"))
+    }
+
+    // -- verifier ------------------------------------------------------
+
+    #[test]
+    fn verifier_proves_depths_on_real_programs() {
+        assert_eq!(verified("1+2*3"), 1); // folds to one const
+        assert_eq!(verified("A1+B2*2"), 3);
+        assert_eq!(verified("SUM(A1:A9)"), 1);
+        assert_eq!(verified("SUM(A1,B1,C1,D1)"), 4);
+        for src in [
+            "IF(A1>0,SUM(A1:A10),1/0)",
+            "IF(A1>0,B1)",
+            "IFERROR(A1/B1,\"fallback\")",
+            "IF(A1,IF(B1,1,2),IFERROR(C1,3))",
+            "NOSUCHFN(A1,2)",
+            "A1:A10+1",
+            "-A3%",
+            "VLOOKUP(2.5,A1:B10,1)",
+        ] {
+            let d = verified(src);
+            assert!(d >= 1, "{src}: depth {d}");
+        }
+    }
+
+    #[test]
+    fn verifier_depth_matches_stored_max_stack() {
+        for src in ["A1+B2*2", "IF(A1>0,B1,C1)", "SUM(A1:A3,B1,4)"] {
+            let prog = compile(&parse(src).unwrap(), a("D4"));
+            assert_eq!(verify(&prog), Ok(prog.max_stack()), "{src}");
+        }
+    }
+
+    /// Hand-corrupted programs: each structural defect class is caught.
+    #[test]
+    fn verifier_rejects_malformed_bytecode() {
+        let prog = |code: Vec<Inst>, consts: Vec<Value>| Program::for_tests(code, consts);
+        assert_eq!(
+            verify(&prog(vec![Inst::Binary(BinOp::Add)], vec![])),
+            Err(VerifyError::StackUnderflow { pc: 0 })
+        );
+        assert_eq!(
+            verify(&prog(vec![Inst::Const(0)], vec![])),
+            Err(VerifyError::ConstOutOfBounds { pc: 0, index: 0 })
+        );
+        assert_eq!(
+            verify(&prog(vec![Inst::Jump(5)], vec![])),
+            Err(VerifyError::JumpOutOfBounds { pc: 0, target: 5 })
+        );
+        let two = vec![Value::Number(1.0), Value::Number(2.0)];
+        assert_eq!(
+            verify(&prog(vec![Inst::Const(0), Inst::Const(1)], two.clone())),
+            Err(VerifyError::BadExitDepth { depth: 2 })
+        );
+        assert_eq!(
+            verify(&prog(
+                vec![Inst::Const(0), Inst::Call { id: FuncId(9999), argc: 1, kernel: None }],
+                two.clone()
+            )),
+            Err(VerifyError::FuncOutOfBounds { pc: 1, id: 9999 })
+        );
+        // Jump skipping an instruction leaves it unreachable.
+        assert_eq!(
+            verify(&prog(vec![Inst::Jump(2), Inst::Const(0), Inst::Const(1)], two)),
+            Err(VerifyError::UnreachableCode { pc: 1 })
+        );
+    }
+
+    #[test]
+    fn breadth_monsters_hit_the_stack_limit() {
+        // 600 arguments: parse depth is tiny (breadth, not nesting) but
+        // the operand stack provably needs 600 slots.
+        let src = format!("SUM({})", vec!["A1"; 600].join(","));
+        let prog = compile(&parse(&src).unwrap(), a("D4"));
+        assert_eq!(verify(&prog), Err(VerifyError::StackLimit { depth: 600 }));
+        // The depth is still stored so the VM pre-reserves what it needs.
+        assert_eq!(prog.max_stack(), 600);
+    }
+
+    // -- abstract interpretation --------------------------------------
+
+    #[test]
+    fn constants_propagate_through_scalar_ops() {
+        let an = analyzed("1+2*3");
+        assert_eq!(an.const_value, Some(Value::Number(7.0)));
+        assert_eq!(an.ty, TySet::NUM);
+        assert_eq!(analyzed("1/0").const_value, Some(Value::Error(CellError::Div0)));
+        assert_eq!(analyzed("\"a\"&\"b\"").const_value, Some(Value::text("ab")));
+        // A ref blocks folding but the type stays precise.
+        let an = analyzed("A1+1");
+        assert_eq!(an.const_value, None);
+        assert_eq!(an.ty, TySet::NUM.join(TySet::ERR));
+    }
+
+    #[test]
+    fn type_lattice_tracks_operators_and_branches() {
+        assert_eq!(analyzed("A1>2").ty, TySet::BOOL.join(TySet::ERR));
+        assert_eq!(analyzed("A1&\"x\"").ty, TySet::TEXT.join(TySet::ERR));
+        assert_eq!(analyzed("+A1").ty, TySet::ANY); // `+` is the identity
+        assert_eq!(
+            analyzed("IF(A1,2,\"x\")").ty,
+            TySet::NUM.join(TySet::TEXT).join(TySet::ERR)
+        );
+        // Missing else can yield FALSE.
+        assert!(analyzed("IF(A1,2)").ty.contains(TySet::BOOL));
+        assert_eq!(analyzed("NOSUCHFN(A1)").ty, TySet::ERR);
+        assert_eq!(analyzed("SUM(A1:A9)").ty, TySet::NUM.join(TySet::ERR));
+        assert_eq!(analyzed("VLOOKUP(1,A1:B9,2)").ty, TySet::ANY);
+    }
+
+    #[test]
+    fn volatility_is_rooted_at_volatile_builtins() {
+        assert!(analyzed("NOW()").volatile);
+        assert!(analyzed("TODAY()+1").volatile);
+        assert!(analyzed("IF(A1>0,1,NOW())").volatile); // anywhere in tree
+        assert!(!analyzed("SUM(A1:A9)+A2").volatile);
+    }
+
+    #[test]
+    fn read_windows_collect_and_dedup() {
+        let an = analyzed("A1+A1*SUM(B1:B9)");
+        let ReadSet::Windows(ws) = &an.reads else { panic!("bounded") };
+        assert_eq!(ws.len(), 2, "{ws:?}"); // A1 deduped, B1:B9
+        assert!(an.reads.is_bounded());
+    }
+
+    #[test]
+    fn dynamic_read_builtins_are_unbounded() {
+        assert_eq!(analyzed("OFFSET(A1,1,1)").reads, ReadSet::Unbounded);
+        assert_eq!(analyzed("SUMIF(A1:A9,1,B1:B9)").reads, ReadSet::Unbounded);
+        assert_eq!(analyzed("AVERAGEIF(A1:A9,1,B1:B9)").reads, ReadSet::Unbounded);
+        assert_eq!(analyzed("LOOKUP(1,A1:A9,B1:B9)").reads, ReadSet::Unbounded);
+        // The bounded arities stay bounded.
+        assert!(analyzed("SUMIF(A1:A9,1)").reads.is_bounded());
+        assert!(analyzed("LOOKUP(1,A1:B9)").reads.is_bounded());
+        assert!(analyzed("VLOOKUP(1,A1:B9,2)").reads.is_bounded());
+    }
+
+    // -- read recording vs static read-set ----------------------------
+
+    #[test]
+    fn recorded_reads_fall_inside_static_windows() {
+        let mut s = Sheet::new();
+        for r in 0..6u32 {
+            s.set_value(CellAddr::new(r, 0), i64::from(r));
+        }
+        s.set_value(a("B1"), 10i64);
+        for src in ["SUM(A1:A6)+B1", "IF(B1>5,SUM(A1:A3),A5)", "COUNTIF(A1:A6,\">2\")+B1*2"] {
+            let expr = parse(src).unwrap();
+            let origin = a("D1");
+            let an = analyze(&expr, origin);
+            let ReadSet::Windows(ws) = &an.reads else { panic!("{src}: bounded") };
+            let resolved: Vec<Range> = ws
+                .iter()
+                .filter_map(|w| {
+                    Some(Range::new(w.start.resolve(origin)?, w.end.resolve(origin)?))
+                })
+                .collect();
+            let rec = RecordingSource::new(&s);
+            let meter = Meter::new();
+            let got = evaluate(&expr, &EvalCtx::new(&rec, &meter, origin));
+            assert!(an.ty.admits(&got), "{src}: {got:?} not in {}", an.ty);
+            for read in rec.reads() {
+                assert!(
+                    resolved.iter().any(|r| r.contains(read)),
+                    "{src}: read {} outside static windows {resolved:?}",
+                    read.to_a1()
+                );
+            }
+        }
+    }
+
+    // -- dep-graph soundness ------------------------------------------
+
+    fn demo_sheet() -> Sheet {
+        let mut s = Sheet::new();
+        for r in 0..8u32 {
+            s.set_value(CellAddr::new(r, 0), i64::from(r + 1));
+        }
+        s.set_formula_str(a("B1"), "=SUM(A1:A8)").unwrap();
+        s.set_formula_str(a("B2"), "=A2*2+$A$1").unwrap();
+        s.set_formula_str(a("B3"), "=A3*2+$A$1").unwrap(); // same template as B2
+        s.set_formula_str(a("C1"), "=IF(B1>10,B2,NOW())").unwrap();
+        recalc::recalc_all(&mut s);
+        s
+    }
+
+    #[test]
+    fn clean_sheet_proves_coverage_and_reports_templates() {
+        let s = demo_sheet();
+        let reports = check_sheet(&s).unwrap();
+        assert_eq!(reports.len(), 3); // B2/B3 share one template
+        let fill = reports.iter().find(|r| r.instances == 2).expect("shared template");
+        assert!(!fill.volatile);
+        assert!(fill.reads.is_bounded());
+        let volatile = reports.iter().find(|r| r.volatile).expect("NOW template");
+        assert!(volatile.template.contains("NOW"));
+    }
+
+    /// The acceptance-criteria mutation test: a deliberately broken
+    /// `rebuild_deps` (simulated by re-registering one formula with the
+    /// wrong precedents) is caught statically, with the template and the
+    /// missing window named in the diagnostic.
+    #[test]
+    fn broken_dep_registration_is_caught_with_named_window() {
+        let mut s = demo_sheet();
+        // B1 really reads A1:A8, but the graph now claims it reads only A1.
+        s.deps_mut().add(a("B1"), &parse("A1").unwrap());
+        let err = check_sheet(&s).unwrap_err();
+        assert!(err.contains("SUM("), "template not named: {err}");
+        assert!(err.contains("not covered"), "coverage not blamed: {err}");
+        assert!(err.contains("A1:A8"), "missing window not resolved: {err}");
+    }
+
+    #[test]
+    fn unregistered_formula_instance_is_caught() {
+        let mut s = demo_sheet();
+        s.deps_mut().remove(a("B2"));
+        let err = check_sheet(&s).unwrap_err();
+        assert!(err.contains("not registered"), "{err}");
+        assert!(err.contains("B2"), "{err}");
+    }
+
+    #[test]
+    fn unresolvable_windows_are_skipped() {
+        // A window that walks off the sheet at some address is never read
+        // there (evaluation yields #REF!), so coverage must not demand it.
+        let origin = a("B1");
+        let an = analyze(&parse("A1+1").unwrap(), origin); // reads RC[-1]
+        let ReadSet::Windows(ws) = &an.reads else { panic!("bounded") };
+        assert_eq!(ws.len(), 1);
+        // Resolving the template's window at column A falls off the sheet.
+        assert_eq!(ws[0].start.resolve(a("A1")), None);
+        assert!(ws[0].start.resolve(origin).is_some());
+    }
+
+    #[test]
+    fn precedents_covers_matches_geometry() {
+        let prec = crate::depgraph::Precedents::of(&parse("A1+SUM(B1:B9)").unwrap());
+        assert!(prec.covers(Range::cell(a("A1"))));
+        assert!(prec.covers(Range::cell(a("B5"))));
+        assert!(prec.covers(Range::parse("B2:B4").unwrap()));
+        assert!(!prec.covers(Range::cell(a("C1"))));
+        assert!(!prec.covers(Range::parse("B8:B10").unwrap())); // spills out
+    }
+}

@@ -16,6 +16,7 @@
 //!   the interpreter's lazy-branch semantics.
 
 use crate::addr::CellAddr;
+use crate::analyze::{self, ReadSet};
 use crate::error::CellError;
 use crate::eval::{apply_binary, apply_unary, EvalCtx};
 use crate::formula::ast::{BinOp, Expr, UnaryOp};
@@ -189,13 +190,23 @@ pub(crate) enum Inst {
     SkipIfNotError(u32),
 }
 
-/// A compiled formula template: flat code plus its constant pool. Shared
-/// via `Arc` by every cell instantiating the template and by the parallel
-/// recalc workers.
+/// A compiled formula template: flat code plus its constant pool, tagged
+/// with the static facts `analyze` proved about it. Shared via `Arc` by
+/// every cell instantiating the template and by the parallel recalc
+/// workers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     pub(crate) code: Vec<Inst>,
     pub(crate) consts: Vec<Value>,
+    /// Verifier-proven maximum operand-stack depth (`analyze::verify`);
+    /// the VM pre-reserves this many scratch slots before executing.
+    pub(crate) max_stack: u32,
+    /// Whether the template is rooted in a volatile builtin. Volatile
+    /// programs bypass the per-address memo and are dropped by
+    /// `ProgramCache::retain_pure`.
+    pub(crate) volatile: bool,
+    /// The template's static read-set (`analyze::analyze`).
+    pub(crate) reads: ReadSet,
 }
 
 impl Program {
@@ -208,15 +219,66 @@ impl Program {
     pub fn const_count(&self) -> usize {
         self.consts.len()
     }
+
+    /// Verifier-proven maximum operand-stack depth.
+    pub fn max_stack(&self) -> u32 {
+        self.max_stack
+    }
+
+    /// Whether the template is rooted in a volatile builtin.
+    pub fn is_volatile(&self) -> bool {
+        self.volatile
+    }
+
+    /// The template's static read-set.
+    pub fn reads(&self) -> &ReadSet {
+        &self.reads
+    }
+
+    /// Ablation hook: the same program without the verifier's stack bound,
+    /// so `ablation_compile` can measure what pre-reservation buys. The VM
+    /// treats a zero bound as "grow on demand" (the pre-PR-5 behavior).
+    pub fn without_stack_bound(&self) -> Program {
+        Program { max_stack: 0, ..self.clone() }
+    }
+
+    /// Assembles a raw program for verifier tests — the only way to build
+    /// one that did not come out of the lowerer.
+    #[cfg(test)]
+    pub(crate) fn for_tests(code: Vec<Inst>, consts: Vec<Value>) -> Program {
+        Program { code, consts, max_stack: 0, volatile: false, reads: ReadSet::Windows(Vec::new()) }
+    }
 }
 
 /// Compiles `expr`, anchored at `origin`, into a program. The program is a
 /// pure function of the formula's R1C1 template, so any cell whose formula
-/// normalizes to the same key may execute it.
+/// normalizes to the same key may execute it. Every program is verified
+/// here: the stored `max_stack` is the proven bound, so the VM never
+/// executes unchecked bytecode.
 pub fn compile(expr: &Expr, origin: CellAddr) -> Program {
     let mut l = Lowerer { code: Vec::new(), consts: Vec::new(), origin };
     l.lower_scalar(expr);
-    Program { code: l.code, consts: l.consts }
+    let facts = analyze::analyze(expr, origin);
+    let mut prog = Program {
+        code: l.code,
+        consts: l.consts,
+        max_stack: 0,
+        volatile: facts.volatile,
+        reads: facts.reads,
+    };
+    prog.max_stack = match analyze::verify(&prog) {
+        Ok(depth) => depth,
+        // Well-formed but deeper than the strict limit (breadth: a call
+        // with hundreds of arguments). The depth is still the true
+        // requirement, and the VM's stack is a growable Vec, so store it;
+        // strict contexts (`analyze::check_sheet`) reject it separately.
+        Err(analyze::VerifyError::StackLimit { depth }) => depth,
+        Err(e) => {
+            debug_assert!(false, "lowerer produced unverifiable bytecode: {e}");
+            0
+        }
+    };
+    prog
 }
 
 /// What an emitted call argument is, for kernel selection.

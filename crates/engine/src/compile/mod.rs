@@ -37,8 +37,12 @@
 //! differential oracle and proptests in `tests/` prove it on random
 //! expression trees and full op sequences. Programs are pure functions of
 //! their cache key — a key encodes the whole template, so a cached program
-//! can never go stale; invalidation (on structural rebuilds and formula
-//! edits) only bounds growth.
+//! can never go stale. Every program additionally carries the static facts
+//! [`crate::analyze`] proved about it (verified max stack depth,
+//! volatility, read-set); those facts gate the *invalidation* policy: only
+//! the per-address memo tracks sheet state, so a formula edit drops one
+//! memo entry ([`ProgramCache::invalidate_addr`]) and a structural rebuild
+//! keeps every pure template ([`ProgramCache::retain_pure`]).
 
 pub mod lower;
 pub mod vm;
@@ -130,10 +134,14 @@ impl std::hash::BuildHasher for BuildAddrHasher {
 /// Two layers: `by_template` is the ground truth (normalized string →
 /// program; fill copies share one entry), and `by_addr` memoizes the
 /// per-cell resolution so steady-state evaluation pays one cheap address
-/// hash instead of re-normalizing the formula every pass. The memo is
-/// sound because every formula mutation path (`set_formula`, a value
-/// overwriting a formula cell, `rebuild_deps` after structural edits)
-/// clears the whole cache.
+/// hash instead of re-normalizing the formula every pass. Only the memo
+/// can go stale — template entries are pure functions of their key — so
+/// invalidation is scoped to what an edit can actually invalidate: a
+/// formula mutation at one address drops that address's memo entry
+/// ([`invalidate_addr`](ProgramCache::invalidate_addr)); a structural
+/// rebuild (addresses reshuffled wholesale) clears the memo but keeps
+/// every pure template ([`retain_pure`](ProgramCache::retain_pure)).
+/// Volatile programs never enter the memo at all.
 #[derive(Debug, Default)]
 pub struct ProgramCache {
     map: RwLock<HashMap<String, Arc<Program>>>,
@@ -181,11 +189,38 @@ impl ProgramCache {
                 )
             }
         };
-        self.by_addr
+        // Volatile templates bypass the memo: keeping them out means no
+        // invalidation path ever has to reason about them, and the memo
+        // stays a cache of *pure* address → program bindings.
+        if !prog.is_volatile() {
+            self.by_addr
+                .write()
+                .expect("program cache poisoned")
+                .insert(at, Arc::clone(&prog));
+        }
+        prog
+    }
+
+    /// Drops the per-address memo entry for one cell. The sheet calls this
+    /// when the formula at `addr` changes (edit, or a value overwriting a
+    /// formula): only that address's template binding is affected, so the
+    /// template map — and every other cell's memo entry — stays warm.
+    pub fn invalidate_addr(&self, addr: CellAddr) {
+        self.by_addr.write().expect("program cache poisoned").remove(&addr);
+    }
+
+    /// Structural-rebuild invalidation: the address memo is dropped
+    /// wholesale (any address may now hold any formula), and the template
+    /// map retains exactly the *pure* programs — non-volatile, statically
+    /// bounded read-sets per `analyze`. Purity is what makes retention
+    /// sound: a pure template's program depends only on its R1C1 key,
+    /// which restructuring does not change.
+    pub fn retain_pure(&self) {
+        self.by_addr.write().expect("program cache poisoned").clear();
+        self.map
             .write()
             .expect("program cache poisoned")
-            .insert(at, Arc::clone(&prog));
-        prog
+            .retain(|_, p| !p.is_volatile() && p.reads().is_bounded());
     }
 
     /// Number of cached programs (distinct templates seen).
@@ -196,6 +231,12 @@ impl ProgramCache {
     /// True when no template has been compiled.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of live per-address memo entries (diagnostics/tests — lets
+    /// tests observe that volatile programs bypass the memo).
+    pub fn memo_len(&self) -> usize {
+        self.by_addr.read().expect("program cache poisoned").len()
     }
 
     /// Drops every cached program. Called on structural rebuilds and
@@ -272,10 +313,59 @@ mod tests {
         assert!(Arc::ptr_eq(&first, &again));
         assert_eq!((cache.misses(), cache.hits()), (1, 1));
         // The memo is keyed by address alone, which is why every formula
-        // edit path must clear the cache (set_formula / rebuild_deps do).
-        cache.clear();
+        // edit path must drop the edited address's entry (set_formula and
+        // value-over-formula call invalidate_addr; rebuild_deps clears the
+        // memo via retain_pure).
+        cache.invalidate_addr(at("B1"));
         let other = cache.get_or_compile(&parse("A1*3").unwrap(), at("B1"));
         assert!(!Arc::ptr_eq(&first, &other));
+        assert_eq!(cache.len(), 2); // both templates remain ground truth
+    }
+
+    #[test]
+    fn invalidate_addr_is_scoped_to_one_cell() {
+        let cache = ProgramCache::new();
+        let e = parse("A1*2").unwrap();
+        cache.get_or_compile(&e, at("B1"));
+        cache.get_or_compile(&e.adjusted(at("B1"), at("B2")), at("B2"));
+        assert_eq!(cache.memo_len(), 2);
+        cache.invalidate_addr(at("B1"));
+        assert_eq!(cache.memo_len(), 1);
+        // B2 still answers from the memo; B1 re-resolves through the
+        // template map without recompiling.
+        let hits = cache.hits();
+        cache.get_or_compile(&e.adjusted(at("B1"), at("B2")), at("B2"));
+        cache.get_or_compile(&e, at("B1"));
+        assert_eq!(cache.hits(), hits + 2);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn retain_pure_keeps_pure_templates_and_drops_volatile() {
+        let cache = ProgramCache::new();
+        cache.get_or_compile(&parse("A1*2").unwrap(), at("B1"));
+        cache.get_or_compile(&parse("NOW()+A1").unwrap(), at("C1"));
+        cache.get_or_compile(&parse("OFFSET(A1,1,0)").unwrap(), at("D1"));
+        assert_eq!(cache.len(), 3);
+        cache.retain_pure();
+        // Only the pure bounded template survives; the memo is gone.
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.memo_len(), 0);
+        let misses = cache.misses();
+        cache.get_or_compile(&parse("A1*2").unwrap(), at("B1"));
+        assert_eq!(cache.misses(), misses, "pure template must not recompile");
+    }
+
+    #[test]
+    fn volatile_programs_bypass_the_addr_memo() {
+        let cache = ProgramCache::new();
+        let e = parse("NOW()+A1").unwrap();
+        let p = cache.get_or_compile(&e, at("B1"));
+        assert!(p.is_volatile());
+        assert_eq!(cache.memo_len(), 0);
+        // Repeat lookups still hit — through the template map.
+        cache.get_or_compile(&e, at("B1"));
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
     }
 
     #[test]

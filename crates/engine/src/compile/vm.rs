@@ -39,6 +39,14 @@ pub fn run(prog: &Program, ctx: &EvalCtx<'_>, grid: Option<&GridStore>) -> Value
     SCRATCH.with(|scratch| {
         let mut stack = scratch.take();
         stack.clear();
+        // The verifier proved the program needs at most `max_stack` slots,
+        // so one up-front reserve makes every push below a checked-capacity
+        // write, never a mid-run reallocation. (A zero bound — the
+        // `without_stack_bound` ablation — falls back to growing.)
+        let need = prog.max_stack() as usize;
+        if stack.capacity() < need {
+            stack.reserve(need);
+        }
         let v = exec(prog, ctx, grid, &mut stack);
         scratch.replace(stack);
         v

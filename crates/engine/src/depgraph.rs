@@ -26,6 +26,21 @@ impl Precedents {
             ranges: range_refs.iter().map(|r| r.range()).collect(),
         }
     }
+
+    /// Whether this precedent set covers the read window `w`: a single
+    /// cell may be covered by a registered cell or by any registered range
+    /// containing it; a multi-cell window needs one registered range
+    /// containing it whole (corner containment suffices — ranges are
+    /// axis-aligned rectangles). Containment, not equality, is the right
+    /// relation for dirty-propagation soundness: any edit inside `w` also
+    /// lands inside the covering range, so the watcher still fires. Used
+    /// by `analyze::check_sheet`.
+    pub fn covers(&self, w: Range) -> bool {
+        if w.len() == 1 && self.cells.contains(&w.start) {
+            return true;
+        }
+        self.ranges.iter().any(|r| r.contains(w.start) && r.contains(w.end))
+    }
 }
 
 /// Ranges spanning more than this many columns are kept on a flat

@@ -12,6 +12,13 @@ pub enum EngineError {
     BadReference(String),
     /// A formula failed to parse; the payload is a human-readable reason.
     Parse(String),
+    /// A formula exceeded the parser's nesting-depth limit
+    /// ([`MAX_FORMULA_DEPTH`](crate::formula::parser::MAX_FORMULA_DEPTH)).
+    /// Its own variant (rather than a `Parse` payload) so hosts can
+    /// distinguish "malformed" from "well-formed but pathological": the
+    /// same bound is enforced on the bytecode side by the verifier's
+    /// stack-depth limit (`analyze::MAX_STACK_DEPTH`).
+    FormulaTooDeep,
     /// A named sheet or resource does not exist.
     NotFound(String),
     /// An operation was given inconsistent arguments.
@@ -25,6 +32,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::BadReference(s) => write!(f, "bad reference: {s}"),
             EngineError::Parse(s) => write!(f, "formula parse error: {s}"),
+            EngineError::FormulaTooDeep => write!(f, "formula too deeply nested"),
             EngineError::NotFound(s) => write!(f, "not found: {s}"),
             EngineError::Invalid(s) => write!(f, "invalid operation: {s}"),
             EngineError::Io(s) => write!(f, "io error: {s}"),
@@ -98,5 +106,6 @@ mod tests {
     fn engine_error_display() {
         assert_eq!(EngineError::BadReference("Q".into()).to_string(), "bad reference: Q");
         assert!(EngineError::Parse("x".into()).to_string().contains("parse"));
+        assert!(EngineError::FormulaTooDeep.to_string().contains("deeply nested"));
     }
 }

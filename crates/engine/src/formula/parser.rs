@@ -37,6 +37,15 @@ impl NameResolver for NoNames {
     }
 }
 
+/// Maximum expression-tree depth the parser will build. Deeper input —
+/// whether 10k nested parentheses or a 10k-term left-leaning chain —
+/// fails cleanly with [`EngineError::FormulaTooDeep`] instead of risking
+/// recursion overflow here or in any of the recursive consumers
+/// downstream (printer, normalizer, lowerer, interpreter, analyzer). The
+/// bytecode verifier enforces the matching bound on compiled programs
+/// (`analyze::MAX_STACK_DEPTH`).
+pub const MAX_FORMULA_DEPTH: usize = 512;
+
 /// Parses a formula body (no leading `=`) into an expression tree.
 pub fn parse(input: &str) -> Result<Expr, EngineError> {
     parse_with(input, &NoNames)
@@ -45,7 +54,7 @@ pub fn parse(input: &str) -> Result<Expr, EngineError> {
 /// [`parse`] with a named-range resolver.
 pub fn parse_with(input: &str, names: &dyn NameResolver) -> Result<Expr, EngineError> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0, names };
+    let mut p = Parser { tokens, pos: 0, depth: 0, names };
     let expr = p.parse_expr(0)?;
     if p.pos != p.tokens.len() {
         return Err(EngineError::Parse(format!(
@@ -59,6 +68,11 @@ pub fn parse_with(input: &str, names: &dyn NameResolver) -> Result<Expr, EngineE
 struct Parser<'a> {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current expression-tree nesting level, bounded by
+    /// [`MAX_FORMULA_DEPTH`]. Counts *tree* depth, not call-stack depth:
+    /// the iteratively built left-leaning shapes (binary-operator chains,
+    /// `%` postfix chains) charge it per wrap too.
+    depth: usize,
     names: &'a dyn NameResolver,
 }
 
@@ -100,43 +114,82 @@ impl Parser<'_> {
         })
     }
 
+    /// One more nesting level, or [`EngineError::FormulaTooDeep`] once the
+    /// resulting tree would exceed [`MAX_FORMULA_DEPTH`].
+    fn deeper(&mut self) -> Result<(), EngineError> {
+        self.depth += 1;
+        if self.depth > MAX_FORMULA_DEPTH {
+            return Err(EngineError::FormulaTooDeep);
+        }
+        Ok(())
+    }
+
     /// Precedence-climbing over binary operators.
     fn parse_expr(&mut self, min_prec: u8) -> Result<Expr, EngineError> {
         let mut lhs = self.parse_unary()?;
-        while let Some(op) = self.peek().and_then(Self::binop_of) {
+        let mut grown = 0usize;
+        let out = loop {
+            let Some(op) = self.peek().and_then(Self::binop_of) else {
+                break Ok(lhs);
+            };
             let prec = op.precedence();
             if prec < min_prec {
-                break;
+                break Ok(lhs);
             }
             self.next();
+            // Each iteration wraps `lhs` one level deeper without
+            // recursing, so left-leaning chains (`1+1+…`) must charge the
+            // depth counter here to hit the same limit as nested input.
+            grown += 1;
+            if let Err(e) = self.deeper() {
+                break Err(e);
+            }
             let next_min = if op.right_assoc() { prec } else { prec + 1 };
-            let rhs = self.parse_expr(next_min)?;
-            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
-        }
-        Ok(lhs)
+            match self.parse_expr(next_min) {
+                Ok(rhs) => lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs)),
+                Err(e) => break Err(e),
+            }
+        };
+        self.depth -= grown;
+        out
     }
 
     fn parse_unary(&mut self) -> Result<Expr, EngineError> {
-        match self.peek() {
+        // Every recursion cycle in the grammar passes through here
+        // (parentheses, call arguments, unary chains, right-associative
+        // `^`), so this one guard bounds all recursive descent.
+        self.deeper()?;
+        let e = match self.peek() {
             Some(Token::Minus) => {
                 self.next();
-                Ok(Expr::Unary(UnaryOp::Neg, Box::new(self.parse_unary()?)))
+                self.parse_unary().map(|x| Expr::Unary(UnaryOp::Neg, Box::new(x)))
             }
             Some(Token::Plus) => {
                 self.next();
-                Ok(Expr::Unary(UnaryOp::Pos, Box::new(self.parse_unary()?)))
+                self.parse_unary().map(|x| Expr::Unary(UnaryOp::Pos, Box::new(x)))
             }
             _ => self.parse_postfix(),
-        }
+        };
+        self.depth -= 1;
+        e
     }
 
     fn parse_postfix(&mut self) -> Result<Expr, EngineError> {
         let mut e = self.parse_primary()?;
+        let mut grown = 0usize;
+        let mut status = Ok(());
         while self.peek() == Some(&Token::Percent) {
             self.next();
+            // Like the binary loop: `1%%%…` deepens the tree iteratively.
+            grown += 1;
+            if let Err(err) = self.deeper() {
+                status = Err(err);
+                break;
+            }
             e = Expr::Unary(UnaryOp::Percent, Box::new(e));
         }
-        Ok(e)
+        self.depth -= grown;
+        status.map(|()| e)
     }
 
     fn parse_primary(&mut self) -> Result<Expr, EngineError> {
@@ -372,6 +425,41 @@ mod tests {
         for bad in ["", "1+", "SUM(", "SUM(1,", "(1", "1)", "FOO", "A1:", "A1:2", "1 2"] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn deep_parens_fail_cleanly() {
+        // 10k nested parentheses must not blow the stack: the parser
+        // bails with the dedicated error once MAX_FORMULA_DEPTH is hit.
+        let src = format!("{}1{}", "(".repeat(10_000), ")".repeat(10_000));
+        assert_eq!(parse(&src), Err(EngineError::FormulaTooDeep));
+    }
+
+    #[test]
+    fn deep_chains_fail_cleanly() {
+        // Left-leaning shapes are built iteratively, so without explicit
+        // accounting they would parse into trees too deep for the
+        // recursive consumers downstream. Both chain kinds must hit the
+        // same limit as nested parentheses.
+        let chain = format!("1{}", "+1".repeat(10_000));
+        assert_eq!(parse(&chain), Err(EngineError::FormulaTooDeep));
+        let percents = format!("1{}", "%".repeat(10_000));
+        assert_eq!(parse(&percents), Err(EngineError::FormulaTooDeep));
+        let negs = format!("{}1", "-".repeat(10_000));
+        assert_eq!(parse(&negs), Err(EngineError::FormulaTooDeep));
+    }
+
+    #[test]
+    fn near_limit_depth_still_parses() {
+        let deep = format!("{}1{}", "(".repeat(400), ")".repeat(400));
+        assert!(parse(&deep).is_ok());
+        let chain = format!("1{}", "+1".repeat(400));
+        assert!(parse(&chain).is_ok());
+        // The counter must unwind correctly between sibling subtrees: many
+        // shallow arguments in sequence stay far below the limit even when
+        // their total node count is large.
+        let args = vec!["(1+2)"; 300].join(",");
+        assert!(parse(&format!("SUM({args})")).is_ok());
     }
 
     #[test]

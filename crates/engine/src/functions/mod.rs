@@ -260,7 +260,7 @@ pub(crate) mod testutil {
     use crate::meter::Meter;
 
     /// Evaluates a formula against a fixture matrix built from rows.
-    pub fn eval_on(rows: Vec<Vec<Value>>, src: &str) -> Value {
+    pub(crate) fn eval_on(rows: Vec<Vec<Value>>, src: &str) -> Value {
         let m = ValueMatrix::new(rows);
         let meter = Meter::new();
         let ctx = EvalCtx::new(&m, &meter, CellAddr::new(0, 25));
@@ -268,17 +268,17 @@ pub(crate) mod testutil {
     }
 
     /// Evaluates a formula against an empty sheet.
-    pub fn eval_empty(src: &str) -> Value {
+    pub(crate) fn eval_empty(src: &str) -> Value {
         eval_on(Vec::new(), src)
     }
 
     /// Number helper.
-    pub fn n(x: f64) -> Value {
+    pub(crate) fn n(x: f64) -> Value {
         Value::Number(x)
     }
 
     /// Text helper.
-    pub fn t(s: &str) -> Value {
+    pub(crate) fn t(s: &str) -> Value {
         Value::text(s)
     }
 }

@@ -37,7 +37,10 @@
 //! assert_eq!(sheet.value(CellAddr::parse("B1").unwrap()), Value::Number(42.0));
 //! ```
 
+#![deny(rust_2018_idioms, unreachable_pub)]
+
 pub mod addr;
+pub mod analyze;
 pub mod audit;
 pub mod cell;
 pub mod compile;
@@ -69,6 +72,7 @@ pub use crate::sheet::Sheet;
 /// Convenient re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::addr::{CellAddr, CellRef, Range};
+    pub use crate::analyze::{self, Analysis, ReadSet, TemplateReport, TySet};
     pub use crate::cell::{Cell, CellContent, Formula};
     pub use crate::compile::EvalBackend;
     pub use crate::error::{CellError, EngineError};

@@ -627,7 +627,7 @@ mod tests {
     }
 
     #[test]
-    fn program_cache_invalidates_on_formula_edit_and_rebuild() {
+    fn program_cache_invalidation_is_fact_gated() {
         let mut s = Sheet::new();
         s.set_recalc_options(with_backend(EvalBackend::Compiled));
         s.set_value(a("A1"), 2);
@@ -639,15 +639,45 @@ mod tests {
         recalc_from(&mut s, &[a("A1")]);
         assert_eq!(s.value(a("B1")), Value::Number(15.0));
         assert_eq!(s.program_cache().misses(), 1);
-        // Editing a formula clears the cache; the next pass recompiles.
+        // Editing a formula drops only B1's memo entry; the old template
+        // stays ground truth and the new one compiles alongside it.
         s.set_formula_str(a("B1"), "=A1*4").unwrap();
-        assert!(s.program_cache().is_empty());
+        assert_eq!(s.program_cache().len(), 1);
+        assert_eq!(s.program_cache().memo_len(), 0);
         recalc_all(&mut s);
         assert_eq!(s.value(a("B1")), Value::Number(20.0));
-        assert_eq!(s.program_cache().len(), 1);
-        // Structural rebuilds (sort/insert/delete paths) clear it too.
+        assert_eq!(s.program_cache().len(), 2);
+        assert_eq!(s.program_cache().misses(), 2);
+        // Structural rebuilds void the memo but keep pure templates: the
+        // next full pass answers entirely from the template map.
         s.rebuild_deps();
-        assert!(s.program_cache().is_empty());
+        assert_eq!(s.program_cache().len(), 2);
+        assert_eq!(s.program_cache().memo_len(), 0);
+        recalc_all(&mut s);
+        assert_eq!(s.value(a("B1")), Value::Number(20.0));
+        assert_eq!(s.program_cache().misses(), 2, "rebuild must not recompile pure templates");
+    }
+
+    /// The ISSUE-5 satellite regression: editing one cell of a fill-down
+    /// column recompiles exactly one template — the other 49 instances
+    /// never leave the cache.
+    #[test]
+    fn fill_down_edit_recompiles_exactly_one_template() {
+        let mut s = Sheet::new();
+        s.set_recalc_options(with_backend(EvalBackend::Compiled));
+        for row in 0..50u32 {
+            s.set_value(CellAddr::new(row, 0), i64::from(row));
+            s.set_formula_str(CellAddr::new(row, 1), &format!("=A{}*2", row + 1)).unwrap();
+        }
+        recalc_all(&mut s);
+        assert_eq!(s.program_cache().len(), 1, "fill-down is one template");
+        assert_eq!(s.program_cache().misses(), 1);
+        // Edit one instance to a new template.
+        s.set_formula_str(a("B25"), "=A25*2+1").unwrap();
+        recalc_all(&mut s);
+        assert_eq!(s.value(a("B25")), Value::Number(49.0));
+        assert_eq!(s.program_cache().len(), 2);
+        assert_eq!(s.program_cache().misses(), 2, "exactly one new compile");
     }
 
     #[test]

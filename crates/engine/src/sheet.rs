@@ -40,9 +40,11 @@ pub struct Sheet {
     /// Executor knobs used by `recalc_all` / `recalc_from`.
     recalc_opts: RecalcOptions,
     /// Compiled-backend program cache, keyed by R1C1 template. Programs
-    /// are pure functions of their key, so the cache can never go stale;
-    /// it is cleared on formula edits and dependency rebuilds only to
-    /// bound growth.
+    /// are pure functions of their key, so template entries can never go
+    /// stale; only the per-address memo tracks sheet state. Formula edits
+    /// drop the edited address's memo entry (`invalidate_addr`);
+    /// dependency rebuilds clear the memo but keep pure templates
+    /// (`retain_pure`), guided by the `analyze` facts on each program.
     programs: ProgramCache,
 }
 
@@ -214,9 +216,10 @@ impl Sheet {
         self.meter.tick(Primitive::CellWrite);
         if self.deps.contains(addr) {
             self.deps.remove(addr);
-            // A formula was overwritten; value edits into value cells keep
-            // the cache warm (the BCT incremental workloads).
-            self.programs.clear();
+            // A formula was overwritten: only this address's template
+            // binding is stale. Value edits into value cells skip even
+            // that (the BCT incremental workloads stay fully warm).
+            self.programs.invalidate_addr(addr);
         }
         let cell = self.grid.cell_mut(addr);
         cell.content = CellContent::Value(v.into());
@@ -227,7 +230,10 @@ impl Sheet {
         self.meter.tick(Primitive::CellWrite);
         self.deps.add(addr, &expr);
         self.grid.set(addr, Cell::formula(expr));
-        self.programs.clear();
+        // The new formula may normalize to a different template; every
+        // other cell's memo entry is untouched, so a fill-down edit
+        // recompiles at most the one new template.
+        self.programs.invalidate_addr(addr);
     }
 
     /// Parses and installs `src` (with or without a leading `=`),
@@ -382,7 +388,10 @@ impl Sheet {
     /// structural changes).
     pub fn rebuild_deps(&mut self) {
         self.deps.clear();
-        self.programs.clear();
+        // Addresses were reshuffled wholesale, so the per-address memo is
+        // void — but pure templates are still valid for whatever cell
+        // instantiates them next.
+        self.programs.retain_pure();
         let Some(range) = self.used_range() else { return };
         let mut formulas: Vec<(CellAddr, Expr)> = Vec::new();
         self.grid.for_each_in_range(range, &mut |addr, cell| {

@@ -1,6 +1,7 @@
-//! Differential fuzzer (DESIGN.md §9).
+//! Differential fuzzer (DESIGN.md §9) and static-verification driver
+//! (DESIGN.md §11).
 //!
-//! Two modes, one binary:
+//! Modes, one binary:
 //!
 //! * `fuzz --seed N [--ops M] [--shrink] [--corpus DIR]` — generate a
 //!   seeded op sequence, replay it across the full configuration matrix,
@@ -9,10 +10,15 @@
 //! * `fuzz replay [--corpus DIR]` — replay every `*.json` script in the
 //!   corpus; exit 1 if any fails. This is the regression mode
 //!   `scripts/check.sh` and the `corpus_replay` test run.
+//! * `fuzz [replay] --verify` — instead of the differential matrix, run
+//!   the static analyzer over the sheet after every op: bytecode
+//!   verification plus dep-graph read-set coverage for every template
+//!   (`engine::analyze::check_sheet`). `--analyze` additionally prints
+//!   the per-template facts (stack depth, type, volatility, read-set).
 
 use std::path::{Path, PathBuf};
 
-use ssbench_harness::oracle::{check_script, gen, shrink, Script};
+use ssbench_harness::oracle::{check_script, gen, shrink, verify_script, Script};
 use ssbench_harness::CliArgs;
 
 fn main() {
@@ -20,14 +26,66 @@ fn main() {
     let corpus: PathBuf =
         cli.corpus.clone().unwrap_or_else(|| PathBuf::from("tests/corpus"));
 
-    let ok = if cli.selectors.iter().any(|s| s == "replay") {
-        replay_corpus(&corpus)
-    } else {
-        fuzz_once(&cli, &corpus)
+    let replay_mode = cli.selectors.iter().any(|s| s == "replay");
+    let ok = match (replay_mode, cli.verify) {
+        (true, false) => replay_corpus(&corpus),
+        (true, true) => verify_corpus(&cli, &corpus),
+        (false, true) => {
+            let n_ops = cli.ops.unwrap_or(gen::DEFAULT_OPS);
+            let script = gen::generate(cli.cfg.seed, gen::DEFAULT_ROWS, n_ops);
+            verify_one(&cli, "generated", &script)
+        }
+        (false, false) => fuzz_once(&cli, &corpus),
     };
     if !ok {
         std::process::exit(1);
     }
+}
+
+/// Statically verifies one script; prints the template summary (and, with
+/// `--analyze`, every template's facts).
+fn verify_one(cli: &CliArgs, label: &str, script: &Script) -> bool {
+    match verify_script(script) {
+        Ok(reports) => {
+            let volatile = reports.iter().filter(|r| r.volatile).count();
+            let unbounded = reports.iter().filter(|r| !r.reads.is_bounded()).count();
+            eprintln!(
+                "fuzz: {label} verified — {} final template(s) ({volatile} volatile, \
+                 {unbounded} unbounded), every op-step proven",
+                reports.len(),
+            );
+            if cli.analyze {
+                for r in &reports {
+                    println!("{r}");
+                }
+            }
+            true
+        }
+        Err(f) => {
+            eprintln!("fuzz: {label} VERIFICATION FAILED: {f}");
+            false
+        }
+    }
+}
+
+/// Runs the static verifier over every corpus script (the check.sh sweep).
+fn verify_corpus(cli: &CliArgs, corpus: &Path) -> bool {
+    let scripts = match Script::load_dir(corpus) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fuzz: cannot load corpus: {e}");
+            return false;
+        }
+    };
+    if scripts.is_empty() {
+        eprintln!("fuzz: corpus {} is empty", corpus.display());
+        return false;
+    }
+    let mut ok = true;
+    for (path, script) in &scripts {
+        ok &= verify_one(cli, &path.display().to_string(), script);
+    }
+    ok
 }
 
 /// Generates one scripted sequence from the CLI seed and oracles it.

@@ -23,6 +23,11 @@ fuzz only:
   --ops N                   ops per generated sequence (default 200)
   --shrink                  on failure, delta-debug to a minimal script
   --corpus DIR              corpus directory (default tests/corpus)
+  --verify                  statically verify every template instead of
+                            differential replay (bytecode verifier +
+                            dep-graph soundness, engine::analyze)
+  --analyze                 like --verify, also print per-template facts
+                            (stack depth, type, volatility, read-set)
   replay                    replay every corpus script instead of fuzzing";
 
 /// Configuration for a benchmark run.
@@ -160,6 +165,13 @@ pub struct CliArgs {
     pub shrink: bool,
     /// Corpus directory for fuzz reproducers (`--corpus`).
     pub corpus: Option<PathBuf>,
+    /// Static verification mode (`--verify`, fuzz binary only): run the
+    /// analyzer's bytecode + dep-graph proofs over every template instead
+    /// of the differential matrix.
+    pub verify: bool,
+    /// Like `verify`, but also print the per-template analysis facts
+    /// (`--analyze`).
+    pub analyze: bool,
     /// Positional figure ids (`fig3`, …); empty = everything.
     pub selectors: Vec<String>,
 }
@@ -176,6 +188,8 @@ impl CliArgs {
             ops: None,
             shrink: false,
             corpus: None,
+            verify: false,
+            analyze: false,
             selectors: Vec::new(),
         };
         let mut it = rest.iter();
@@ -196,6 +210,11 @@ impl CliArgs {
                     );
                 }
                 "--shrink" => cli.shrink = true,
+                "--verify" => cli.verify = true,
+                "--analyze" => {
+                    cli.verify = true;
+                    cli.analyze = true;
+                }
                 "--corpus" => {
                     let dir =
                         it.next().ok_or_else(|| "--corpus needs a directory".to_owned())?;
@@ -317,6 +336,17 @@ mod tests {
         assert_eq!(cli.ops, Some(50));
         assert!(cli.shrink);
         assert_eq!(cli.corpus.as_deref(), Some(std::path::Path::new("tests/corpus")));
+        assert_eq!(cli.selectors, vec!["replay"]);
+        assert!(!cli.verify && !cli.analyze);
+    }
+
+    #[test]
+    fn cli_args_parse_verify_flags() {
+        let cli = CliArgs::parse(&argv(&["--verify"])).unwrap();
+        assert!(cli.verify && !cli.analyze);
+        // --analyze implies --verify.
+        let cli = CliArgs::parse(&argv(&["--analyze", "replay"])).unwrap();
+        assert!(cli.verify && cli.analyze);
         assert_eq!(cli.selectors, vec!["replay"]);
     }
 }

@@ -20,6 +20,8 @@
 //! `--scale F`, `--trials N`, `--paper-protocol`, `--quick`, `--seed N`,
 //! `--out DIR`.
 
+#![deny(rust_2018_idioms, unreachable_pub)]
+
 pub mod bct;
 pub mod chart;
 pub mod config;

@@ -16,5 +16,5 @@ pub mod runner;
 pub mod script;
 pub mod shrink;
 
-pub use runner::{check_script, matrix, Failure, OracleConfig};
+pub use runner::{check_script, matrix, verify_script, Failure, OracleConfig};
 pub use script::{Script, ScriptOp};

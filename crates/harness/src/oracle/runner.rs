@@ -19,6 +19,7 @@ use std::fmt;
 use std::sync::Mutex;
 
 use ssbench_engine::addr::{CellAddr, Range};
+use ssbench_engine::analyze::{self, TemplateReport};
 use ssbench_engine::audit;
 use ssbench_engine::compile::EvalBackend;
 use ssbench_engine::eval::LookupStrategy;
@@ -399,9 +400,13 @@ fn apply_script_op(sheet: &mut Sheet, op: &ScriptOp) -> Result<(String, Dirty), 
 }
 
 /// Per-op invariants: the configured layout and recalc options must
-/// survive every op (the restructure-layout-reset bug class), and the
-/// grid and dep graph must audit clean (the non-finite-coercion and
-/// stale-edge bug classes).
+/// survive every op (the restructure-layout-reset bug class), the grid and
+/// dep graph must audit clean (the non-finite-coercion and stale-edge bug
+/// classes), and every formula template must pass the static analyzer —
+/// bytecode verification plus dep-graph read-set coverage
+/// ([`ssbench_engine::analyze::check_sheet`]). Running the static pass
+/// here means every template the 48-config matrix or a fuzz run ever
+/// compiles is proven, not just spot-checked.
 fn check_invariants(
     sheet: &Sheet,
     config: OracleConfig,
@@ -427,7 +432,34 @@ fn check_invariants(
             config.lookup
         ));
     }
-    audit::check_all(sheet)
+    audit::check_all(sheet)?;
+    analyze::check_sheet(sheet).map(|_| ())
+}
+
+/// Replays `script` on the reference configuration and statically
+/// verifies the sheet after every op, collecting the per-template facts.
+/// This is the `fuzz --verify` / `--analyze` entry point: unlike
+/// [`check_script`], it runs one configuration and returns the final
+/// sheet's [`TemplateReport`]s for display.
+pub fn verify_script(script: &Script) -> Result<Vec<TemplateReport>, Failure> {
+    let config = matrix()[0];
+    let fail = |op_index: Option<usize>, detail: String| Failure {
+        config: config.label(),
+        op_index,
+        detail,
+    };
+    let mut sheet = gen::build_workbook(script, config.layout);
+    recalc::recalc_all(&mut sheet);
+    let mut reports =
+        analyze::check_sheet(&sheet).map_err(|e| fail(None, e))?;
+    for (i, op) in script.ops.iter().enumerate() {
+        let (_, dirty) = apply_script_op(&mut sheet, op).map_err(|e| fail(Some(i), e))?;
+        if !matches!(dirty, Dirty::None) {
+            recalc::recalc_all(&mut sheet);
+        }
+        reports = analyze::check_sheet(&sheet).map_err(|e| fail(Some(i), e))?;
+    }
+    Ok(reports)
 }
 
 /// FNV-1a digest of every stored value (bit-exact for numbers) plus the

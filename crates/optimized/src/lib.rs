@@ -24,6 +24,8 @@
 //! implementations whose complexity improvements the ablation benches
 //! measure directly.
 
+#![deny(rust_2018_idioms, unreachable_pub)]
+
 pub mod columnar;
 pub mod engine;
 pub mod incremental;

@@ -16,6 +16,8 @@
 //! [`SimSystem`] is the run-time face: it executes BCT/OOT operations
 //! against real sheets and returns `(result, simulated_ms)` pairs.
 
+#![deny(rust_2018_idioms, unreachable_pub)]
+
 pub mod calibration;
 pub mod cost;
 pub mod op;

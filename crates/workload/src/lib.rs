@@ -9,6 +9,8 @@
 //! smaller dataset is always a prefix of a larger one and every run of the
 //! benchmark sees identical data.
 
+#![deny(rust_2018_idioms, unreachable_pub)]
+
 pub mod datasets;
 pub mod schema;
 pub mod weather;

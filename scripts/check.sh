@@ -7,8 +7,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release (warnings are errors)"
-RUSTFLAGS="-D warnings" cargo build --release
+echo "==> cargo build --release --workspace (warnings are errors)"
+# --workspace: the root manifest is a package, so a bare build would skip
+# the member crates' bin targets (bct, fuzz) the later stages execute.
+RUSTFLAGS="-D warnings" cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q
@@ -41,10 +43,20 @@ done
 echo "==> corpus replay"
 ./target/release/fuzz replay --corpus tests/corpus
 
+# Static verifier sweep (DESIGN.md §11): replay every corpus script and,
+# after every op, run bytecode verification plus the dep-graph read-set
+# coverage proof over every template on the sheet. Exits non-zero on the
+# first template whose bytecode fails to verify or whose registered
+# precedents do not cover its static read-set.
+echo "==> corpus static verification (bytecode + dep-graph soundness)"
+./target/release/fuzz replay --verify --corpus tests/corpus
+
 # Compiled-backend ablation (DESIGN.md §10): interpreter vs bytecode vs
 # bytecode+kernels on the 100k-row fill-down aggregate column. The bench
 # binary writes the median ns/cell baseline per backend to BENCH_eval.json
-# and exits non-zero if compiled+kernels falls below the 3x speedup bar.
+# and exits non-zero if compiled+kernels falls below the 3x speedup bar,
+# or if the verified VM (stack pre-reserved to the proven bound) is more
+# than 1% slower than the same programs with the bound stripped.
 echo "==> ablation_compile baseline (writes BENCH_eval.json)"
 BENCH_EVAL_JSON="$PWD/BENCH_eval.json" cargo bench -p ssbench-bench --bench ablation_compile
 test -s BENCH_eval.json || { echo "missing BENCH_eval.json" >&2; exit 1; }
