@@ -326,6 +326,16 @@ impl ReadSet {
     pub fn is_bounded(&self) -> bool {
         matches!(self, ReadSet::Windows(_))
     }
+
+    /// The bounded windows, when there are any — the handle the
+    /// structural memo-retention paths use to prove an edit left a
+    /// template instance's precedents untouched.
+    pub fn windows(&self) -> Option<&[RangeSpec]> {
+        match self {
+            ReadSet::Windows(ws) => Some(ws),
+            ReadSet::Unbounded => None,
+        }
+    }
 }
 
 impl fmt::Display for ReadSet {

@@ -63,9 +63,13 @@ pub enum EvalBackend {
     /// The tree-walking interpreter (`eval::evaluate`) — the naive model
     /// the paper attributes to all three systems, and the reference
     /// semantics.
-    #[default]
     Interpreted,
-    /// The template-cached bytecode VM in this module.
+    /// The template-cached bytecode VM in this module — the default since
+    /// the 48-config oracle, the static verifier, and the corpus replay
+    /// pinned it bit-identical to the interpreter (values and meters).
+    /// Opt back out with `SSBENCH_EVAL_BACKEND=interp` or
+    /// [`crate::recalc::set_default_backend`].
+    #[default]
     Compiled,
 }
 
@@ -223,6 +227,49 @@ impl ProgramCache {
             .retain(|_, p| !p.is_volatile() && p.reads().is_bounded());
     }
 
+    /// The memoized program bound to `addr`, if any. Used by the
+    /// structural-edit paths to probe which bindings are candidates for
+    /// retention before the rebuild discards the memo.
+    pub fn memo_get(&self, addr: CellAddr) -> Option<Arc<Program>> {
+        self.by_addr.read().expect("program cache poisoned").get(&addr).cloned()
+    }
+
+    /// [`retain_pure`](ProgramCache::retain_pure) plus re-insertion of
+    /// memo bindings the caller proved still valid at their (possibly
+    /// moved) addresses — the structural memo-retention path. The caller
+    /// is responsible for the proof: each program's static read-set
+    /// windows must resolve at the new address to the same cells they
+    /// covered before the edit (see `Sheet::permute_rows` /
+    /// `ops::structure`).
+    pub(crate) fn retain_pure_with(&self, retained: Vec<(CellAddr, Arc<Program>)>) {
+        self.retain_pure();
+        let mut memo = self.by_addr.write().expect("program cache poisoned");
+        for (addr, prog) in retained {
+            memo.insert(addr, prog);
+        }
+    }
+
+    /// Rebuild-by-replacement adoption: copies every pure template from
+    /// `old` (the cache of the sheet a structural edit replaced) and
+    /// installs the proven-still-valid memo bindings, preserving the new
+    /// cache's hit/miss tallies. The insert-side edit hooks have already
+    /// run on `self`, so adoption must come last.
+    pub(crate) fn adopt_retained(&self, old: &ProgramCache, retained: Vec<(CellAddr, Arc<Program>)>) {
+        {
+            let theirs = old.map.read().expect("program cache poisoned");
+            let mut ours = self.map.write().expect("program cache poisoned");
+            for (key, prog) in theirs.iter() {
+                if !prog.is_volatile() && prog.reads().is_bounded() {
+                    ours.entry(key.clone()).or_insert_with(|| Arc::clone(prog));
+                }
+            }
+        }
+        let mut memo = self.by_addr.write().expect("program cache poisoned");
+        for (addr, prog) in retained {
+            memo.insert(addr, prog);
+        }
+    }
+
     /// Number of cached programs (distinct templates seen).
     pub fn len(&self) -> usize {
         self.map.read().expect("program cache poisoned").len()
@@ -273,7 +320,7 @@ mod tests {
         assert_eq!(EvalBackend::parse(" VM "), Some(EvalBackend::Compiled));
         assert_eq!(EvalBackend::parse("interp"), Some(EvalBackend::Interpreted));
         assert_eq!(EvalBackend::parse("turbo"), None);
-        assert_eq!(EvalBackend::default(), EvalBackend::Interpreted);
+        assert_eq!(EvalBackend::default(), EvalBackend::Compiled);
     }
 
     #[test]

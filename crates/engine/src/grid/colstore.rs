@@ -25,6 +25,34 @@ impl ColStore {
     pub fn column(&self, c: u32) -> Option<&[Cell]> {
         self.cols.get(c as usize).map(Vec::as_slice)
     }
+
+    /// Walks `range` clipped to the materialized extent, column-major,
+    /// feeding each cell to `f`. A single-row window — the layout-crossing
+    /// case for a column store — takes a strided fast path that hands
+    /// `f` a one-cell slice per column without re-slicing each full
+    /// column. Iteration order and clipping are identical to
+    /// [`Grid::for_each_in_range`].
+    #[inline]
+    pub(crate) fn scan_range<F: FnMut(&[Cell])>(&self, range: Range, f: &mut F) {
+        if self.cols.is_empty() || self.nrows == 0 {
+            return;
+        }
+        let r1 = range.end.row.min(self.nrows - 1);
+        let c1 = range.end.col.min(self.ncols() - 1);
+        if range.start.row > r1 || range.start.col > c1 {
+            return;
+        }
+        let (r0, c0) = (range.start.row as usize, range.start.col as usize);
+        if range.start.row == r1 {
+            for col in &self.cols[c0..=c1 as usize] {
+                f(std::slice::from_ref(&col[r0]));
+            }
+        } else {
+            for col in &self.cols[c0..=c1 as usize] {
+                f(&col[r0..=r1 as usize]);
+            }
+        }
+    }
 }
 
 impl Grid for ColStore {

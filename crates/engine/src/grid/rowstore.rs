@@ -23,6 +23,35 @@ impl RowStore {
     pub fn row(&self, r: u32) -> Option<&[Cell]> {
         self.rows.get(r as usize).map(Vec::as_slice)
     }
+
+    /// Walks `range` clipped to the materialized extent, row-major,
+    /// feeding each row's covered cells to `f` as one dense slice — the
+    /// caller's inner loop stays a plain slice walk. A single-column
+    /// window — the layout-crossing case for a row store — takes a
+    /// strided fast path that hands `f` a one-cell slice per row without
+    /// re-slicing each full row. Iteration order and clipping are
+    /// identical to [`Grid::for_each_in_range`].
+    #[inline]
+    pub(crate) fn scan_range<F: FnMut(&[Cell])>(&self, range: Range, f: &mut F) {
+        if self.rows.is_empty() || self.ncols == 0 {
+            return;
+        }
+        let r1 = range.end.row.min(self.nrows() - 1);
+        let c1 = range.end.col.min(self.ncols - 1);
+        if range.start.row > r1 || range.start.col > c1 {
+            return;
+        }
+        let (r0, c0) = (range.start.row as usize, range.start.col as usize);
+        if range.start.col == c1 {
+            for row in &self.rows[r0..=r1 as usize] {
+                f(std::slice::from_ref(&row[c0]));
+            }
+        } else {
+            for row in &self.rows[r0..=r1 as usize] {
+                f(&row[c0..=c1 as usize]);
+            }
+        }
+    }
 }
 
 impl Grid for RowStore {

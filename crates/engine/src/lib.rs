@@ -66,7 +66,7 @@ pub use crate::compile::EvalBackend;
 pub use crate::error::{CellError, EngineError};
 pub use crate::meter::{Counts, Meter, Primitive};
 pub use crate::ops::{Op, OpOutcome};
-pub use crate::recalc::{RecalcOptions, RecalcOptionsBuilder};
+pub use crate::recalc::{set_default_backend, EvalSession, RecalcOptions, RecalcOptionsBuilder};
 pub use crate::sheet::Sheet;
 
 /// Convenient re-exports for downstream crates and examples.
@@ -86,7 +86,7 @@ pub mod prelude {
         PivotAgg, PivotTable, SortKey, SortOrder,
     };
     pub use crate::recalc;
-    pub use crate::recalc::{RecalcOptions, RecalcOptionsBuilder};
+    pub use crate::recalc::{set_default_backend, EvalSession, RecalcOptions, RecalcOptionsBuilder};
     pub use crate::sheet::{Layout, Sheet};
     pub use crate::trace;
     pub use crate::style::{Color, Style};

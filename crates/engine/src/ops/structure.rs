@@ -8,10 +8,14 @@
 //! number, because a single change (adding a row) can lead to an update of
 //! the entire index."
 
+use std::sync::Arc;
+
 use crate::addr::{CellAddr, CellRef};
 use crate::cell::{Cell, CellContent};
+use crate::compile::Program;
 use crate::error::CellError;
 use crate::formula::ast::{Expr, RangeRef};
+use crate::formula::r1c1::{Axis as RefAxis, RefSpec};
 use crate::meter::Primitive;
 use crate::ops::Op;
 use crate::sheet::Sheet;
@@ -101,6 +105,56 @@ fn shift_expr(expr: &Expr, axis: Axis, at: u32, count: u32, insert: bool) -> Exp
     }
 }
 
+/// The structural memo-retention predicate: whether the program bound to
+/// the formula at `old` is still the right compilation after an
+/// insert/delete of `count` lines at `at` moves the formula to its new
+/// address. True when every static read window provably rides the edit
+/// without a rewrite that changes the R1C1 key:
+///
+/// * an **unmoved** formula keeps its key iff every window sits strictly
+///   before the edit point (`shift_expr` then touches none of its refs);
+/// * a **moved** formula keeps its key iff every window sits entirely at
+///   or past the band (so each ref shifts by exactly the formula's own
+///   delta) *and* its edit-axis corner specs are relative — an absolute
+///   coordinate gets renumbered by the shift, changing the key.
+///
+/// Windows that fail to resolve at `old`, and `Unbounded` read-sets,
+/// prove nothing and never retain.
+fn memo_survives_edit(
+    prog: &Program,
+    old: CellAddr,
+    axis: Axis,
+    at: u32,
+    count: u32,
+    insert: bool,
+) -> bool {
+    let Some(windows) = prog.reads().windows() else { return false };
+    let fc = match axis {
+        Axis::Row => old.row,
+        Axis::Col => old.col,
+    };
+    let band_end = if insert { at } else { at + count };
+    let moved = fc >= band_end;
+    let rel_on_axis = |spec: &RefSpec| match axis {
+        Axis::Row => matches!(spec.row, RefAxis::Rel(_)),
+        Axis::Col => matches!(spec.col, RefAxis::Rel(_)),
+    };
+    windows.iter().all(|w| {
+        let (Some(s), Some(e)) = (w.start.resolve(old), w.end.resolve(old)) else {
+            return false;
+        };
+        let (sc, ec) = match axis {
+            Axis::Row => (s.row, e.row),
+            Axis::Col => (s.col, e.col),
+        };
+        if moved {
+            sc.min(ec) >= band_end && rel_on_axis(&w.start) && rel_on_axis(&w.end)
+        } else {
+            sc.max(ec) < at
+        }
+    })
+}
+
 /// Applies a structural edit to the whole sheet: moves cells, rewrites
 /// every formula, and rebuilds the dependency graph. Charges one
 /// `CellMove` per relocated cell — exactly the O(total cells) cost that
@@ -118,6 +172,7 @@ pub(crate) fn restructure(sheet: &mut Sheet, axis: Axis, at: u32, count: u32, in
         (Axis::Col, false) => (nrows, ncols.saturating_sub(count.min(ncols.saturating_sub(at)))),
     };
     let mut moved: Vec<(CellAddr, Cell)> = Vec::new();
+    let mut retained: Vec<(CellAddr, Arc<Program>)> = Vec::new();
     for r in 0..nrows {
         for c in 0..ncols {
             let old = CellAddr::new(r, c);
@@ -138,6 +193,14 @@ pub(crate) fn restructure(sheet: &mut Sheet, axis: Axis, at: u32, count: u32, in
             }
             let mut cell = cell.clone();
             if let CellContent::Formula(f) = &mut cell.content {
+                // Probe the memo before the rewrite: a binding whose read
+                // windows provably ride the edit keeps its compiled
+                // program at the destination address.
+                if let Some(prog) = sheet.program_cache().memo_get(old) {
+                    if memo_survives_edit(&prog, old, axis, at, count, insert) {
+                        retained.push((new, prog));
+                    }
+                }
                 f.expr = shift_expr(&f.expr, axis, at, count, insert);
             }
             sheet.meter().tick(Primitive::CellMove);
@@ -176,6 +239,10 @@ pub(crate) fn restructure(sheet: &mut Sheet, axis: Axis, at: u32, count: u32, in
             }
         }
     }
+    // Adopt the old cache last: the re-insert loop's edit hooks have run
+    // against the fresh (empty) cache, so pure templates copy over and
+    // the proven memo bindings install without being invalidated again.
+    sheet.program_cache().adopt_retained(fresh.program_cache(), retained);
 }
 
 /// Inserts `count` blank rows before row `at` (0-based).
@@ -465,6 +532,101 @@ mod tests {
         assert_eq!(s.input_text(a("A3")), "=SUM(B1:C1)");
         recalc::recalc_all(&mut s);
         assert_eq!(s.value(a("A3")), Value::Number(7.0)); // 2+5
+    }
+
+    /// A compiled-backend fill-down fixture for the memo-retention tests:
+    /// values in A, `B{r} = A{r}*2` down the column, plus one absolute
+    /// formula and one whole-column aggregate.
+    fn compiled_filldown(n: u32) -> Sheet {
+        use crate::compile::EvalBackend;
+        use crate::recalc::RecalcOptions;
+
+        let mut s = Sheet::new();
+        s.set_recalc_options(RecalcOptions {
+            backend: EvalBackend::Compiled,
+            ..RecalcOptions::sequential()
+        });
+        for r in 0..n {
+            s.set_value(CellAddr::new(r, 0), i64::from(r + 1));
+            s.set_formula_str(CellAddr::new(r, 1), &format!("=A{}*2", r + 1)).unwrap();
+        }
+        recalc::recalc_all(&mut s);
+        s
+    }
+
+    #[test]
+    fn insert_rows_retains_memo_outside_the_band() {
+        let mut s = compiled_filldown(6);
+        s.set_formula_str(a("C1"), "=SUM($A$1:$A$2)").unwrap(); // windows before the band
+        s.set_formula_str(a("C5"), "=$A$6").unwrap(); // absolute ref past the band
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.program_cache().memo_len(), 8);
+
+        insert_rows(&mut s, 3, 1);
+        // B1–B3 are unmoved with windows before row 4; B4–B6 moved down
+        // with relative same-row windows; C1's absolute windows sit before
+        // the band. Only C5 drops: its absolute row coordinate is
+        // renumbered by the shift, which changes the template key.
+        assert_eq!(s.program_cache().memo_len(), 7);
+        recalc::recalc_all(&mut s);
+        // The rebuilt cache counts from zero; everything else was adopted,
+        // so the renumbered absolute template is the only compile.
+        assert_eq!(s.program_cache().misses(), 1, "only the renumbered template recompiles");
+        assert_eq!(s.value(a("B2")), Value::Number(4.0));
+        assert_eq!(s.value(a("B5")), Value::Number(8.0)); // old B4, shifted
+        assert_eq!(s.value(a("C1")), Value::Number(3.0));
+        assert_eq!(s.value(a("C6")), Value::Number(6.0)); // =$A$7
+    }
+
+    #[test]
+    fn delete_rows_retains_memo_and_drops_straddlers() {
+        let mut s = compiled_filldown(8);
+        s.set_formula_str(a("C8"), "=SUM(A1:A8)").unwrap(); // straddles any interior band
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.program_cache().memo_len(), 9);
+
+        delete_rows(&mut s, 3, 2); // rows 4–5 die
+        // B1–B3 unmoved (windows before row 4); old B6–B8 moved up with
+        // same-row windows past the band; the two in-band bindings die
+        // with their cells; the straddling SUM's window overlaps the band
+        // (its refs get clipped), so it must drop.
+        assert_eq!(s.program_cache().memo_len(), 6);
+        recalc::recalc_all(&mut s);
+        // The rebuilt cache counts from zero; only the clipped aggregate's
+        // rewritten template needs a compile.
+        assert_eq!(s.program_cache().misses(), 1, "only the clipped aggregate recompiles");
+        assert_eq!(s.value(a("B4")), Value::Number(12.0)); // old B6
+        assert_eq!(s.value(a("C6")), Value::Number(1.0 + 2.0 + 3.0 + 6.0 + 7.0 + 8.0));
+    }
+
+    #[test]
+    fn col_edits_retain_memo_symmetrically() {
+        use crate::compile::EvalBackend;
+        use crate::recalc::RecalcOptions;
+
+        // The row predicates mirrored onto the column axis: D1 = C1*2
+        // (window before nothing — same column, past the band once
+        // shifted), A3 = SUM(A1:A2) (window in column A, before the band).
+        let mut s = Sheet::new();
+        s.set_recalc_options(RecalcOptions {
+            backend: EvalBackend::Compiled,
+            ..RecalcOptions::sequential()
+        });
+        s.set_value(a("A1"), 1);
+        s.set_value(a("A2"), 2);
+        s.set_value(a("C1"), 5);
+        s.set_formula_str(a("A3"), "=SUM(A1:A2)").unwrap();
+        s.set_formula_str(a("D1"), "=C1*2").unwrap();
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.program_cache().memo_len(), 2);
+
+        insert_cols(&mut s, 1, 1); // new blank column B
+        // A3 stays (windows in column 0, before the band); D1 moves to E1
+        // with its relative window riding along.
+        assert_eq!(s.program_cache().memo_len(), 2);
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("A3")), Value::Number(3.0));
+        assert_eq!(s.value(a("E1")), Value::Number(10.0));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! wall-clock benchmarking, it does not change the modeled systems.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
 use crate::addr::CellAddr;
@@ -65,6 +66,13 @@ pub struct RecalcOptions {
     /// top); results and meter counts are identical either way. Ignored
     /// by the interpreter.
     pub kernels: bool,
+    /// Whether kernel-dispatched 1-D aggregates may slide a per-level
+    /// [`vm::DeltaCache`] across overlapping windows (the fill-down
+    /// `SUM(window)` shape) instead of rescanning each instance. Values
+    /// and meter counts are identical either way — the cache only answers
+    /// when it can reproduce the full scan exactly, and it always charges
+    /// full-window counts. An ablation knob; ignored without `kernels`.
+    pub delta: bool,
 }
 
 impl Default for RecalcOptions {
@@ -74,6 +82,7 @@ impl Default for RecalcOptions {
             threshold: 1024,
             backend: default_backend(),
             kernels: true,
+            delta: true,
         }
     }
 }
@@ -81,7 +90,13 @@ impl Default for RecalcOptions {
 impl RecalcOptions {
     /// The classic single-threaded executor.
     pub fn sequential() -> Self {
-        RecalcOptions { parallelism: 1, threshold: usize::MAX, backend: default_backend(), kernels: true }
+        RecalcOptions {
+            parallelism: 1,
+            threshold: usize::MAX,
+            backend: default_backend(),
+            kernels: true,
+            delta: true,
+        }
     }
 
     /// Default thresholds with an explicit worker count.
@@ -128,6 +143,14 @@ impl RecalcOptionsBuilder {
         self
     }
 
+    /// Enables or disables sliding-window delta aggregation (compiled
+    /// backend with kernels only; an ablation knob, not a correctness
+    /// one).
+    pub fn delta(mut self, on: bool) -> Self {
+        self.opts.delta = on;
+        self
+    }
+
     /// The finished options.
     pub fn build(self) -> RecalcOptions {
         self.opts
@@ -150,35 +173,60 @@ fn default_parallelism() -> usize {
     })
 }
 
-/// Backend used by `RecalcOptions::default()`: the `SSBENCH_EVAL_BACKEND`
-/// environment variable (`interp` / `compiled`) when set, otherwise the
-/// interpreter. Read once per process.
+/// Process-wide backend override set by [`set_default_backend`]:
+/// `0` = unset, `1` = interpreted, `2` = compiled.
+static BACKEND_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Overrides the backend `RecalcOptions::default()` resolves to, taking
+/// precedence over the `SSBENCH_EVAL_BACKEND` environment variable; pass
+/// `None` to clear the override. This is the supported way to switch
+/// backends after startup — the env var is re-read on every resolution,
+/// but tests and embedders should prefer the explicit override to
+/// mutating process environment.
+pub fn set_default_backend(backend: Option<EvalBackend>) {
+    let tag = match backend {
+        None => 0,
+        Some(EvalBackend::Interpreted) => 1,
+        Some(EvalBackend::Compiled) => 2,
+    };
+    BACKEND_OVERRIDE.store(tag, Ordering::Relaxed);
+}
+
+/// Backend used by `RecalcOptions::default()`: the [`set_default_backend`]
+/// override when set, else the `SSBENCH_EVAL_BACKEND` environment variable
+/// (`interp` / `compiled`), else [`EvalBackend::default`]. Resolved on
+/// every call — an earlier resolution never pins a stale env read the way
+/// the old `OnceLock` cache did.
 fn default_backend() -> EvalBackend {
-    static CACHE: OnceLock<EvalBackend> = OnceLock::new();
-    *CACHE.get_or_init(|| {
-        std::env::var("SSBENCH_EVAL_BACKEND")
-            .ok()
-            .and_then(|v| EvalBackend::parse(&v))
-            .unwrap_or_default()
-    })
+    match BACKEND_OVERRIDE.load(Ordering::Relaxed) {
+        1 => return EvalBackend::Interpreted,
+        2 => return EvalBackend::Compiled,
+        _ => {}
+    }
+    std::env::var("SSBENCH_EVAL_BACKEND")
+        .ok()
+        .and_then(|v| EvalBackend::parse(&v))
+        .unwrap_or_default()
 }
 
 /// Evaluates the formula at `addr` against the sheet's current state and
 /// returns its value; `None` when the cell is not a formula.
 pub fn eval_formula_at(sheet: &Sheet, addr: CellAddr) -> Option<Value> {
     let opts = sheet.recalc_options();
-    eval_formula_with(sheet, addr, sheet.meter(), opts.backend, opts.kernels)
+    eval_formula_with(sheet, addr, sheet.meter(), opts.backend, opts.kernels, None)
 }
 
 /// Like [`eval_formula_at`] but charging an arbitrary meter (the hook the
-/// parallel path uses to give each worker its own counter) and evaluating
-/// through an explicit backend.
+/// parallel path uses to give each worker its own counter), evaluating
+/// through an explicit backend, and optionally sliding a delta cache
+/// across overlapping aggregate windows.
 fn eval_formula_with(
     sheet: &Sheet,
     addr: CellAddr,
     meter: &Meter,
     backend: EvalBackend,
     kernels: bool,
+    delta: Option<&mut vm::DeltaCache>,
 ) -> Option<Value> {
     let expr = sheet.formula_expr(addr)?;
     let ctx = sheet.eval_ctx_with(addr, meter);
@@ -188,9 +236,43 @@ fn eval_formula_with(
         EvalBackend::Compiled => {
             let prog = sheet.program_cache().get_or_compile(expr, addr);
             let grid = if kernels { Some(sheet.grid_store()) } else { None };
-            vm::run(&prog, &ctx, grid)
+            vm::run_with(&prog, &ctx, grid, delta)
         }
     })
+}
+
+/// A stateful evaluation handle for driving formula-at-a-time evaluation
+/// over an *unchanging* sheet — the benchmark harness's eval-pass shape —
+/// carrying a [`vm::DeltaCache`] from call to call so consecutive
+/// overlapping aggregate windows slide instead of rescanning.
+///
+/// # Staleness contract
+///
+/// The cache assumes the cells under previously-evaluated windows have not
+/// changed. Writing to the sheet between calls voids that assumption —
+/// drop the session and start a new one after any mutation. (The recalc
+/// executor manages its own per-level caches; this type is for external
+/// drivers of [`eval_formula_at`]-style loops.)
+pub struct EvalSession<'a> {
+    sheet: &'a Sheet,
+    delta: vm::DeltaCache,
+}
+
+impl<'a> EvalSession<'a> {
+    /// A session over `sheet` using its configured [`RecalcOptions`].
+    pub fn new(sheet: &'a Sheet) -> EvalSession<'a> {
+        EvalSession { sheet, delta: vm::DeltaCache::new() }
+    }
+
+    /// Evaluates the formula at `addr`; `None` when the cell is not a
+    /// formula. Identical values and meter counts to
+    /// [`eval_formula_at`], potentially much faster on sliding windows.
+    pub fn eval(&mut self, addr: CellAddr) -> Option<Value> {
+        let opts = self.sheet.recalc_options();
+        let delta = (opts.backend == EvalBackend::Compiled && opts.kernels && opts.delta)
+            .then_some(&mut self.delta);
+        eval_formula_with(self.sheet, addr, self.sheet.meter(), opts.backend, opts.kernels, delta)
+    }
 }
 
 /// Executes a plan: evaluates level by level (each level parallel when the
@@ -232,14 +314,23 @@ fn run_plan(sheet: &mut Sheet, plan: &DirtyPlan, opts: RecalcOptions, pass: &'st
             sheet.meter(),
         );
         let fanout = if parallel { workers.min(level.len() / MIN_CHUNK).max(1) } else { 1 };
+        // One delta cache per level (per chunk on the parallel path): a
+        // level's stores can never land inside a same-level formula's
+        // static window — the dependency edge would have stratified them
+        // apart — so within a level the cache never goes stale.
+        let use_delta = opts.backend == EvalBackend::Compiled && opts.kernels && opts.delta;
         if fanout == 1 {
+            let mut cache = vm::DeltaCache::new();
             for &addr in level {
-                if let Some(v) = eval_formula_with(sheet, addr, sheet.meter(), opts.backend, opts.kernels) {
+                let delta = use_delta.then_some(&mut cache);
+                if let Some(v) =
+                    eval_formula_with(sheet, addr, sheet.meter(), opts.backend, opts.kernels, delta)
+                {
                     sheet.store_cached(addr, v);
                 }
             }
         } else {
-            run_level_parallel(sheet, level, fanout, opts.backend, opts.kernels);
+            run_level_parallel(sheet, level, fanout, opts.backend, opts.kernels, use_delta);
         }
         lspan.finish_metered(sheet.meter());
     }
@@ -275,6 +366,7 @@ fn run_level_parallel(
     fanout: usize,
     backend: EvalBackend,
     kernels: bool,
+    use_delta: bool,
 ) {
     let chunk_len = level.len().div_ceil(fanout);
     let shared: &Sheet = sheet;
@@ -286,10 +378,16 @@ fn run_level_parallel(
                 .map(|chunk| {
                     scope.spawn(move || {
                         let local = Meter::new();
+                        // Per-chunk delta cache: the delta path is
+                        // value- and meter-identical to a full scan, so
+                        // chunk boundaries cost only warm-up, never
+                        // determinism.
+                        let mut cache = vm::DeltaCache::new();
                         let results: Vec<(CellAddr, Value)> = chunk
                             .iter()
                             .filter_map(|&addr| {
-                                eval_formula_with(shared, addr, &local, backend, kernels)
+                                let delta = use_delta.then_some(&mut cache);
+                                eval_formula_with(shared, addr, &local, backend, kernels, delta)
                                     .map(|v| (addr, v))
                             })
                             .collect();
@@ -678,6 +776,91 @@ mod tests {
         assert_eq!(s.value(a("B25")), Value::Number(49.0));
         assert_eq!(s.program_cache().len(), 2);
         assert_eq!(s.program_cache().misses(), 2, "exactly one new compile");
+    }
+
+    #[test]
+    fn default_backend_override_is_not_pinned() {
+        // Regression for the OnceLock bug: the first resolution used to be
+        // cached process-wide, so a later override (or env change) was
+        // silently ignored. Both backends are value- and meter-identical,
+        // so the transient global flip is outcome-neutral for any test
+        // resolving defaults concurrently.
+        set_default_backend(Some(EvalBackend::Interpreted));
+        assert_eq!(RecalcOptions::default().backend, EvalBackend::Interpreted);
+        set_default_backend(Some(EvalBackend::Compiled));
+        assert_eq!(RecalcOptions::default().backend, EvalBackend::Compiled);
+        assert_eq!(RecalcOptions::sequential().backend, EvalBackend::Compiled);
+        set_default_backend(None);
+        assert_eq!(
+            RecalcOptions::builder().delta(false).build().backend,
+            EvalBackend::default()
+        );
+    }
+
+    #[test]
+    fn delta_aggregation_matches_interpreter_and_non_delta() {
+        let n = 400;
+        let mut interp = wide_dag_sheet(n, with_backend(EvalBackend::Interpreted));
+        let mut plain = wide_dag_sheet(
+            n,
+            RecalcOptions { delta: false, ..with_backend(EvalBackend::Compiled) },
+        );
+        let mut delta = wide_dag_sheet(n, with_backend(EvalBackend::Compiled));
+        let si = recalc_all(&mut interp);
+        let sp = recalc_all(&mut plain);
+        let sd = recalc_all(&mut delta);
+        assert_eq!(si, sp);
+        assert_eq!(si, sd);
+        for row in 0..n {
+            for col in 1..3 {
+                let addr = CellAddr::new(row, col);
+                assert_eq!(interp.value(addr), delta.value(addr), "{addr:?}");
+                assert_eq!(plain.value(addr), delta.value(addr), "{addr:?}");
+            }
+        }
+        assert_eq!(interp.value(a("D1")), delta.value(a("D1")));
+        // The exactness contract: the sliding path charges full-window
+        // counts, so all three meters agree bit-for-bit.
+        assert_eq!(interp.meter().snapshot(), delta.meter().snapshot());
+        assert_eq!(plain.meter().snapshot(), delta.meter().snapshot());
+
+        // And again over a dirty pass.
+        for s in [&mut interp, &mut plain, &mut delta] {
+            s.set_value(a("A5"), 1000);
+        }
+        assert_eq!(
+            recalc_from(&mut interp, &[a("A5")]),
+            recalc_from(&mut delta, &[a("A5")])
+        );
+        recalc_from(&mut plain, &[a("A5")]);
+        for row in 0..n {
+            let addr = CellAddr::new(row, 2);
+            assert_eq!(interp.value(addr), delta.value(addr), "{addr:?}");
+        }
+        assert_eq!(interp.meter().snapshot(), delta.meter().snapshot());
+        assert_eq!(plain.meter().snapshot(), delta.meter().snapshot());
+    }
+
+    #[test]
+    fn eval_session_matches_one_shot_eval() {
+        let n = 300;
+        let mut s = wide_dag_sheet(n, with_backend(EvalBackend::Compiled));
+        recalc_all(&mut s);
+        // A session carries the delta cache across calls; values and meter
+        // charges must nonetheless match the one-shot path exactly.
+        let mut session = EvalSession::new(&s);
+        for row in 0..n {
+            let addr = CellAddr::new(row, 2);
+            let before = s.meter().snapshot();
+            let one = eval_formula_at(&s, addr);
+            let one_counts = s.meter().snapshot().since(&before);
+            let before = s.meter().snapshot();
+            let via = session.eval(addr);
+            let via_counts = s.meter().snapshot().since(&before);
+            assert_eq!(one, via, "row {row}");
+            assert_eq!(one_counts, via_counts, "row {row}");
+        }
+        assert_eq!(session.eval(a("A1")), None, "values are not formulas");
     }
 
     #[test]

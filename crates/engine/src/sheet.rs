@@ -360,18 +360,37 @@ impl Sheet {
             }
             self.hidden = hidden;
         }
-        // Rewrite relative references of every moved formula.
+        // Rewrite relative references of every moved formula, probing the
+        // program memo as we go: a binding survives the permutation when
+        // every window of its program's static read-set resolves at the
+        // destination address — then `normalize(adjusted(e, old, new),
+        // new) == normalize(e, old)`, the R1C1 key is unchanged, and the
+        // compiled program (a pure function of that key) is still the
+        // right one. Unmoved formulas pass trivially: windows anchored at
+        // an address always resolve there.
+        let mut retained: Vec<(CellAddr, std::sync::Arc<crate::compile::Program>)> = Vec::new();
         for (new_row, &old_row) in perm.iter().enumerate() {
             let new_row = new_row as u32;
-            if new_row == old_row {
-                continue;
-            }
             for col in 0..self.ncols() {
                 let addr = CellAddr::new(new_row, col);
+                if !matches!(
+                    self.grid.get(addr).map(|c| &c.content),
+                    Some(CellContent::Formula(_))
+                ) {
+                    continue;
+                }
+                if let Some(prog) = self.programs.memo_get(CellAddr::new(old_row, col)) {
+                    if windows_resolve_at(prog.reads(), addr) {
+                        retained.push((addr, prog));
+                    }
+                }
+                if new_row == old_row {
+                    continue;
+                }
                 let adjusted = match &self.grid.get(addr).map(|c| &c.content) {
-                    Some(CellContent::Formula(f)) => Some(
-                        f.expr.adjusted(CellAddr::new(old_row, col), addr),
-                    ),
+                    Some(CellContent::Formula(f)) => {
+                        Some(f.expr.adjusted(CellAddr::new(old_row, col), addr))
+                    }
                     _ => None,
                 };
                 if let Some(expr) = adjusted {
@@ -381,17 +400,29 @@ impl Sheet {
                 }
             }
         }
-        self.rebuild_deps();
+        self.rebuild_deps_retaining(retained);
     }
 
     /// Rebuilds the dependency graph by scanning the grid (used after bulk
-    /// structural changes).
+    /// structural changes). Conservative: drops every per-address memo
+    /// entry (see [`rebuild_deps_retaining`](Sheet::rebuild_deps_retaining)
+    /// for the retention-aware variant structural ops use).
     pub fn rebuild_deps(&mut self) {
+        self.rebuild_deps_retaining(Vec::new());
+    }
+
+    /// [`rebuild_deps`](Sheet::rebuild_deps) plus re-installation of memo
+    /// bindings the caller proved survive the restructure (their programs'
+    /// read windows resolve unchanged at the retained addresses).
+    pub(crate) fn rebuild_deps_retaining(
+        &mut self,
+        retained: Vec<(CellAddr, std::sync::Arc<crate::compile::Program>)>,
+    ) {
         self.deps.clear();
-        // Addresses were reshuffled wholesale, so the per-address memo is
-        // void — but pure templates are still valid for whatever cell
-        // instantiates them next.
-        self.programs.retain_pure();
+        // Addresses were reshuffled wholesale, so the memo is void except
+        // for the proven bindings — and pure templates are still valid for
+        // whatever cell instantiates them next.
+        self.programs.retain_pure_with(retained);
         let Some(range) = self.used_range() else { return };
         let mut formulas: Vec<(CellAddr, Expr)> = Vec::new();
         self.grid.for_each_in_range(range, &mut |addr, cell| {
@@ -467,6 +498,21 @@ impl Sheet {
 impl Default for Sheet {
     fn default() -> Self {
         Sheet::new()
+    }
+}
+
+/// The memo-retention predicate: every window of a bounded read-set
+/// resolves at `at`. Read windows are derived one-per-reference, so
+/// resolution of every window corner is exactly the condition under which
+/// a moved formula's adjusted expression keeps its R1C1 normalization —
+/// and with it its compiled program. `Unbounded` proves nothing and never
+/// retains.
+pub(crate) fn windows_resolve_at(reads: &crate::analyze::ReadSet, at: CellAddr) -> bool {
+    match reads.windows() {
+        Some(ws) => {
+            ws.iter().all(|w| w.start.resolve(at).is_some() && w.end.resolve(at).is_some())
+        }
+        None => false,
     }
 }
 
@@ -591,6 +637,67 @@ mod tests {
         assert_eq!(s.value(a("B1")), Value::Number(40.0));
         // Its value is unchanged by the sort — §6's relative-reference
         // invariance.
+    }
+
+    #[test]
+    fn permute_retains_memo_for_window_stable_templates() {
+        use crate::compile::EvalBackend;
+        use crate::recalc::RecalcOptions;
+
+        let mut s = Sheet::new();
+        s.set_recalc_options(RecalcOptions {
+            backend: EvalBackend::Compiled,
+            ..RecalcOptions::sequential()
+        });
+        for r in 0..8u32 {
+            s.set_value(CellAddr::new(r, 0), i64::from(r + 1));
+            s.set_formula_str(CellAddr::new(r, 1), &format!("=A{}*2", r + 1)).unwrap();
+        }
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.program_cache().memo_len(), 8);
+        let misses = s.program_cache().misses();
+        // Reverse the rows: every formula's same-row window resolves at
+        // its destination, so every memo binding rides the sort.
+        let perm: Vec<u32> = (0..8).rev().collect();
+        s.permute_rows(&perm);
+        assert_eq!(s.program_cache().memo_len(), 8, "same-row templates survive a sort");
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.program_cache().misses(), misses, "a sort must not recompile");
+        for r in 0..8u32 {
+            assert_eq!(
+                s.value(CellAddr::new(r, 1)),
+                Value::Number(f64::from((8 - r) * 2)),
+                "row {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn permute_drops_memo_when_windows_break() {
+        use crate::compile::EvalBackend;
+        use crate::recalc::RecalcOptions;
+
+        let mut s = Sheet::new();
+        s.set_recalc_options(RecalcOptions {
+            backend: EvalBackend::Compiled,
+            ..RecalcOptions::sequential()
+        });
+        s.set_value(a("A1"), 1);
+        s.set_value(a("A2"), 2);
+        s.set_value(a("A3"), 3);
+        // Both reference the *previous* row.
+        s.set_formula_str(a("B2"), "=A1*2").unwrap();
+        s.set_formula_str(a("B3"), "=A2*2").unwrap();
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.program_cache().memo_len(), 2);
+        // Old row 2 (B2) moves to the top: its previous-row window walks
+        // off the sheet, so that binding must drop; unmoved B3 survives.
+        s.permute_rows(&[1, 0, 2]);
+        assert_eq!(s.program_cache().memo_len(), 1);
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("B1")), Value::Error(crate::error::CellError::Ref));
+        // B3 still reads the row above it, which now holds old A1's 1.
+        assert_eq!(s.value(a("B3")), Value::Number(2.0));
     }
 
     #[test]

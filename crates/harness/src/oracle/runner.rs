@@ -247,6 +247,11 @@ fn replay(script: &Script, config: OracleConfig) -> Result<Replay, Failure> {
         // tuning is a performance knob, not a correctness one.
         threshold: if config.parallelism > 1 { 1 } else { RecalcOptions::default().threshold },
         backend: config.backend,
+        // Deliberately pinned on (the `..default()` would do it too): the
+        // compiled half of the matrix must exercise the kernel and
+        // window-delta paths, which claim bit-exact values *and* meters.
+        kernels: true,
+        delta: true,
         ..RecalcOptions::default()
     };
     let mut sheet = gen::build_workbook(script, config.layout);

@@ -573,3 +573,148 @@ proptest! {
         prop_assert_eq!(interp.meter().snapshot(), vm.meter().snapshot());
     }
 }
+
+// ---------------------------------------------------------------------
+// Strided kernels and window-delta aggregation
+// ---------------------------------------------------------------------
+
+/// Cell fillings for the aggregation differentials: integers, awkward
+/// numbers (fractions, the 2^53 exactness boundary), text, booleans, a
+/// sometimes-erroring formula, and gaps.
+fn fill_agg_cell(s: &mut Sheet, addr: CellAddr, tag: u8, v: i64) {
+    match tag % 9 {
+        0..=2 => s.set_value(addr, v),
+        3 => s.set_value(addr, v as f64 + 0.5),
+        4 => s.set_value(addr, (1i64 << 53) as f64 + v as f64),
+        5 => s.set_value(addr, format!("t{v}")),
+        6 => s.set_value(addr, v % 2 == 0),
+        7 => s.set_formula_str(addr, &format!("=1/{}", v.rem_euclid(2))).unwrap(),
+        _ => {} // leave empty
+    }
+}
+
+/// Numbers must match bit for bit (the backends claim `-0.0` vs `0.0`
+/// agreement, which plain `PartialEq` on `Value` would not catch).
+fn assert_value_bits(a: &Value, b: &Value, what: &str) -> Result<(), TestCaseError> {
+    if let (Value::Number(x), Value::Number(y)) = (a, b) {
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "{} number bits", what);
+    }
+    prop_assert_eq!(a, b, "{}", what);
+    Ok(())
+}
+
+const AGG_FUNCS: [&str; 5] = ["SUM", "COUNT", "AVERAGE", "MIN", "MAX"];
+
+proptest! {
+    /// The strided range kernels are observationally identical to the
+    /// interpreter on both grid layouts and both 1-D range orientations
+    /// (plus 2-D blocks): same value for every aggregate and the same
+    /// meter counts, tick for tick.
+    #[test]
+    fn strided_kernels_match_interpreter_across_layouts(
+        cells in prop::collection::vec((0u8..9, -50i64..50), 36),
+        func in 0usize..5,
+        a in 0u32..6, b in 0u32..6, c in 0u32..6, d in 0u32..6,
+    ) {
+        let name = AGG_FUNCS[func];
+        let (r1, r2) = (a.min(b), a.max(b));
+        let (c1, c2) = (c.min(d), c.max(d));
+        let build = |layout: Layout, backend: EvalBackend| {
+            let mut s = Sheet::with_layout(layout, 0, 0);
+            s.set_recalc_options(RecalcOptions {
+                backend,
+                delta: false, // isolate the strided scans from the delta cache
+                ..RecalcOptions::sequential()
+            });
+            // A 6x6 mixed block; the aggregates live in column K, outside it.
+            for (i, &(tag, v)) in cells.iter().enumerate() {
+                fill_agg_cell(&mut s, CellAddr::new(i as u32 / 6, (i % 6) as u32), tag, v);
+            }
+            let vert = format!(
+                "={name}({}:{})",
+                CellAddr::new(r1, c1).to_a1(),
+                CellAddr::new(r2, c1).to_a1()
+            );
+            let horiz = format!(
+                "={name}({}:{})",
+                CellAddr::new(r1, c1).to_a1(),
+                CellAddr::new(r1, c2).to_a1()
+            );
+            let block = format!(
+                "={name}({}:{})",
+                CellAddr::new(r1, c1).to_a1(),
+                CellAddr::new(r2, c2).to_a1()
+            );
+            for (i, src) in [vert, horiz, block].iter().enumerate() {
+                s.set_formula_str(CellAddr::new(i as u32, 10), src).unwrap();
+            }
+            recalc::recalc_all(&mut s);
+            s
+        };
+        for layout in [Layout::RowMajor, Layout::ColumnMajor] {
+            let interp = build(layout, EvalBackend::Interpreted);
+            let vm = build(layout, EvalBackend::Compiled);
+            for i in 0..3u32 {
+                let addr = CellAddr::new(i, 10);
+                assert_value_bits(
+                    &interp.value(addr),
+                    &vm.value(addr),
+                    &format!("{layout:?} formula {i}"),
+                )?;
+            }
+            prop_assert_eq!(
+                interp.meter().snapshot(),
+                vm.meter().snapshot(),
+                "{:?} meters",
+                layout
+            );
+        }
+    }
+
+    /// Window-delta aggregation (the sliding cache behind fill-down
+    /// windows) is observationally identical to full rescans: the
+    /// interpreter, the compiled backend with delta off, and the
+    /// compiled backend with delta on agree on every value bit for bit
+    /// and on every meter count — including windows over text, booleans,
+    /// errors, empties, and numbers outside the exact-integer envelope.
+    #[test]
+    fn window_delta_matches_full_rescan(
+        cells in prop::collection::vec((0u8..9, -50i64..50), 20..60),
+        func in 0usize..5,
+        w in 1u32..8,
+    ) {
+        let name = AGG_FUNCS[func];
+        let n = cells.len() as u32;
+        let build = |opts: RecalcOptions| {
+            let mut s = Sheet::new();
+            s.set_recalc_options(opts);
+            for (i, &(tag, v)) in cells.iter().enumerate() {
+                fill_agg_cell(&mut s, CellAddr::new(i as u32, 0), tag, v);
+            }
+            // Column C: a trailing window of length w sliding down column A.
+            for r in 0..n {
+                let lo = r.saturating_sub(w - 1) + 1;
+                s.set_formula_str(
+                    CellAddr::new(r, 2),
+                    &format!("={name}(A{lo}:A{hi})", hi = r + 1),
+                )
+                .unwrap();
+            }
+            recalc::recalc_all(&mut s);
+            s
+        };
+        let base = RecalcOptions::sequential();
+        let interp = build(RecalcOptions { backend: EvalBackend::Interpreted, ..base });
+        let rescan =
+            build(RecalcOptions { backend: EvalBackend::Compiled, delta: false, ..base });
+        let delta = build(RecalcOptions { backend: EvalBackend::Compiled, ..base });
+        for r in 0..n {
+            let addr = CellAddr::new(r, 2);
+            let want = interp.value(addr);
+            assert_value_bits(&want, &rescan.value(addr), &format!("row {r} rescan"))?;
+            assert_value_bits(&want, &delta.value(addr), &format!("row {r} delta"))?;
+        }
+        prop_assert_eq!(interp.meter().snapshot(), rescan.meter().snapshot(), "rescan meters");
+        prop_assert_eq!(interp.meter().snapshot(), delta.meter().snapshot(), "delta meters");
+    }
+}
