@@ -232,8 +232,8 @@ fn memo_retention_ablation() -> (f64, f64, usize) {
         for _ in 0..3 {
             let (mut s, formulas) = fill_down_sheet(STRUCT_ROWS, RecalcOptions::sequential());
             recalc::recalc_all(&mut s); // warm templates + memo
-            sort_rows(&mut s, &[SortKey::desc(0)]);
-            insert_rows(&mut s, STRUCT_ROWS / 2, 1);
+            s.apply(Op::Sort { keys: vec![SortKey::desc(0)] }).unwrap();
+            s.apply(Op::InsertRows { at: STRUCT_ROWS / 2, count: 1 }).unwrap();
             if clear {
                 s.program_cache().retain_pure();
             }

@@ -179,7 +179,7 @@ mod tests {
             s.set_value(CellAddr::new(i, 0), i64::from(i + 1));
         }
         s.set_formula_str(a("C1"), "=SUM(A2:A5)").unwrap();
-        crate::ops::structure::delete_rows(&mut s, 2, 2);
+        s.apply(crate::ops::Op::DeleteRows { at: 2, count: 2 }).unwrap();
         recalc::recalc_all(&mut s);
         check_all(&s).unwrap();
     }

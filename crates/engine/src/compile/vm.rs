@@ -242,6 +242,9 @@ fn run_kernel(
             // Criterion first: its scalar resolution may read a cell, and
             // the interpreter charges that read before the range scan.
             let criterion = Criterion::parse(&scalar(ctx, &args[1]));
+            if let Some(count) = crate::index::countif_probe(ctx, range, &criterion) {
+                return Some(Value::Number(count));
+            }
             let mut n = 0u64;
             let (visited, formulas) = scan(grid, range, &mut |v| {
                 if criterion.matches(v) {
@@ -253,6 +256,9 @@ fn run_kernel(
         }
         Kernel::SumIf => {
             let criterion = Criterion::parse(&scalar(ctx, &args[1]));
+            if let Some((total, _)) = crate::index::sumif_probe(ctx, range, None, &criterion) {
+                return Some(Value::Number(total));
+            }
             let mut total = 0.0;
             let (visited, formulas) = scan(grid, range, &mut |v| {
                 if criterion.matches(v) {

@@ -2,6 +2,7 @@
 //! lookup strategies are enabled, and where costs are recorded.
 
 use crate::addr::{CellAddr, Range};
+use crate::index::IndexStore;
 use crate::meter::{Meter, Primitive};
 use crate::value::Value;
 
@@ -49,12 +50,23 @@ pub struct EvalCtx<'a> {
     /// Spreadsheet serial date returned by `NOW()`/`TODAY()`. Fixed and
     /// injectable so runs are reproducible.
     pub now_serial: f64,
+    /// Maintained column indexes (the optimized fourth system). `None` —
+    /// the common case for the three paper systems — keeps every
+    /// aggregate and lookup on the scan path.
+    pub indexes: Option<&'a IndexStore>,
 }
 
 impl<'a> EvalCtx<'a> {
     /// A context with default strategy and a fixed epoch serial.
     pub fn new(cells: &'a dyn CellSource, meter: &'a Meter, current: CellAddr) -> Self {
-        EvalCtx { cells, meter, current, lookup: LookupStrategy::default(), now_serial: DEFAULT_NOW_SERIAL }
+        EvalCtx {
+            cells,
+            meter,
+            current,
+            lookup: LookupStrategy::default(),
+            now_serial: DEFAULT_NOW_SERIAL,
+            indexes: None,
+        }
     }
 
     /// Reads one cell, recording the read (and a formula recheck when the

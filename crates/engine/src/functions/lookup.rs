@@ -9,6 +9,7 @@
 use crate::addr::{CellAddr, Range};
 use crate::error::CellError;
 use crate::eval::EvalCtx;
+use crate::index;
 use crate::value::Value;
 
 use super::{check_arity, num, scalar, Arg};
@@ -124,6 +125,10 @@ pub fn vlookup(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
     let key_col = range.start.col;
     let hit = if approx {
         scan_approx(ctx, range, key_col, &needle)
+    } else if let Some(hit) = index::lookup_probe(ctx, range, key_col, &needle) {
+        // Indexed exact match: same first-match-in-row-order result as the
+        // scan, answered in O(1) probes.
+        hit
     } else {
         scan_exact(ctx, range, key_col, &needle)
     };
@@ -239,6 +244,16 @@ pub fn match_fn(ctx: &EvalCtx<'_>, args: &[Arg]) -> Value {
         return Value::Error(CellError::Na);
     };
     let vertical = range.cols() == 1;
+    if vertical && match_type == 0.0 {
+        // Indexed exact MATCH down a column: the probe returns the first
+        // matching absolute row, exactly the scan's result.
+        if let Some(hit) = index::lookup_probe(ctx, range, range.start.col, &needle) {
+            return match hit {
+                Some(row) => Value::Number(f64::from(row - range.start.row + 1)),
+                None => Value::Error(CellError::Na),
+            };
+        }
+    }
     let len = if vertical { range.rows() } else { range.cols() };
     let read_at = |i: u32| {
         let addr = if vertical {

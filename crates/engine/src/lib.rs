@@ -50,6 +50,7 @@ pub mod eval;
 pub mod formula;
 pub mod functions;
 pub mod grid;
+pub mod index;
 pub mod io;
 pub mod meter;
 pub mod ops;
@@ -64,10 +65,11 @@ pub mod workbook;
 // against, so they need not deep-import module paths.
 pub use crate::compile::EvalBackend;
 pub use crate::error::{CellError, EngineError};
+pub use crate::index::IndexStore;
 pub use crate::meter::{Counts, Meter, Primitive};
 pub use crate::ops::{Op, OpOutcome};
 pub use crate::recalc::{set_default_backend, EvalSession, RecalcOptions, RecalcOptionsBuilder};
-pub use crate::sheet::Sheet;
+pub use crate::sheet::{EngineConfig, EngineConfigBuilder, Sheet};
 
 /// Convenient re-exports for downstream crates and examples.
 pub mod prelude {
@@ -78,8 +80,10 @@ pub mod prelude {
     pub use crate::error::{CellError, EngineError};
     pub use crate::eval::{CellSource, EvalCtx, LookupStrategy};
     pub use crate::formula::{parse, print, Expr};
+    pub use crate::index::IndexStore;
     pub use crate::io::SheetData;
     pub use crate::meter::{Counts, Meter, Primitive};
+    #[allow(deprecated)]
     pub use crate::ops::{
         clear_filter, conditional_format, copy_paste, filter_rows, find_all, find_replace,
         delete_cols, delete_rows, insert_cols, insert_rows, pivot, sort_rows, Op, OpOutcome,
@@ -87,7 +91,7 @@ pub mod prelude {
     };
     pub use crate::recalc;
     pub use crate::recalc::{set_default_backend, EvalSession, RecalcOptions, RecalcOptionsBuilder};
-    pub use crate::sheet::{Layout, Sheet};
+    pub use crate::sheet::{EngineConfig, EngineConfigBuilder, Layout, Sheet};
     pub use crate::trace;
     pub use crate::style::{Color, Style};
     pub use crate::value::{Criterion, Value};

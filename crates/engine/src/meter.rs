@@ -60,10 +60,16 @@ pub enum Primitive {
     /// when filtering Formula-value sheets (§4.3.1; "why the trend is
     /// super-linear is a mystery to us").
     SuperlinearUnit,
+    /// One probe of a maintained column index (hash bucket or sorted-array
+    /// partition point) on the optimized fourth system's lookup path. Scans
+    /// charge `CellRead` per visited cell; indexed evaluation charges one
+    /// `IndexProbe` per probe instead, so the cost model can price O(1)/
+    /// O(log m) lookups honestly (§OOT).
+    IndexProbe,
 }
 
 /// All primitives, for iteration in reports and cost tables.
-pub const ALL_PRIMITIVES: [Primitive; 14] = [
+pub const ALL_PRIMITIVES: [Primitive; 15] = [
     Primitive::CellRead,
     Primitive::CellWrite,
     Primitive::CellParse,
@@ -78,6 +84,7 @@ pub const ALL_PRIMITIVES: [Primitive; 14] = [
     Primitive::NetworkRtt,
     Primitive::RenderCell,
     Primitive::SuperlinearUnit,
+    Primitive::IndexProbe,
 ];
 
 impl Primitive {
@@ -98,6 +105,7 @@ impl Primitive {
             Primitive::NetworkRtt => 11,
             Primitive::RenderCell => 12,
             Primitive::SuperlinearUnit => 13,
+            Primitive::IndexProbe => 14,
         }
     }
 
@@ -118,6 +126,7 @@ impl Primitive {
             Primitive::NetworkRtt => "network_rtt",
             Primitive::RenderCell => "render_cell",
             Primitive::SuperlinearUnit => "superlinear_unit",
+            Primitive::IndexProbe => "index_probe",
         }
     }
 }

@@ -14,6 +14,7 @@ use crate::value::Criterion;
 /// rule is re-applied). Returns the number of cells now filled.
 ///
 /// Thin wrapper over [`Sheet::apply`] with [`Op::CondFormat`].
+#[deprecated(note = "route the edit through `Sheet::apply(Op::CondFormat { .. })`")]
 pub fn conditional_format(
     sheet: &mut Sheet,
     range: Range,
@@ -61,6 +62,7 @@ pub(crate) fn conditional_format_impl(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the compatibility wrappers stay exercised here
 mod tests {
     use super::*;
     use crate::value::Value;

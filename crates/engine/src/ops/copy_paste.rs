@@ -13,6 +13,7 @@ use crate::sheet::Sheet;
 /// systems do via the clipboard). Returns the destination range.
 ///
 /// Thin wrapper over [`Sheet::apply`] with [`Op::CopyPaste`].
+#[deprecated(note = "route the edit through `Sheet::apply(Op::CopyPaste { .. })`")]
 pub fn copy_paste(sheet: &mut Sheet, src: Range, dst_start: CellAddr) -> Range {
     match sheet.apply(Op::CopyPaste { src, dst: dst_start }) {
         Ok(OpOutcome::Pasted { dst }) => dst,
@@ -52,6 +53,7 @@ pub(crate) fn copy_paste_impl(sheet: &mut Sheet, src: Range, dst_start: CellAddr
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the compatibility wrappers stay exercised here
 mod tests {
     use super::*;
     use crate::error::CellError;

@@ -13,6 +13,7 @@ use crate::value::Criterion;
 /// are hidden. Returns the number of visible (matching) rows.
 ///
 /// Thin wrapper over [`Sheet::apply`] with [`Op::Filter`].
+#[deprecated(note = "route the edit through `Sheet::apply(Op::Filter { .. })`")]
 pub fn filter_rows(sheet: &mut Sheet, col: u32, criterion: &Criterion) -> u32 {
     match sheet.apply(Op::Filter { col, criterion: criterion.clone() }) {
         Ok(OpOutcome::Filtered { visible }) => visible,
@@ -40,6 +41,7 @@ pub(crate) fn filter_rows_impl(sheet: &mut Sheet, col: u32, criterion: &Criterio
 /// Clears the filter, unhiding every row.
 ///
 /// Thin wrapper over [`Sheet::apply`] with [`Op::ClearFilter`].
+#[deprecated(note = "route the edit through `Sheet::apply(Op::ClearFilter)`")]
 pub fn clear_filter(sheet: &mut Sheet) {
     let _ = sheet.apply(Op::ClearFilter).expect("clear_filter is infallible");
 }
@@ -51,6 +53,7 @@ pub(crate) fn clear_filter_impl(sheet: &mut Sheet) {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the compatibility wrappers stay exercised here
 mod tests {
     use super::*;
     use crate::value::Value;

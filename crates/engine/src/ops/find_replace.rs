@@ -45,6 +45,7 @@ pub(crate) fn find_all_impl(sheet: &Sheet, range: Range, needle: &str) -> Vec<Ce
 /// with `replacement`. Returns the number of cells changed.
 ///
 /// Thin wrapper over [`Sheet::apply`] with [`Op::FindReplace`].
+#[deprecated(note = "route the edit through `Sheet::apply(Op::FindReplace { .. })`")]
 pub fn find_replace(sheet: &mut Sheet, range: Range, needle: &str, replacement: &str) -> u32 {
     let op = Op::FindReplace {
         range,
@@ -91,6 +92,7 @@ fn cell_text_contains(sheet: &Sheet, addr: CellAddr, needle: &str) -> bool {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the compatibility wrappers stay exercised here
 mod tests {
     use super::*;
 

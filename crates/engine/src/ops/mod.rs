@@ -7,8 +7,10 @@
 //! Operations are dispatched through one choke point — the [`Op`] command
 //! enum and [`Sheet::apply`] — so span-level tracing (and any future
 //! policy, logging, or batching layer) instruments exactly one call site.
-//! The original free functions ([`sort_rows`], [`filter_rows`], …) remain
-//! as thin wrappers for compatibility.
+//! The original mutating free functions ([`sort_rows`], [`filter_rows`],
+//! …) remain as thin deprecated wrappers for compatibility; the read-only
+//! queries ([`pivot`], [`find_all`]) stay first-class — they take `&Sheet`
+//! and have no `Op` equivalent to migrate to.
 
 pub mod cond_format;
 pub mod copy_paste;
@@ -18,12 +20,20 @@ pub mod pivot;
 pub mod sort;
 pub mod structure;
 
+#[allow(deprecated)]
 pub use cond_format::conditional_format;
+#[allow(deprecated)]
 pub use copy_paste::copy_paste;
+#[allow(deprecated)]
 pub use filter::{clear_filter, filter_rows};
-pub use find_replace::{find_all, find_replace};
+#[allow(deprecated)]
+pub use find_replace::find_replace;
+pub use find_replace::find_all;
 pub use pivot::{pivot, PivotAgg, PivotTable};
-pub use sort::{sort_rows, SortKey, SortOrder};
+#[allow(deprecated)]
+pub use sort::sort_rows;
+pub use sort::{SortKey, SortOrder};
+#[allow(deprecated)]
 pub use structure::{delete_cols, delete_rows, insert_cols, insert_rows};
 
 use crate::addr::{CellAddr, Range};

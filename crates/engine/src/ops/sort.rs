@@ -43,6 +43,7 @@ impl SortKey {
 /// callers (e.g. the sort-optimization ablation) can inspect.
 ///
 /// Thin wrapper over [`Sheet::apply`] with [`Op::Sort`].
+#[deprecated(note = "route the edit through `Sheet::apply(Op::Sort { .. })`")]
 pub fn sort_rows(sheet: &mut Sheet, keys: &[SortKey]) -> Vec<u32> {
     match sheet.apply(Op::Sort { keys: keys.to_vec() }) {
         Ok(OpOutcome::Sorted { permutation }) => permutation,
@@ -96,6 +97,7 @@ pub(crate) fn sort_rows_impl(sheet: &mut Sheet, keys: &[SortKey]) -> Vec<u32> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the compatibility wrappers stay exercised here
 mod tests {
     use super::*;
     use crate::meter::Primitive;

@@ -217,6 +217,23 @@ pub(crate) fn restructure(sheet: &mut Sheet, axis: Axis, at: u32, count: u32, in
     sheet.set_lookup_strategy(fresh.lookup_strategy());
     sheet.set_recalc_options(fresh.recalc_options());
     sheet.set_now_serial(fresh.now_serial());
+    // Maintained column indexes ride the rebuild as *registrations*, with
+    // the same coordinate remapping the cells get: row edits keep columns
+    // in place, column edits shift registrations past the band and drop
+    // the ones inside it. Every surviving registration demotes to Pending
+    // — the re-insert loop below replays cells through the normal edit
+    // hooks (so formula columns re-drop themselves) and the next recalc
+    // rebuilds, paying the §6 maintenance cost through `IndexProbe`.
+    sheet.set_auto_index(fresh.auto_index());
+    let carried: Vec<(u32, bool)> = fresh
+        .index_snapshot()
+        .into_iter()
+        .filter_map(|(col, dropped)| match axis {
+            Axis::Row => Some((col, dropped)),
+            Axis::Col => shift_coord(col, at, count, insert).map(|c| (c, dropped)),
+        })
+        .collect();
+    sheet.restore_index_snapshot(carried);
     // Named ranges survive the rebuild. (They are carried over verbatim;
     // shifting a name's target range with the edit is a separate concern.)
     for name in fresh.names() {
@@ -248,6 +265,7 @@ pub(crate) fn restructure(sheet: &mut Sheet, axis: Axis, at: u32, count: u32, in
 /// Inserts `count` blank rows before row `at` (0-based).
 ///
 /// Thin wrapper over [`Sheet::apply`] with [`Op::InsertRows`].
+#[deprecated(note = "route the edit through `Sheet::apply(Op::InsertRows { .. })`")]
 pub fn insert_rows(sheet: &mut Sheet, at: u32, count: u32) {
     let _ = sheet.apply(Op::InsertRows { at, count }).expect("insert_rows is infallible");
 }
@@ -255,6 +273,7 @@ pub fn insert_rows(sheet: &mut Sheet, at: u32, count: u32) {
 /// Deletes `count` rows starting at row `at`.
 ///
 /// Thin wrapper over [`Sheet::apply`] with [`Op::DeleteRows`].
+#[deprecated(note = "route the edit through `Sheet::apply(Op::DeleteRows { .. })`")]
 pub fn delete_rows(sheet: &mut Sheet, at: u32, count: u32) {
     let _ = sheet.apply(Op::DeleteRows { at, count }).expect("delete_rows is infallible");
 }
@@ -262,6 +281,7 @@ pub fn delete_rows(sheet: &mut Sheet, at: u32, count: u32) {
 /// Inserts `count` blank columns before column `at`.
 ///
 /// Thin wrapper over [`Sheet::apply`] with [`Op::InsertCols`].
+#[deprecated(note = "route the edit through `Sheet::apply(Op::InsertCols { .. })`")]
 pub fn insert_cols(sheet: &mut Sheet, at: u32, count: u32) {
     let _ = sheet.apply(Op::InsertCols { at, count }).expect("insert_cols is infallible");
 }
@@ -269,11 +289,13 @@ pub fn insert_cols(sheet: &mut Sheet, at: u32, count: u32) {
 /// Deletes `count` columns starting at column `at`.
 ///
 /// Thin wrapper over [`Sheet::apply`] with [`Op::DeleteCols`].
+#[deprecated(note = "route the edit through `Sheet::apply(Op::DeleteCols { .. })`")]
 pub fn delete_cols(sheet: &mut Sheet, at: u32, count: u32) {
     let _ = sheet.apply(Op::DeleteCols { at, count }).expect("delete_cols is infallible");
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the compatibility wrappers stay exercised here
 mod tests {
     use super::*;
     use crate::recalc;
@@ -627,6 +649,51 @@ mod tests {
         recalc::recalc_all(&mut s);
         assert_eq!(s.value(a("A3")), Value::Number(3.0));
         assert_eq!(s.value(a("E1")), Value::Number(10.0));
+    }
+
+    #[test]
+    fn column_indexes_ride_structural_edits() {
+        let mut s = Sheet::new();
+        s.set_auto_index(true);
+        for i in 0..20u32 {
+            s.set_value(CellAddr::new(i, 1), i64::from(i % 4)); // column B: 0..3 cycling
+        }
+        s.set_formula_str(a("D1"), "=COUNTIF(B1:B20,2)").unwrap();
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("D1")), Value::Number(5.0));
+        assert!(s.index_store().has_built(1), "column B indexed after recalc");
+
+        // Insert a column before B: the registration shifts with the data
+        // and the next recalc rebuilds it at the new coordinate.
+        insert_cols(&mut s, 0, 1);
+        assert!(!s.index_store().has_built(2), "registration demoted to pending");
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("E1")), Value::Number(5.0));
+        assert!(s.index_store().has_built(2), "index rebuilt on shifted column");
+
+        // Delete the indexed column: the registration dies with it (no
+        // stale index at the old coordinate), and the rewritten
+        // `COUNTIF(#REF!,2)` counts nothing — not the stale 5 a surviving
+        // index would report.
+        delete_cols(&mut s, 2, 1);
+        assert!(!s.index_store().has_built(2), "deleted column's registration died");
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("D1")), Value::Number(0.0));
+
+        // Row edits keep registrations in place (demoted, then rebuilt).
+        let mut s = Sheet::new();
+        s.set_auto_index(true);
+        for i in 0..20u32 {
+            s.set_value(CellAddr::new(i, 0), i64::from(i % 4));
+        }
+        s.set_formula_str(a("C1"), "=COUNTIF(A1:A20,3)").unwrap();
+        recalc::recalc_all(&mut s);
+        assert_eq!(s.value(a("C1")), Value::Number(5.0));
+        insert_rows(&mut s, 5, 2);
+        recalc::recalc_all(&mut s);
+        // The range widened to A1:A22 over the same 20 values + 2 blanks.
+        assert_eq!(s.value(a("C1")), Value::Number(5.0));
+        assert!(s.index_store().has_built(0), "index rebuilt after row insert");
     }
 
     #[test]

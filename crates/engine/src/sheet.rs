@@ -10,6 +10,7 @@ use crate::eval::context::DEFAULT_NOW_SERIAL;
 use crate::eval::{CellSource, EvalCtx, LookupStrategy};
 use crate::formula::{Expr, NameResolver, RangeRef};
 use crate::grid::{Grid, GridStore};
+use crate::index::{ColumnBuilder, IndexStore};
 use crate::meter::{Meter, Primitive};
 use crate::recalc::RecalcOptions;
 use crate::value::Value;
@@ -46,6 +47,83 @@ pub struct Sheet {
     /// dependency rebuilds clear the memo but keep pure templates
     /// (`retain_pure`), guided by the `analyze` facts on each program.
     programs: ProgramCache,
+    /// Maintained column indexes (the optimized fourth system's lookup
+    /// path). Empty — and costing nothing — unless columns are registered
+    /// or [`Sheet::set_auto_index`] is on.
+    indexes: IndexStore,
+    /// When set, `ensure_indexes` registers every formula-free column
+    /// automatically (and the recalc entry points call it).
+    auto_index: bool,
+}
+
+/// Unified engine configuration: every per-sheet knob in one value, so
+/// drivers (the system simulator, the oracle, benches) configure a sheet
+/// with a single call instead of a trail of ad-hoc setters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Lookup-strategy switches for `VLOOKUP`-family evaluation.
+    pub lookup: LookupStrategy,
+    /// The deterministic `NOW()`/`TODAY()` serial.
+    pub now_serial: f64,
+    /// Recalculation executor knobs (parallelism, backend, kernels, delta).
+    pub recalc: RecalcOptions,
+    /// Automatic column indexing (the optimized fourth system).
+    pub auto_index: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            lookup: LookupStrategy::default(),
+            now_serial: DEFAULT_NOW_SERIAL,
+            recalc: RecalcOptions::default(),
+            auto_index: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A builder starting from the defaults.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder { cfg: EngineConfig::default() }
+    }
+}
+
+/// Builder for [`EngineConfig`].
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Sets the lookup strategy.
+    pub fn lookup(mut self, lookup: LookupStrategy) -> Self {
+        self.cfg.lookup = lookup;
+        self
+    }
+
+    /// Sets the deterministic `NOW()` serial.
+    pub fn now_serial(mut self, serial: f64) -> Self {
+        self.cfg.now_serial = serial;
+        self
+    }
+
+    /// Sets the recalculation options.
+    pub fn recalc(mut self, recalc: RecalcOptions) -> Self {
+        self.cfg.recalc = recalc;
+        self
+    }
+
+    /// Enables or disables automatic column indexing.
+    pub fn auto_index(mut self, on: bool) -> Self {
+        self.cfg.auto_index = on;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> EngineConfig {
+        self.cfg
+    }
 }
 
 /// The sheet's named-range table; implements the parser's name resolver.
@@ -83,6 +161,8 @@ impl Sheet {
             names: NameTable::default(),
             recalc_opts: RecalcOptions::default(),
             programs: ProgramCache::new(),
+            indexes: IndexStore::default(),
+            auto_index: false,
         }
     }
 
@@ -209,6 +289,100 @@ impl Sheet {
         self.recalc_opts
     }
 
+    /// Applies a whole [`EngineConfig`] in one call (the preferred
+    /// configuration surface; the individual setters remain for granular
+    /// adjustments).
+    pub fn configure(&mut self, cfg: EngineConfig) {
+        self.lookup = cfg.lookup;
+        self.now_serial = cfg.now_serial;
+        self.recalc_opts = cfg.recalc;
+        self.auto_index = cfg.auto_index;
+    }
+
+    /// The current configuration as one value.
+    pub fn config(&self) -> EngineConfig {
+        EngineConfig {
+            lookup: self.lookup,
+            now_serial: self.now_serial,
+            recalc: self.recalc_opts,
+            auto_index: self.auto_index,
+        }
+    }
+
+    // --- column indexes ---------------------------------------------------
+
+    /// Enables automatic column indexing: every recalculation entry point
+    /// first registers and builds an index over each formula-free column.
+    pub fn set_auto_index(&mut self, on: bool) {
+        self.auto_index = on;
+    }
+
+    /// Whether automatic column indexing is on.
+    pub fn auto_index(&self) -> bool {
+        self.auto_index
+    }
+
+    /// The column-index store (probe state, for tests and reports).
+    pub fn index_store(&self) -> &IndexStore {
+        &self.indexes
+    }
+
+    /// Registers one column for indexing (built by the next
+    /// [`Sheet::ensure_indexes`]); no-op on a column that ever held a
+    /// formula.
+    pub fn register_index(&mut self, col: u32) {
+        self.indexes.register(col);
+    }
+
+    /// Builds every registered-but-pending column index; with auto-indexing
+    /// on, first registers every materialized column (columns holding
+    /// formulas are permanently excluded by the build). Rebuild cost is
+    /// charged to the meter as one `IndexProbe` per indexed cell.
+    pub fn ensure_indexes(&mut self) {
+        if self.auto_index {
+            for col in 0..self.ncols() {
+                self.indexes.register(col);
+            }
+        }
+        for col in self.indexes.pending_cols() {
+            self.build_index(col);
+        }
+    }
+
+    /// Builds one pending column index from the grid.
+    fn build_index(&mut self, col: u32) {
+        let nrows = self.nrows();
+        if col >= self.ncols() {
+            // Registered beyond the materialized extent: nothing to index
+            // yet; stays pending until the column exists.
+            return;
+        }
+        let mut builder = ColumnBuilder::default();
+        if nrows > 0 {
+            let range = Range::new(CellAddr::new(0, col), CellAddr::new(nrows - 1, col));
+            let meter = &self.meter;
+            self.grid.for_each_in_range(range, &mut |addr, cell| {
+                builder.add(meter, addr.row, cell.display_value(), cell.is_formula());
+            });
+        }
+        match builder.finish() {
+            Ok(ix) => self.indexes.install(col, ix),
+            Err(()) => self.indexes.drop_col(col),
+        }
+    }
+
+    /// Registration snapshot for structural rebuilds (see
+    /// `ops::structure`).
+    pub(crate) fn index_snapshot(&self) -> Vec<(u32, bool)> {
+        self.indexes.snapshot()
+    }
+
+    /// Restores a (remapped) registration snapshot; all live indexes
+    /// re-enter as pending and rebuild at the next `ensure_indexes`.
+    pub(crate) fn restore_index_snapshot(&mut self, snapshot: Vec<(u32, bool)>) {
+        self.indexes.restore(snapshot);
+    }
+
     // --- mutation --------------------------------------------------------
 
     /// Writes a literal value, unregistering any formula that was there.
@@ -221,8 +395,17 @@ impl Sheet {
             // that (the BCT incremental workloads stay fully warm).
             self.programs.invalidate_addr(addr);
         }
+        let v = v.into();
+        if self.indexes.has_built(addr.col) {
+            // Maintain the column index incrementally: capture the old
+            // value before the write (a built column never holds a
+            // formula, so the displayed value is the literal content).
+            let old =
+                self.grid.get(addr).map(|c| c.display_value().clone()).unwrap_or(Value::Empty);
+            self.indexes.on_write(&self.meter, addr, &old, &v);
+        }
         let cell = self.grid.cell_mut(addr);
-        cell.content = CellContent::Value(v.into());
+        cell.content = CellContent::Value(v);
     }
 
     /// Installs a parsed formula (uncomputed until a recalculation runs).
@@ -234,6 +417,10 @@ impl Sheet {
         // other cell's memo entry is untouched, so a fill-down edit
         // recompiles at most the one new template.
         self.programs.invalidate_addr(addr);
+        // A formula's displayed value changes during recalc without
+        // passing through `set_value`, so its column can never be
+        // indexed again (deterministic degradation to the scan path).
+        self.indexes.drop_col(addr.col);
     }
 
     /// Parses and installs `src` (with or without a leading `=`),
@@ -421,7 +608,10 @@ impl Sheet {
         self.deps.clear();
         // Addresses were reshuffled wholesale, so the memo is void except
         // for the proven bindings — and pure templates are still valid for
-        // whatever cell instantiates them next.
+        // whatever cell instantiates them next. Column indexes demote to
+        // pending for the same reason: row postings no longer match the
+        // grid, and the next `ensure_indexes` rebuilds them.
+        self.indexes.invalidate_built();
         self.programs.retain_pure_with(retained);
         let Some(range) = self.used_range() else { return };
         let mut formulas: Vec<(CellAddr, Expr)> = Vec::new();
@@ -478,6 +668,7 @@ impl Sheet {
             current,
             lookup: self.lookup,
             now_serial: self.now_serial,
+            indexes: Some(&self.indexes),
         }
     }
 
@@ -806,7 +997,8 @@ mod name_tests {
         s.define_name("Data", Range::parse("A1:A5").unwrap()).unwrap();
         s.set_formula_str(a("C1"), "=SUM(Data)").unwrap();
         // Copying the formula keeps the named range pinned.
-        crate::ops::copy_paste(&mut s, Range::parse("C1").unwrap(), a("D7"));
+        s.apply(crate::ops::Op::CopyPaste { src: Range::parse("C1").unwrap(), dst: a("D7") })
+            .unwrap();
         recalc::recalc_all(&mut s);
         assert_eq!(s.value(a("D7")), Value::Number(15.0));
     }

@@ -20,7 +20,7 @@ pub use vlookup::fig8_vlookup;
 
 use ssbench_engine::prelude::Sheet;
 use ssbench_engine::trace;
-use ssbench_systems::{OpClass, SimSystem, SystemKind, ALL_SYSTEMS, INTERACTIVITY_BOUND_MS};
+use ssbench_systems::{OpClass, SimSystem, SystemKind, INTERACTIVITY_BOUND_MS};
 use ssbench_workload::Variant;
 
 use crate::config::RunConfig;
@@ -59,7 +59,7 @@ pub fn sweep(
     run_op: &mut dyn FnMut(&SimSystem, &mut Sheet, u32) -> f64,
 ) {
     let protocol = cfg.protocol.capped(trial_cap);
-    for kind in ALL_SYSTEMS {
+    for kind in cfg.systems() {
         let sys = SimSystem::with_seed(kind, cfg.seed);
         let sizes = cfg.sizes(sys.max_rows(op));
         for &variant in variants {

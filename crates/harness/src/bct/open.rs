@@ -3,7 +3,7 @@
 //! cell and recalculate; Google Sheets loads the visible window lazily
 //! but still resolves formula dependencies for the whole file.
 
-use ssbench_systems::{OpClass, SimSystem, ALL_SYSTEMS, INTERACTIVITY_BOUND_MS};
+use ssbench_systems::{OpClass, SimSystem, INTERACTIVITY_BOUND_MS};
 use ssbench_workload::Variant;
 
 use crate::bct::series_label;
@@ -17,7 +17,7 @@ pub fn fig2_open(cfg: &RunConfig) -> ExperimentResult {
     // Opening is deterministic per system; one trial per size suffices
     // and keeps the full-file parse affordable at 500k rows.
     let protocol = cfg.protocol.capped(2);
-    for kind in ALL_SYSTEMS {
+    for kind in cfg.systems() {
         let sys = SimSystem::with_seed(kind, cfg.seed);
         let sizes = cfg.sizes(sys.max_rows(OpClass::Open));
         for variant in [Variant::FormulaValue, Variant::ValueOnly] {
@@ -51,7 +51,7 @@ mod tests {
         let mut cfg = RunConfig::quick();
         cfg.scale = 0.05; // sizes 8 .. 25000
         let r = fig2_open(&cfg);
-        assert_eq!(r.series.len(), 6);
+        assert_eq!(r.series.len(), 8, "four systems × two variants");
         // Desktop F opens grow with size; Google Sheets V is flat.
         let excel_f = r.expect_series("Excel (F)");
         let first = excel_f.points.first().expect("series has at least one point").ms;

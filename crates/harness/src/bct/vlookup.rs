@@ -4,7 +4,7 @@
 //! Excel early-exits exact scans and binary-searches approximate ones;
 //! Calc and Sheets always scan everything.
 
-use ssbench_systems::{OpClass, SimSystem, ALL_SYSTEMS, INTERACTIVITY_BOUND_MS};
+use ssbench_systems::{OpClass, SimSystem, INTERACTIVITY_BOUND_MS};
 use ssbench_workload::Variant;
 
 use crate::config::RunConfig;
@@ -21,7 +21,7 @@ pub fn fig8_vlookup(cfg: &RunConfig) -> ExperimentResult {
         ExperimentResult::new("fig8", "VLOOKUP, exact vs approximate match (§4.3.4)");
     let protocol = cfg.protocol.capped(5);
     let key = f64::from(cfg.scaled(LOOKUP_KEY));
-    for kind in ALL_SYSTEMS {
+    for kind in cfg.systems() {
         let sys = SimSystem::with_seed(kind, cfg.seed);
         let sizes = cfg.sizes(sys.max_rows(OpClass::Lookup));
         // Value-only dataset exclusively (§4.3.4's design choice).
@@ -60,7 +60,7 @@ mod tests {
         let mut cfg = RunConfig::quick();
         cfg.scale = 0.05; // key = 10k, sizes to 25k
         let r = fig8_vlookup(&cfg);
-        assert_eq!(r.series.len(), 6);
+        assert_eq!(r.series.len(), 8, "four systems × two match modes");
         // Excel approximate match is ~constant (binary search).
         let ea = r.expect_series("Excel Sorted-TRUE");
         let spread =

@@ -18,7 +18,7 @@
 
 use std::path::{Path, PathBuf};
 
-use ssbench_harness::oracle::{check_script, gen, shrink, verify_script, Script};
+use ssbench_harness::oracle::{check_script, gen, matrix, shrink, verify_script, Script};
 use ssbench_harness::CliArgs;
 
 fn main() {
@@ -93,10 +93,11 @@ fn fuzz_once(cli: &CliArgs, corpus: &Path) -> bool {
     let n_ops = cli.ops.unwrap_or(gen::DEFAULT_OPS);
     let script = gen::generate(cli.cfg.seed, gen::DEFAULT_ROWS, n_ops);
     eprintln!(
-        "fuzz: seed {} — {} ops over a {}-row workbook, 48 configurations",
+        "fuzz: seed {} — {} ops over a {}-row workbook, {} configurations",
         script.seed,
         script.ops.len(),
-        script.rows
+        script.rows,
+        matrix().len()
     );
     match check_script(&script) {
         Ok(()) => {

@@ -3,6 +3,8 @@
 
 use std::path::PathBuf;
 
+use ssbench_systems::{all_kinds, SystemKind};
+
 use crate::timing::Protocol;
 
 /// Usage text shared by all four binaries.
@@ -14,6 +16,8 @@ options:
   --quick                   smoke run: --scale 0.01, single trials
   --stop-after-violation N  stop a sweep N sizes past the 500 ms violation
   --seed N                  dataset / noise seed
+  --systems LIST            comma-separated systems to run (default: all
+                            registered: excel,calc,gsheets,optimized)
   --out DIR                 write CSV/JSON results to DIR
   --trace DIR               record span traces; write DIR/trace.json (Chrome
                             about://tracing format) and DIR/trace.txt
@@ -45,6 +49,9 @@ pub struct RunConfig {
     pub stop_after_violation: Option<usize>,
     /// Seed for dataset generation and the Sheets noise stream.
     pub seed: u64,
+    /// The systems to run, in presentation order (`--systems`; defaults
+    /// to every profile in the registry).
+    pub systems: Vec<SystemKind>,
     /// Directory for CSV/JSON result files (`None` = print only).
     pub out_dir: Option<PathBuf>,
 }
@@ -57,6 +64,7 @@ impl RunConfig {
             protocol: Protocol::DEFAULT,
             stop_after_violation: None,
             seed: ssbench_workload::DEFAULT_SEED,
+            systems: all_kinds().collect(),
             out_dir: None,
         }
     }
@@ -68,8 +76,19 @@ impl RunConfig {
             protocol: Protocol::SINGLE,
             stop_after_violation: None,
             seed: ssbench_workload::DEFAULT_SEED,
+            systems: all_kinds().collect(),
             out_dir: None,
         }
+    }
+
+    /// The systems this run covers, in presentation order.
+    pub fn systems(&self) -> impl Iterator<Item = SystemKind> + '_ {
+        self.systems.iter().copied()
+    }
+
+    /// Whether `kind` is part of this run.
+    pub fn runs(&self, kind: SystemKind) -> bool {
+        self.systems.contains(&kind)
     }
 
     /// Applies the scale to a row count (min 10 rows).
@@ -130,6 +149,23 @@ impl RunConfig {
                     cfg.seed = take_value("--seed", &mut it)?
                         .parse()
                         .map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--systems" => {
+                    let list = take_value("--systems", &mut it)?;
+                    let mut kinds = Vec::new();
+                    for part in list.split(',').filter(|p| !p.trim().is_empty()) {
+                        let kind: SystemKind =
+                            part.parse().map_err(|e| format!("--systems: {e}"))?;
+                        if !kinds.contains(&kind) {
+                            kinds.push(kind);
+                        }
+                    }
+                    if kinds.is_empty() {
+                        return Err("--systems needs at least one system".to_owned());
+                    }
+                    // Preserve registry presentation order regardless of
+                    // how the user spelled the list.
+                    cfg.systems = all_kinds().filter(|k| kinds.contains(k)).collect();
                 }
                 "--out" => {
                     cfg.out_dir = Some(PathBuf::from(take_value("--out", &mut it)?));
@@ -288,6 +324,24 @@ mod tests {
         assert_eq!(cfg.protocol.trials, 7);
         assert_eq!(cfg.seed, 9);
         assert_eq!(rest, vec!["extra"]);
+    }
+
+    #[test]
+    fn systems_flag_filters_and_orders() {
+        let (cfg, _) = RunConfig::from_args(&argv(&["--systems", "optimized,excel"])).unwrap();
+        // Registry presentation order wins over spelling order.
+        assert_eq!(cfg.systems, vec![SystemKind::Excel, SystemKind::Optimized]);
+        assert!(cfg.runs(SystemKind::Excel));
+        assert!(!cfg.runs(SystemKind::Calc));
+        // Default: every registered system, four-wide.
+        let (all, _) = RunConfig::from_args(&[]).unwrap();
+        assert_eq!(all.systems.len(), 4);
+        // Aliases and bad names.
+        let (g, _) = RunConfig::from_args(&argv(&["--systems", "g"])).unwrap();
+        assert_eq!(g.systems, vec![SystemKind::GSheets]);
+        assert!(RunConfig::from_args(&argv(&["--systems", "lotus"])).is_err());
+        assert!(RunConfig::from_args(&argv(&["--systems", ","])).is_err());
+        assert!(RunConfig::from_args(&argv(&["--systems"])).is_err());
     }
 
     #[test]

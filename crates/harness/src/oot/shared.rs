@@ -1,14 +1,15 @@
 //! Figure 11 — shared computation (§5.3): cumulative sums expressed two
 //! ways. "Repeated" installs `Bi = SUM(A1:Ai)` for every row i — the
 //! systems evaluate each independently, O(m²) cell references in total.
-//! "Reusable" installs `C1 = A1; Ci = Ai + C(i−1)` — O(m). The extra
-//! "Optimized" series answers the *repeated* family with one shared
-//! prefix pass (§6's shared-computation proposal).
+//! "Reusable" installs `C1 = A1; Ci = Ai + C(i−1)` — O(m). The fourth
+//! (Optimized) system answers the *repeated* family with one shared
+//! prefix pass (§6's shared-computation proposal), so it contributes a
+//! single series instead of a Repeated/Reusable pair.
 
 use ssbench_engine::formula::{BinOp, Expr, RangeRef};
 use ssbench_engine::prelude::*;
 use ssbench_optimized::apply_shared_computation;
-use ssbench_systems::{OpClass, SimSystem, SystemKind, ALL_SYSTEMS};
+use ssbench_systems::{OpClass, SimSystem, SystemKind};
 
 use crate::config::RunConfig;
 use crate::series::{ExperimentResult, Series};
@@ -65,7 +66,13 @@ pub fn fig11_shared(cfg: &RunConfig) -> ExperimentResult {
     // The repeated family is genuinely quadratic in engine work — one
     // trial per size (deterministic for the desktop systems).
     let protocol = cfg.protocol.capped(1);
-    for kind in ALL_SYSTEMS {
+    for kind in cfg.systems() {
+        if kind == SystemKind::Optimized {
+            // The Optimized system never evaluates the quadratic family
+            // formula-by-formula — its single prefix-sharing series is
+            // produced below.
+            continue;
+        }
         let sys = SimSystem::with_seed(kind, cfg.seed);
         let sizes = sizes_for(cfg, sys.max_rows(OpClass::Shared));
         let mut repeated = Series::new(format!("{} Repeated", kind.name()), kind);
@@ -84,21 +91,24 @@ pub fn fig11_shared(cfg: &RunConfig) -> ExperimentResult {
         result.series.push(repeated);
         result.series.push(reusable);
     }
-    // Beyond the paper: the same repeated family answered by one shared
-    // prefix pass (Excel cost model).
-    let sys = SimSystem::with_seed(SystemKind::Excel, cfg.seed);
-    let mut optimized = Series::new("Optimized (prefix sharing)", SystemKind::Excel);
-    for &m in &sizes_for(cfg, None) {
-        let mut sheet = base_sheet(m);
-        install_repeated(&mut sheet, m);
-        sheet.meter().reset();
-        let (answered, ms) = sys.measure(&mut sheet, OpClass::Shared, |s| {
-            apply_shared_computation(s)
-        });
-        assert_eq!(answered as u32, m);
-        optimized.push(m, ms);
+    // The fourth system (§6): the same repeated family answered by one
+    // shared prefix pass under the Optimized profile's own cost model.
+    if cfg.runs(SystemKind::Optimized) {
+        let kind = SystemKind::Optimized;
+        let sys = SimSystem::with_seed(kind, cfg.seed);
+        let mut optimized = Series::new(format!("{} (prefix sharing)", kind.name()), kind);
+        for &m in &sizes_for(cfg, None) {
+            let mut sheet = base_sheet(m);
+            install_repeated(&mut sheet, m);
+            sheet.meter().reset();
+            let (answered, ms) = sys.measure(&mut sheet, OpClass::Shared, |s| {
+                apply_shared_computation(s)
+            });
+            assert_eq!(answered as u32, m);
+            optimized.push(m, ms);
+        }
+        result.series.push(optimized);
     }
-    result.series.push(optimized);
     result
 }
 

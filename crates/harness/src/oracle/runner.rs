@@ -50,14 +50,20 @@ pub struct OracleConfig {
     /// or compiled bytecode with vectorized range kernels. Values must be
     /// bit-identical across backends.
     pub backend: EvalBackend,
+    /// Maintain auto-built column indexes and let COUNTIF/SUMIF/VLOOKUP/
+    /// MATCH answer through them (the fourth system's variable). Indexed
+    /// probes must produce bit-identical values, and the indexes must ride
+    /// every structural edit (insert/delete/sort) without drifting from
+    /// the grid.
+    pub indexed: bool,
 }
 
 impl OracleConfig {
     /// Compact label for failure messages, e.g.
-    /// `row/par4/opt-lookup/inc/compiled`.
+    /// `row/par4/opt-lookup/inc/compiled/ix`.
     pub fn label(&self) -> String {
         format!(
-            "{}/par{}/{}/{}/{}",
+            "{}/par{}/{}/{}/{}/{}",
             match self.layout {
                 Layout::RowMajor => "row",
                 Layout::ColumnMajor => "col",
@@ -66,6 +72,7 @@ impl OracleConfig {
             if self.lookup == LookupStrategy::default() { "naive-lookup" } else { "opt-lookup" },
             if self.incremental { "inc" } else { "full" },
             self.backend.name(),
+            if self.indexed { "ix" } else { "noix" },
         )
     }
 
@@ -75,36 +82,42 @@ impl OracleConfig {
     /// because compiled replays add `compile` (precompile-pass) spans; the
     /// meter counts inside the shared spans still agree across backends —
     /// the per-op value digests enforce that indirectly, and the engine's
-    /// own tests enforce it directly.
-    fn signature_group(&self) -> (bool, bool, bool, EvalBackend) {
+    /// own tests enforce it directly. Indexing is part of the key because
+    /// index builds and probes replace scan reads (IndexProbe vs CellRead);
+    /// within the indexed half the replays must still be deterministic.
+    fn signature_group(&self) -> (bool, bool, bool, bool, EvalBackend) {
         (
             self.incremental,
             self.lookup.early_exit_exact,
             self.lookup.binary_search_approx,
+            self.indexed,
             self.backend,
         )
     }
 }
 
-/// The full 48-configuration matrix: 2 layouts × 2 lookup strategies ×
-/// full/incremental × 1/2/4 workers × 2 evaluation backends. The first
-/// entry is the reference configuration everything else is compared
-/// against.
+/// The full 96-configuration matrix: 2 layouts × 2 lookup strategies ×
+/// full/incremental × 1/2/4 workers × 2 evaluation backends × indexed or
+/// not. The first entry is the reference configuration everything else is
+/// compared against.
 pub fn matrix() -> Vec<OracleConfig> {
     let optimized = LookupStrategy { early_exit_exact: true, binary_search_approx: true };
-    let mut out = Vec::with_capacity(48);
+    let mut out = Vec::with_capacity(96);
     for layout in [Layout::RowMajor, Layout::ColumnMajor] {
         for lookup in [LookupStrategy::default(), optimized] {
             for incremental in [false, true] {
                 for parallelism in [1, 2, 4] {
                     for backend in [EvalBackend::Interpreted, EvalBackend::Compiled] {
-                        out.push(OracleConfig {
-                            layout,
-                            parallelism,
-                            lookup,
-                            incremental,
-                            backend,
-                        });
+                        for indexed in [false, true] {
+                            out.push(OracleConfig {
+                                layout,
+                                parallelism,
+                                lookup,
+                                incremental,
+                                backend,
+                                indexed,
+                            });
+                        }
                     }
                 }
             }
@@ -209,8 +222,9 @@ pub fn check_script(script: &Script) -> Result<(), Failure> {
     }
 
     // Span signatures: identical within each (recalc mode, lookup,
-    // backend) group.
-    let mut groups: HashMap<(bool, bool, bool, EvalBackend), (String, &str)> = HashMap::new();
+    // indexed, backend) group.
+    let mut groups: HashMap<(bool, bool, bool, bool, EvalBackend), (String, &str)> =
+        HashMap::new();
     for (config, run) in configs.iter().zip(&replays) {
         match groups.get(&config.signature_group()) {
             None => {
@@ -257,6 +271,10 @@ fn replay(script: &Script, config: OracleConfig) -> Result<Replay, Failure> {
     let mut sheet = gen::build_workbook(script, config.layout);
     sheet.set_lookup_strategy(config.lookup);
     sheet.set_recalc_options(opts);
+    // Indexed configs auto-maintain column indexes from here on: every
+    // recalc entry point re-registers and rebuilds as needed, and every
+    // value write routes through the maintenance hook.
+    sheet.set_auto_index(config.indexed);
     recalc::recalc_all(&mut sheet);
 
     // Capture spans for the op replay only (workbook construction is
@@ -437,6 +455,13 @@ fn check_invariants(
             config.lookup
         ));
     }
+    if sheet.auto_index() != config.indexed {
+        return Err(format!(
+            "auto-index changed to {} (configured {})",
+            sheet.auto_index(),
+            config.indexed
+        ));
+    }
     audit::check_all(sheet)?;
     analyze::check_sheet(sheet).map(|_| ())
 }
@@ -524,14 +549,16 @@ mod tests {
     #[test]
     fn matrix_covers_all_dimensions() {
         let m = matrix();
-        assert_eq!(m.len(), 48);
+        assert_eq!(m.len(), 96);
         assert!(m.iter().any(|c| c.layout == Layout::ColumnMajor));
         assert!(m.iter().any(|c| c.parallelism == 4));
         assert!(m.iter().any(|c| c.lookup.early_exit_exact));
         assert!(m.iter().any(|c| c.incremental));
         assert!(m.iter().any(|c| c.backend == EvalBackend::Compiled));
-        // Reference config is the plainest one: sequential interpreter.
-        assert_eq!(m[0].label(), "row/par1/naive-lookup/full/interp");
+        assert!(m.iter().any(|c| c.indexed));
+        // Reference config is the plainest one: sequential interpreter,
+        // no indexes.
+        assert_eq!(m[0].label(), "row/par1/naive-lookup/full/interp/noix");
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub fn shrink(script: &Script) -> Script {
 
 /// Shrinks against an arbitrary predicate (`true` = still failing).
 /// Split out for testability: unit tests use synthetic predicates
-/// instead of 48-config replays.
+/// instead of full-matrix replays.
 pub fn shrink_with(script: &Script, mut fails: impl FnMut(&Script) -> bool) -> Script {
     assert!(fails(script), "shrink precondition: the input script must fail");
     let mut best = script.clone();

@@ -2,10 +2,15 @@
 //! percentage of their documented scalability limits Excel (E), Calc (C),
 //! and Google Sheets (G) violate the interactivity bound. A value of 100%
 //! indicates the bound wasn't violated." (§4.4)
+//!
+//! The reproduction extends the table with one column per *registered*
+//! system profile, so the fourth (Optimized, code O) system appears
+//! alongside the paper trio whenever its series were produced. The
+//! columns are derived from the results, in registry order.
 
 use std::fmt;
 
-use ssbench_systems::{SystemKind, ALL_SYSTEMS};
+use ssbench_systems::{all_kinds, SystemKind};
 use ssbench_workload::schema::NUM_COLS;
 use ssbench_workload::Variant;
 
@@ -63,16 +68,18 @@ fn fmt_pct(p: f64) -> String {
 }
 
 /// One row (operation) of Table 2: `[variant][system]` cells in the order
-/// F/V × E/C/G.
+/// F/V × the table's system columns.
 #[derive(Debug, Clone)]
 pub struct Table2Row {
     pub op: String,
-    pub cells: [[Table2Cell; 3]; 2],
+    pub cells: [Vec<Table2Cell>; 2],
 }
 
 /// The reproduced Table 2.
 #[derive(Debug, Clone)]
 pub struct Table2 {
+    /// System columns, in registry order.
+    pub systems: Vec<SystemKind>,
     pub rows: Vec<Table2Row>,
 }
 
@@ -88,24 +95,32 @@ impl Table2 {
             Variant::FormulaValue => 0,
             Variant::ValueOnly => 1,
         };
-        let si = ALL_SYSTEMS.iter().position(|&k| k == system)?;
+        let si = self.systems.iter().position(|&k| k == system)?;
         Some(self.row(op)?.cells[vi][si])
     }
 }
 
 impl fmt::Display for Table2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = 8 * self.systems.len();
+        write!(f, "{:<24}|", "")?;
+        for &k in &self.systems {
+            write!(f, "{:>8}", format!("{} (%)", k.code()))?;
+        }
+        write!(f, " |")?;
+        for &k in &self.systems {
+            write!(f, "{:>8}", format!("{} (%)", k.code()))?;
+        }
+        writeln!(f)?;
         writeln!(
             f,
-            "{:<24}|{:>8}{:>8}{:>8} |{:>8}{:>8}{:>8}",
-            "", "E (%)", "C (%)", "G (%)", "E (%)", "C (%)", "G (%)"
+            "{:<24}|{:^w$} |{:^w$}",
+            "Operation",
+            "Formula-value",
+            "Value-only",
+            w = width
         )?;
-        writeln!(
-            f,
-            "{:<24}|{:^24} |{:^24}",
-            "Operation", "Formula-value", "Value-only"
-        )?;
-        writeln!(f, "{}", "-".repeat(76))?;
+        writeln!(f, "{}", "-".repeat(26 + 2 * (width + 1)))?;
         for row in &self.rows {
             write!(f, "{:<24}|", row.op)?;
             for cell in &row.cells[0] {
@@ -140,14 +155,30 @@ pub const TABLE2_OPS: [(&str, &str); 7] = [
     ("VLOOKUP", "fig8"),
 ];
 
+/// The system columns present in a result set: every registered kind
+/// that contributed at least one series, in registry order. Falls back
+/// to the full registry when the results are empty.
+fn systems_in(results: &[ExperimentResult]) -> Vec<SystemKind> {
+    let present: Vec<SystemKind> = all_kinds()
+        .filter(|&k| results.iter().any(|r| r.series.iter().any(|s| s.system == k)))
+        .collect();
+    if present.is_empty() {
+        all_kinds().collect()
+    } else {
+        present
+    }
+}
+
 /// Derives Table 2 from already-run BCT results.
 pub fn from_results(results: &[ExperimentResult]) -> Table2 {
+    let systems = systems_in(results);
     let find = |id: &str| results.iter().find(|r| r.id == id);
     let mut rows = Vec::new();
     for (op, fig) in TABLE2_OPS {
-        let mut cells = [[Table2Cell::NotRun; 3]; 2];
+        let mut cells =
+            [vec![Table2Cell::NotRun; systems.len()], vec![Table2Cell::NotRun; systems.len()]];
         if let Some(result) = find(fig) {
-            for (si, &kind) in ALL_SYSTEMS.iter().enumerate() {
+            for (si, &kind) in systems.iter().enumerate() {
                 if fig == "fig8" {
                     // VLOOKUP: Value-only, exact-match series; the paper
                     // marks Formula-value as not run.
@@ -175,7 +206,7 @@ pub fn from_results(results: &[ExperimentResult]) -> Table2 {
         }
         rows.push(Table2Row { op: op.to_owned(), cells });
     }
-    Table2 { rows }
+    Table2 { systems, rows }
 }
 
 /// Runs the seven BCT experiments (stopping each sweep one size after its
@@ -189,8 +220,8 @@ pub fn compute(cfg: &RunConfig) -> (Table2, Vec<ExperimentResult>) {
     (from_results(&results), results)
 }
 
-/// The paper's published Table 2, for paper-vs-measured comparison.
-/// `None` encodes "×" (not run).
+/// The paper's published Table 2, for paper-vs-measured comparison. The
+/// three columns are the paper trio E/C/G; `None` encodes "×" (not run).
 pub fn paper_table2() -> Vec<(&'static str, [[Option<f64>; 3]; 2])> {
     vec![
         ("Open", [[Some(0.6), Some(0.015), Some(0.05)], [Some(0.6), Some(0.015), Some(0.05)]]),
@@ -232,6 +263,8 @@ mod tests {
         s.push(110_000, 510.0);
         fig7.series.push(s);
         let t = from_results(&[fig7]);
+        // Only the systems that produced series become columns.
+        assert_eq!(t.systems, vec![SystemKind::Excel, SystemKind::Calc]);
         assert_eq!(
             t.cell("COUNTIF", Variant::FormulaValue, SystemKind::Excel),
             Some(Table2Cell::NeverViolated)
@@ -240,19 +273,25 @@ mod tests {
             t.cell("COUNTIF", Variant::FormulaValue, SystemKind::Calc),
             Some(Table2Cell::Pct(11.0))
         );
-        // Missing experiments render as NotRun.
+        // Missing experiments render as NotRun; absent systems as None.
         assert_eq!(
             t.cell("Sort", Variant::ValueOnly, SystemKind::Excel),
             Some(Table2Cell::NotRun)
         );
+        assert_eq!(t.cell("COUNTIF", Variant::FormulaValue, SystemKind::Optimized), None);
     }
 
     #[test]
-    fn display_renders_all_rows() {
+    fn display_renders_all_rows_and_registry_columns() {
         let t = from_results(&[]);
+        // Empty results fall back to one column per registered system.
+        assert_eq!(t.systems.len(), all_kinds().count());
         let text = t.to_string();
         for (op, _) in TABLE2_OPS {
             assert!(text.contains(op), "{op}");
+        }
+        for &k in &t.systems {
+            assert!(text.contains(&format!("{} (%)", k.code())), "{k:?}");
         }
     }
 

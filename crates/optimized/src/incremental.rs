@@ -122,6 +122,18 @@ impl IncrementalRegistry {
     /// Registers an aggregate materializing into `formula_cell`.
     pub fn register(&mut self, sheet: &mut Sheet, formula_cell: CellAddr, range: Range, kind: AggKind) {
         let agg = IncrementalAggregate::build(sheet, range, kind);
+        self.register_built(sheet, formula_cell, agg);
+    }
+
+    /// Registers an already-built aggregate materializing into
+    /// `formula_cell`. Lets duplicate formulas over the same range share a
+    /// single O(m) build scan: build once, clone, register each copy.
+    pub fn register_built(
+        &mut self,
+        sheet: &mut Sheet,
+        formula_cell: CellAddr,
+        agg: IncrementalAggregate,
+    ) {
         sheet.store_formula_result(formula_cell, agg.value());
         self.entries.push((formula_cell, agg));
     }
@@ -270,5 +282,29 @@ mod tests {
         assert_eq!(touched, 2);
         assert_eq!(s.value(f1), Value::Number(99.0));
         assert_eq!(s.value(f2), Value::Number(99.0));
+    }
+
+    #[test]
+    fn register_built_shares_one_scan_across_duplicates() {
+        let mut s = sheet();
+        let crit = Criterion::parse(&Value::Number(1.0));
+        let cells: Vec<CellAddr> = (0..5).map(|i| CellAddr::new(i, 20)).collect();
+        for &c in &cells {
+            s.set_formula_str(c, "=COUNTIF(J1:J200,1)").unwrap();
+        }
+        let shared =
+            IncrementalAggregate::build(&s, col_j(200), AggKind::CountIf(crit));
+        let before = s.meter().snapshot();
+        let mut reg = IncrementalRegistry::new();
+        for &c in &cells {
+            reg.register_built(&mut s, c, shared.clone());
+        }
+        // No additional scans beyond the one shared build.
+        let d = s.meter().snapshot().since(&before);
+        assert_eq!(d.get(Primitive::CellRead), 0);
+        reg.edit(&mut s, CellAddr::new(1, 9), Value::Number(0.0));
+        for &c in &cells {
+            assert_eq!(s.value(c), Value::Number(99.0));
+        }
     }
 }

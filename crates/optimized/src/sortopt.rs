@@ -44,7 +44,7 @@ pub struct SortRecalcStats {
 /// actually affect — versus the full recalculation all three commercial
 /// systems perform (§4.2.1: "such recomputation is not always necessary").
 pub fn sort_with_recalc_avoidance(sheet: &mut Sheet, keys: &[SortKey]) -> SortRecalcStats {
-    sort_rows(sheet, keys);
+    sheet.apply(Op::Sort { keys: keys.to_vec() }).expect("sort is infallible");
     recalc_after_sort(sheet)
 }
 
@@ -174,7 +174,7 @@ mod tests {
         let mut s1 = build();
         let mut s2 = build();
         sort_with_recalc_avoidance(&mut s1, &[SortKey::asc(0)]);
-        sort_rows(&mut s2, &[SortKey::asc(0)]);
+        s2.apply(Op::Sort { keys: vec![SortKey::asc(0)] }).unwrap();
         recalc::recalc_all(&mut s2);
         for r in 0..50u32 {
             for c in 0..5u32 {

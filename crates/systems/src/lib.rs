@@ -1,8 +1,16 @@
 //! # ssbench-systems
 //!
-//! Behavioural profiles of the three spreadsheet systems benchmarked by
-//! *Benchmarking Spreadsheet Systems* (SIGMOD 2020): Microsoft Excel 2016,
-//! LibreOffice Calc 6.0.3.2, and Google Sheets.
+//! Behavioural profiles of the spreadsheet systems under benchmark: the
+//! three systems measured by *Benchmarking Spreadsheet Systems* (SIGMOD
+//! 2020) — Microsoft Excel 2016, LibreOffice Calc 6.0.3.2, Google Sheets
+//! — plus the engine-integrated *Optimized* fourth system, which runs the
+//! paper's §6 "what if?" optimizations (maintained column indexes,
+//! delta-maintained aggregates, sort-safety analysis) for real.
+//!
+//! Profiles are resolved through an open registry
+//! ([`profile::registry`]/[`all_profiles`]): adding a system is one enum
+//! variant plus one registry row, and every experiment, report, and chart
+//! picks it up without modification.
 //!
 //! A profile is (a) a set of *policies* — which work the system performs
 //! for each operation (lazy viewport loading, recalculation triggers,
@@ -28,7 +36,9 @@ pub mod sim;
 pub use cost::{CostModel, CostTable};
 pub use op::{OpClass, ALL_OPS};
 pub use policy::{Quotas, RecalcTrigger, SystemPolicies};
-pub use profile::{ScalabilityLimit, SystemKind, SystemProfile, ALL_SYSTEMS};
+pub use profile::{
+    all_kinds, all_profiles, ProfileEntry, ScalabilityLimit, SystemKind, SystemProfile,
+};
 pub use sim::SimSystem;
 
 /// The interactivity bound the paper tests against: 500 ms, "widely

@@ -71,6 +71,14 @@ pub struct SystemPolicies {
     pub recalc_on_pivot: RecalcTrigger,
     /// VLOOKUP scan strategy (§4.3.4).
     pub lookup: LookupStrategy,
+    /// The engine maintains hash + sorted column indexes through every
+    /// edit and consults them for COUNTIF/SUMIF/VLOOKUP/MATCH instead of
+    /// scanning (§5.1, §6). None of the three commercial systems does
+    /// this; the Optimized profile turns it on.
+    pub indexed: bool,
+    /// Single-cell edits maintain whole-column aggregates by applying the
+    /// delta of the edit (§5.5) instead of recomputing from scratch.
+    pub incremental_update: bool,
     /// Quota caps (§3.3).
     pub quotas: Quotas,
     /// Multiplicative noise applied to simulated times (± fraction),
@@ -92,6 +100,8 @@ impl SystemPolicies {
             recalc_on_filter: RecalcTrigger::None,
             recalc_on_pivot: RecalcTrigger::None,
             lookup: LookupStrategy { early_exit_exact: false, binary_search_approx: false },
+            indexed: false,
+            incremental_update: false,
             quotas: Quotas {
                 general_rows: None,
                 sort_rows: None,

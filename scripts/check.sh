@@ -34,7 +34,7 @@ test -s "$trace_dir/trace.txt" || { echo "missing trace.txt" >&2; exit 1; }
 # Differential oracle (DESIGN.md §9): a bounded fixed-seed fuzz sweep —
 # deterministic, so CI cannot flake — plus a replay of every shrunk
 # reproducer in the corpus. The fuzz binary exits non-zero on any
-# divergence or invariant violation across the 48-configuration matrix.
+# divergence or invariant violation across the 96-configuration matrix.
 echo "==> differential fuzz smoke (3 seeds x 200 ops)"
 for seed in 1 2 3; do
   ./target/release/fuzz --seed "$seed" --ops 200
@@ -64,5 +64,16 @@ echo "==> corpus static verification (bytecode + dep-graph soundness)"
 echo "==> ablation_compile baseline (writes BENCH_eval.json)"
 BENCH_EVAL_JSON="$PWD/BENCH_eval.json" cargo bench -p ssbench-bench --bench ablation_compile
 test -s BENCH_eval.json || { echo "missing BENCH_eval.json" >&2; exit 1; }
+
+# Index ablation (DESIGN.md §13): maintained column indexes vs naive
+# scans for COUNTIF and exact VLOOKUP at 500k rows, plus the Optimized
+# profile's simulated interactivity rows. The bench appends an
+# "ablation_index" section to BENCH_eval.json (read-modify-write, after
+# ablation_compile's full rewrite above) and exits non-zero if either
+# indexed evaluation is under the 10x bar or any Optimized row breaks
+# the 500 ms interactivity bound.
+echo "==> ablation_index gate (appends to BENCH_eval.json)"
+BENCH_EVAL_JSON="$PWD/BENCH_eval.json" cargo bench -p ssbench-bench --bench ablation_index
+grep -q '"ablation_index"' BENCH_eval.json || { echo "missing ablation_index section" >&2; exit 1; }
 
 echo "==> all checks passed"

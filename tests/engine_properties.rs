@@ -360,6 +360,81 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Maintained column indexes (the fourth system's engine hook)
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// An auto-indexed sheet stays bit-identical to an unindexed one under
+    /// random edit/insert/delete/sort sequences: the maintained column
+    /// indexes may change *how* COUNTIF/VLOOKUP/MATCH are answered (probes
+    /// instead of scans), never *what* they answer, and they must ride
+    /// every structural edit without drifting from the grid.
+    #[test]
+    fn maintained_indexes_survive_structural_edits(
+        values in prop::collection::vec((0i64..6, -20i64..20), 6..30),
+        ops in prop::collection::vec((0u8..4, 0u32..30, 0i64..6), 1..10),
+    ) {
+        use ssbench::engine::ops::structure::{delete_rows, insert_rows};
+        let build = |indexed: bool| {
+            let mut s = Sheet::new();
+            for (i, &(k, v)) in values.iter().enumerate() {
+                s.set_value(CellAddr::new(i as u32, 0), k);
+                s.set_value(CellAddr::new(i as u32, 1), v);
+            }
+            s.set_auto_index(indexed);
+            recalc::recalc_all(&mut s);
+            s
+        };
+        let mut plain = build(false);
+        let mut indexed = build(true);
+        for &(tag, pos, k) in &ops {
+            for s in [&mut plain, &mut indexed] {
+                let n = s.nrows().max(1);
+                match tag {
+                    0 => {
+                        s.set_value(CellAddr::new(pos % n, 0), k);
+                    }
+                    1 => {
+                        insert_rows(s, pos % (n + 1), 1 + pos % 2);
+                    }
+                    2 => {
+                        if n > 1 {
+                            delete_rows(s, pos % n, 1);
+                        }
+                    }
+                    _ => {
+                        sort_rows(s, &[SortKey::asc(0)]);
+                    }
+                }
+                recalc::recalc_all(s);
+            }
+            let n = plain.nrows();
+            prop_assert_eq!(indexed.nrows(), n);
+            prop_assert!(n > 0);
+            for needle in 0..6i64 {
+                for q in [
+                    format!("=COUNTIF(A1:A{n},{needle})"),
+                    format!("=VLOOKUP({needle},A1:B{n},2,FALSE)"),
+                    format!("=MATCH({needle},A1:A{n},0)"),
+                ] {
+                    prop_assert_eq!(
+                        plain.eval_str(&q).unwrap(),
+                        indexed.eval_str(&q).unwrap(),
+                        "{}", q
+                    );
+                }
+            }
+            for r in 0..n {
+                for c in 0..2u32 {
+                    let addr = CellAddr::new(r, c);
+                    prop_assert_eq!(plain.value(addr), indexed.value(addr), "cell {}", addr);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Grid layout equivalence
 // ---------------------------------------------------------------------
 

@@ -1,7 +1,6 @@
 //! Integration tests over the OOT experiments: the six §5 findings
-//! (takeaway boxes) must hold in the reproduced figures, and the
-//! `ssbench-optimized` counterfactual series must show the predicted
-//! improvements.
+//! (takeaway boxes) must hold in the reproduced figures, and the fourth
+//! (Optimized) system's series must show the predicted improvements.
 
 use ssbench::harness::oot;
 use ssbench::harness::RunConfig;
@@ -13,7 +12,7 @@ fn cfg(scale: f64) -> RunConfig {
 }
 
 /// §5.1.2 takeaway: find-and-replace is linear even for absent values —
-/// no inverted index. The indexed counterfactual is near-constant.
+/// no inverted index. The fourth system's absent probe is near-constant.
 #[test]
 fn no_index_finding() {
     let r = oot::fig9_find_replace(&cfg(0.05));
@@ -27,7 +26,7 @@ fn no_index_finding() {
             "{sys}: absent search grows with data (×{growth:.2})"
         );
     }
-    let opt = r.series("Optimized (inverted index)").unwrap();
+    let opt = r.series("Optimized Absent").unwrap();
     let growth = opt.points.last().unwrap().ms / opt.points[0].ms;
     assert!(growth < 1.4, "indexed search ~flat (×{growth:.2})");
 }
@@ -99,14 +98,14 @@ fn no_incremental_updates_finding() {
     );
 }
 
-/// The optimized counterfactuals beat the simulated systems in every OOT
+/// The fourth (Optimized) system beats the simulated trio in every OOT
 /// experiment at the top measured size.
 #[test]
 fn optimized_series_always_win() {
     let scale = 0.05;
     let r9 = oot::fig9_find_replace(&cfg(scale));
     let naive = r9.series("Excel Present").unwrap().last().unwrap();
-    let opt = r9.series("Optimized (inverted index)").unwrap().last().unwrap();
+    let opt = r9.series("Optimized Present").unwrap().last().unwrap();
     assert!(opt.ms < naive.ms);
 
     let r12 = oot::fig12_redundant(&cfg(scale));
@@ -116,7 +115,7 @@ fn optimized_series_always_win() {
 
     let r13 = oot::fig13_incremental(&cfg(scale));
     let naive = r13.series("Excel").unwrap().last().unwrap();
-    let opt = r13.series("Optimized (incremental)").unwrap().last().unwrap();
+    let opt = r13.series("Optimized").unwrap().last().unwrap();
     assert!(opt.ms < naive.ms);
 }
 

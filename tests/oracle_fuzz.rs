@@ -1,5 +1,5 @@
 //! Bounded in-test fuzz smoke: a fixed-seed generated sequence replayed
-//! across the full 48-configuration matrix. Deterministic (fixed seed,
+//! across the full 96-configuration matrix. Deterministic (fixed seed,
 //! shimmed RNG), so CI cannot flake — the long random exploration lives
 //! in the `fuzz` binary, exercised by `scripts/check.sh`.
 

@@ -8,8 +8,12 @@
 
 use ssbench::harness::table2::{self, Table2Cell};
 use ssbench::harness::{Protocol, RunConfig};
-use ssbench::systems::{ScalabilityLimit, SystemKind, ALL_SYSTEMS};
+use ssbench::systems::{ScalabilityLimit, SystemKind};
 use ssbench::workload::Variant;
+
+/// The paper's three systems — Table 2 as published covers only these;
+/// the reproduced table may carry extra registered columns (Optimized).
+const PAPER_TRIO: [SystemKind; 3] = [SystemKind::Excel, SystemKind::Calc, SystemKind::GSheets];
 
 /// The paper's Table 2 as violation row counts (None = never violated).
 /// Two cells knowingly deviate from the paper's self-inconsistent values
@@ -105,7 +109,7 @@ fn check_against_paper(table: &table2::Table2, cfg: &RunConfig) {
     let mut mismatches = Vec::new();
     for (op, _) in table2::TABLE2_OPS {
         for variant in [Variant::FormulaValue, Variant::ValueOnly] {
-            for sys in ALL_SYSTEMS {
+            for sys in PAPER_TRIO {
                 let Some(expected) = paper_violation_rows(op, variant, sys) else { continue };
                 let cell = table.cell(op, variant, sys).expect("cell exists");
                 let quota = ssbench::systems::SimSystem::new(sys).max_rows(op_class(op));
