@@ -1,0 +1,189 @@
+//! Ablation: the spill-to-disk buffer pool's overhead on a *cached
+//! working set* — the case the clock evictor is supposed to make cheap.
+//!
+//! A 200k-row numeric column is evaluated repeatedly with a whole-column
+//! `SUM` under (a) no grid budget and (b) a 4 MB budget. 4 MB holds the
+//! hot column's ~196 chunk pages (~1.6 MB) comfortably, so after the
+//! first faulting pass the budgeted sheet should serve every scan from
+//! resident chunks: the gate requires the budgeted median to stay within
+//! 2x of the unbounded one. Both runs must also produce the same answer,
+//! and the budgeted sheet must honor its cap.
+//!
+//! Results are merged into `$BENCH_EVAL_JSON` (default `BENCH_eval.json`)
+//! as an `"ablation_spill"` section via read-modify-write — this bench
+//! runs after `ablation_index` in `scripts/check.sh`, so it must append,
+//! not overwrite.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use ssbench_engine::prelude::*;
+
+const ROWS: u32 = 200_000;
+
+/// Budget for the capped run: generously above the hot column's page
+/// footprint, far below the whole sheet with its auxiliary state.
+const BUDGET: usize = 4 * 1024 * 1024;
+
+/// Gate: a cached working set must not pay more than this factor over
+/// the unbounded grid.
+const OVERHEAD_BAR: f64 = 2.0;
+
+/// One tall numeric column — typed chunks, the spillable kind.
+fn tall_sheet(budget: Option<usize>) -> Sheet {
+    let mut s = Sheet::new();
+    s.set_grid_budget(budget);
+    for r in 0..ROWS {
+        s.set_value(CellAddr::new(r, 0), f64::from(r % 8191));
+    }
+    s
+}
+
+/// Median seconds per evaluation over `trials` timed loops of `reps`
+/// evaluations each.
+fn median_secs(mut eval: impl FnMut(), reps: u32, trials: usize) -> f64 {
+    eval(); // warm-up: the budgeted grid faults its working set here
+    let mut samples: Vec<f64> = (0..trials)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..reps {
+                eval();
+            }
+            t.elapsed().as_secs_f64() / f64::from(reps)
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Seconds per whole-column SUM, unbounded vs budgeted, plus the
+/// budgeted sheet's spill counters after the timed passes.
+fn cached_working_set_ablation() -> (f64, f64, SpillStats) {
+    let unbounded = tall_sheet(None);
+    let budgeted = tall_sheet(Some(BUDGET));
+    let sum = format!("=SUM(A1:A{ROWS})");
+
+    let a = unbounded.eval_str(&sum).unwrap();
+    let b = budgeted.eval_str(&sum).unwrap();
+    assert_eq!(a, b, "budgeted and unbounded sheets must agree");
+    assert!(
+        budgeted.grid_resident_bytes() <= BUDGET,
+        "budgeted sheet exceeds its cap after a full scan"
+    );
+
+    let t_unbounded = median_secs(|| { black_box(unbounded.eval_str(&sum).unwrap()); }, 3, 5);
+    let t_budgeted = median_secs(|| { black_box(budgeted.eval_str(&sum).unwrap()); }, 3, 5);
+    (t_unbounded, t_budgeted, budgeted.grid_spill_stats())
+}
+
+fn bench(c: &mut Criterion) {
+    let unbounded = tall_sheet(None);
+    let budgeted = tall_sheet(Some(BUDGET));
+    let sum = format!("=SUM(A1:A{ROWS})");
+    let mut group = c.benchmark_group("ablation_spill/sum_200k");
+    group.bench_with_input(BenchmarkId::from_parameter("unbounded"), &(), |b, _| {
+        b.iter(|| unbounded.eval_str(&sum).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("budget4m"), &(), |b, _| {
+        b.iter(|| budgeted.eval_str(&sum).unwrap())
+    });
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+
+/// Merges `fragment` (a complete `"ablation_spill": {...}` member, no
+/// trailing comma) into the JSON object at `$BENCH_EVAL_JSON`, replacing
+/// any section left by a previous run.
+fn merge_into_eval_json(fragment: &str) {
+    let path =
+        std::env::var("BENCH_EVAL_JSON").unwrap_or_else(|_| "BENCH_eval.json".to_string());
+    let base = std::fs::read_to_string(&path).unwrap_or_else(|_| "{\n}\n".to_string());
+    let mut doc = base.trim_end().to_string();
+    if let Some(i) = doc.find(",\n  \"ablation_spill\"") {
+        doc.truncate(i);
+        doc.push_str("\n}");
+    }
+    assert!(doc.ends_with('}'), "{path} is not a JSON object");
+    doc.truncate(doc.len() - 1);
+    let mut out = doc.trim_end().to_string();
+    if out != "{" {
+        out.push(',');
+    }
+    out.push_str("\n  ");
+    out.push_str(fragment);
+    out.push_str("\n}\n");
+    std::fs::write(&path, &out).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("ablation_spill merged into {path}");
+}
+
+fn run_gates() {
+    let (t_unbounded, t_budgeted, stats) = cached_working_set_ablation();
+    let overhead = t_budgeted / t_unbounded;
+    let fragment = format!(
+        concat!(
+            "\"ablation_spill\": {{\n",
+            "    \"workload\": \"sum_cached_working_set_rows{rows}\",\n",
+            "    \"budget_bytes\": {budget},\n",
+            "    \"wall_us_per_eval\": {{\n",
+            "      \"unbounded\": {unb:.1},\n",
+            "      \"budgeted\": {cap:.1}\n",
+            "    }},\n",
+            "    \"overhead\": {{\n",
+            "      \"factor\": {overhead:.2},\n",
+            "      \"bar\": {bar:.1}\n",
+            "    }},\n",
+            "    \"spill_stats\": {{\n",
+            "      \"spills\": {spills},\n",
+            "      \"loads\": {loads},\n",
+            "      \"faults\": {faults}\n",
+            "    }}\n",
+            "  }}"
+        ),
+        rows = ROWS,
+        budget = BUDGET,
+        unb = t_unbounded * 1e6,
+        cap = t_budgeted * 1e6,
+        overhead = overhead,
+        bar = OVERHEAD_BAR,
+        spills = stats.spills,
+        loads = stats.loads,
+        faults = stats.faults,
+    );
+    merge_into_eval_json(&fragment);
+    println!(
+        "sum over {ROWS} rows: unbounded {:.1}us vs 4MB budget {:.1}us ({overhead:.2}x)",
+        t_unbounded * 1e6,
+        t_budgeted * 1e6,
+    );
+    println!(
+        "budgeted run: spills={} loads={} faults={}",
+        stats.spills, stats.loads, stats.faults
+    );
+    if overhead > OVERHEAD_BAR {
+        eprintln!(
+            "FAIL: cached-working-set overhead {overhead:.2}x exceeds the {OVERHEAD_BAR}x bar"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    // ABLATION_BASELINE_ONLY=1 skips the criterion groups and goes
+    // straight to the gates + JSON merge.
+    if std::env::var("ABLATION_BASELINE_ONLY").is_err() {
+        benches();
+    }
+    run_gates();
+}

@@ -12,7 +12,6 @@
 //! even floating-point accumulation order matches.
 
 use crate::addr::{CellAddr, Range};
-use crate::cell::Cell;
 use crate::error::CellError;
 use crate::eval::{apply_binary, apply_unary, EvalCtx};
 use crate::functions::{scalar, Arg};
@@ -207,13 +206,10 @@ fn run_kernel(
         }
     }
     Some(match k {
-        Kernel::Sum => {
-            let mut total = 0.0;
-            match numeric_scan(grid, ctx, range, |n| total += n) {
-                Ok(()) => Value::Number(total),
-                Err(e) => Value::Error(e),
-            }
-        }
+        Kernel::Sum => match sum_scan(grid, ctx, range) {
+            Ok(total) => Value::Number(total),
+            Err(e) => Value::Error(e),
+        },
         Kernel::Average => {
             let mut total = 0.0;
             let mut count = 0u64;
@@ -277,22 +273,127 @@ fn run_kernel(
 /// text/bool/empty are skipped, the first error aborts accumulation — but
 /// the scan (and its metering) still covers the whole range, exactly like
 /// the interpreter's `read_range`-based fold.
+/// `SUM` gets its own monomorphic scan: the `&[f64]` fold sits directly
+/// in the slice match arm with no abstraction between the run and the
+/// accumulator, so the hot loop stays at float-add latency.
+fn sum_scan(grid: &GridStore, ctx: &EvalCtx<'_>, range: Range) -> Result<f64, CellError> {
+    use crate::grid::ScanSlice;
+    let mut total = 0.0f64;
+    let mut first_err: Option<CellError> = None;
+    let mut visited = 0u64;
+    let mut formulas = 0u64;
+    grid.scan_range(range, &mut |slice: ScanSlice<'_>| match slice {
+        ScanSlice::Nums(vals) => {
+            visited += vals.len() as u64;
+            if first_err.is_none() {
+                for &n in vals {
+                    total += n;
+                }
+            }
+        }
+        ScanSlice::Texts(ids, interner) => {
+            visited += ids.len() as u64;
+            if first_err.is_none() {
+                for &id in ids {
+                    match interner.value(id) {
+                        Value::Number(n) => total += n,
+                        Value::Error(e) => {
+                            first_err = Some(*e);
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        ScanSlice::Cells(cells) => {
+            visited += cells.len() as u64;
+            for cell in cells {
+                let v = match &cell.content {
+                    crate::cell::CellContent::Value(v) => v,
+                    crate::cell::CellContent::Formula(fm) => {
+                        formulas += 1;
+                        &fm.cached
+                    }
+                };
+                if first_err.is_some() {
+                    continue;
+                }
+                match v {
+                    Value::Number(n) => total += n,
+                    Value::Error(e) => first_err = Some(*e),
+                    _ => {}
+                }
+            }
+        }
+        ScanSlice::Empty(n) => visited += n as u64,
+    });
+    charge(ctx, visited, formulas);
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(total),
+    }
+}
+
 fn numeric_scan(
     grid: &GridStore,
     ctx: &EvalCtx<'_>,
     range: Range,
     mut f: impl FnMut(f64),
 ) -> Result<(), CellError> {
+    use crate::grid::ScanSlice;
     let mut first_err: Option<CellError> = None;
-    let (visited, formulas) = scan(grid, range, &mut |v| {
-        if first_err.is_some() {
-            return;
+    let mut visited = 0u64;
+    let mut formulas = 0u64;
+    // Consumes typed runs directly: a numeric chunk is a plain `&[f64]`
+    // fold with no per-cell `Value` round-trip or error-flag branch —
+    // the aggregate hot loop. Visit counts keep accumulating after an
+    // error (the meter charges every visited cell either way).
+    grid.scan_range(range, &mut |slice: ScanSlice<'_>| match slice {
+        ScanSlice::Nums(vals) => {
+            visited += vals.len() as u64;
+            if first_err.is_none() {
+                for &n in vals {
+                    f(n);
+                }
+            }
         }
-        match v {
-            Value::Number(n) => f(*n),
-            Value::Error(e) => first_err = Some(*e),
-            _ => {}
+        ScanSlice::Texts(ids, interner) => {
+            visited += ids.len() as u64;
+            if first_err.is_none() {
+                for &id in ids {
+                    match interner.value(id) {
+                        Value::Number(n) => f(*n),
+                        Value::Error(e) => {
+                            first_err = Some(*e);
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+            }
         }
+        ScanSlice::Cells(cells) => {
+            visited += cells.len() as u64;
+            for cell in cells {
+                let v = match &cell.content {
+                    crate::cell::CellContent::Value(v) => v,
+                    crate::cell::CellContent::Formula(fm) => {
+                        formulas += 1;
+                        &fm.cached
+                    }
+                };
+                if first_err.is_some() {
+                    continue;
+                }
+                match v {
+                    Value::Number(n) => f(*n),
+                    Value::Error(e) => first_err = Some(*e),
+                    _ => {}
+                }
+            }
+        }
+        ScanSlice::Empty(n) => visited += n as u64,
     });
     charge(ctx, visited, formulas);
     match first_err {
@@ -725,28 +826,46 @@ fn rescan(state: &mut WindowState, grid: &GridStore, k: Kernel) -> Value {
 /// window on a row store and vice versa) — so every orientation stays on
 /// the kernel path instead of degrading to per-cell reads.
 fn scan<F: FnMut(&Value)>(grid: &GridStore, range: Range, f: &mut F) -> (u64, u64) {
+    use crate::grid::ScanSlice;
     let mut visited = 0u64;
     let mut formulas = 0u64;
-    // The stores hand over dense slices (whole for layout-aligned lines,
-    // one-cell for strided ones), so the inner loop stays a plain slice
-    // walk with one match per cell (not is_formula + display_value, which
-    // branch on the same tag twice) — this is the kernels' hot loop.
-    let mut per_slice = |slice: &[Cell]| {
-        visited += slice.len() as u64;
-        for cell in slice {
-            match &cell.content {
-                crate::cell::CellContent::Value(v) => f(v),
-                crate::cell::CellContent::Formula(fm) => {
-                    formulas += 1;
-                    f(&fm.cached);
+    // The chunked stores hand over typed runs: contiguous `f64` slices
+    // for numeric chunks (the aggregate hot loop — no `Cell` tag branch
+    // at all), interner-id slices for text chunks, cell slices for
+    // general chunks, and batched empty runs for vacant gaps (criteria
+    // kernels can match empties, so every position is fed through `f`).
+    grid.scan_range(range, &mut |slice: ScanSlice<'_>| match slice {
+        ScanSlice::Nums(vals) => {
+            visited += vals.len() as u64;
+            for n in vals {
+                f(&Value::Number(*n));
+            }
+        }
+        ScanSlice::Texts(ids, interner) => {
+            visited += ids.len() as u64;
+            for &id in ids {
+                f(interner.value(id));
+            }
+        }
+        ScanSlice::Cells(cells) => {
+            visited += cells.len() as u64;
+            for cell in cells {
+                match &cell.content {
+                    crate::cell::CellContent::Value(v) => f(v),
+                    crate::cell::CellContent::Formula(fm) => {
+                        formulas += 1;
+                        f(&fm.cached);
+                    }
                 }
             }
         }
-    };
-    match grid {
-        GridStore::Row(g) => g.scan_range(range, &mut per_slice),
-        GridStore::Col(g) => g.scan_range(range, &mut per_slice),
-    }
+        ScanSlice::Empty(n) => {
+            visited += n as u64;
+            for _ in 0..n {
+                f(&Value::Empty);
+            }
+        }
+    });
     (visited, formulas)
 }
 

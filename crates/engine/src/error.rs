@@ -25,6 +25,14 @@ pub enum EngineError {
     Invalid(String),
     /// An I/O failure during import/export.
     Io(String),
+    /// A row permutation handed to sort/permute was not a bijection of
+    /// `0..nrows` (wrong length, out-of-range index, or duplicate). The
+    /// payload names the first offense.
+    BadPermutation(String),
+    /// A cell address or grid size beyond the engine's hard limits
+    /// (`grid::MAX_ROWS` × `grid::MAX_COLS`), or one whose extent
+    /// computation would overflow `u32`.
+    OutOfBounds { rows: u32, cols: u32 },
 }
 
 impl fmt::Display for EngineError {
@@ -36,6 +44,10 @@ impl fmt::Display for EngineError {
             EngineError::NotFound(s) => write!(f, "not found: {s}"),
             EngineError::Invalid(s) => write!(f, "invalid operation: {s}"),
             EngineError::Io(s) => write!(f, "io error: {s}"),
+            EngineError::BadPermutation(s) => write!(f, "bad permutation: {s}"),
+            EngineError::OutOfBounds { rows, cols } => {
+                write!(f, "grid size {rows}x{cols} exceeds engine limits")
+            }
         }
     }
 }
@@ -107,5 +119,11 @@ mod tests {
         assert_eq!(EngineError::BadReference("Q".into()).to_string(), "bad reference: Q");
         assert!(EngineError::Parse("x".into()).to_string().contains("parse"));
         assert!(EngineError::FormulaTooDeep.to_string().contains("deeply nested"));
+        assert!(EngineError::BadPermutation("len 2 != 3".into())
+            .to_string()
+            .contains("bad permutation"));
+        assert!(EngineError::OutOfBounds { rows: u32::MAX, cols: 1 }
+            .to_string()
+            .contains("exceeds engine limits"));
     }
 }

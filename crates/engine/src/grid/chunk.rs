@@ -1,0 +1,1548 @@
+//! Typed columnar chunk storage. Every column is a sparse sequence of
+//! fixed-size segments (`CHUNK_ROWS` rows each), keyed by chunk index in a
+//! `BTreeMap` — an absent key is a fully vacant chunk that occupies no
+//! memory, which is what makes a write at row 1M allocate nothing in
+//! between (see the far-corner regression test).
+//!
+//! Segment representations, in the order writes migrate through them:
+//!
+//! * `Sparse` — a `BTreeMap<u16, Cell>` overlay. All chunks start here so
+//!   a handful of scattered cells never pays for a dense allocation; also
+//!   the home of styled and formula cells mixed into otherwise-typed data.
+//! * `Num` — a presence bitmap plus `[f64; CHUNK]`: plain numeric cells,
+//!   promoted from `Sparse` once a chunk accumulates enough uniform plain
+//!   numbers. Range aggregates scan these as contiguous `f64` slices.
+//! * `Text` — `[u32; CHUNK]` of interner ids (plain text cells), same
+//!   promotion rule; `u32::MAX` marks a vacant slot.
+//! * `Cells` — a dense `Vec<Cell>`: the fully-general fallback for chunks
+//!   holding formulas, styles, bools, or errors. **Invariant: formula and
+//!   styled cells only ever live in `Cells` or `Sparse`**, so borrowing
+//!   reads of them (`CellGet::Borrowed`, `Sheet::formula_expr`) always
+//!   find real storage, never a reconstruction.
+//! * `Spilled` — a page id in the buffer pool's page file. Only `Num` and
+//!   `Text` segments spill (they are plain data with a fixed codec);
+//!   `Cells`/`Sparse` segments are wired. Spilled chunks reload at `&mut`
+//!   access points and are served read-only through the pool's fault
+//!   cache from `&self`, so the grid stays `Sync` for parallel recalc.
+//!
+//! Spill machinery never touches the op meter: a budgeted grid produces
+//! bit-identical values, meter counts, and trace signatures to an
+//! unbounded one (enforced by the §9 oracle's `budget` dimension).
+
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+
+use crate::addr::{CellAddr, Range};
+use crate::cell::{Cell, CellContent};
+use crate::error::EngineError;
+use crate::style::Style;
+use crate::value::Value;
+
+use super::empty_cell;
+use super::pool::{self, PageData, PageKind, Pool, SpillStats, CHUNK, PAGE_BYTES, WORDS};
+
+/// Hard engine limits. Addresses at or beyond these are rejected with
+/// [`EngineError::OutOfBounds`]; they also guarantee `row + 1` / chunk
+/// arithmetic can never wrap `u32`.
+pub const MAX_ROWS: u32 = 1 << 30;
+pub const MAX_COLS: u32 = 1 << 20;
+
+/// Rows per chunk (must match `pool::CHUNK`, which the page codec uses).
+pub(crate) const CHUNK_ROWS: u32 = CHUNK as u32;
+
+/// Interner id marking a vacant text slot.
+const NO_TEXT: u32 = u32::MAX;
+
+/// `Sparse` chunks are probed for promotion to a typed segment every time
+/// their population crosses a multiple of this.
+const SPARSE_PROMOTE: usize = 64;
+
+/// A `Sparse` chunk this full converts to dense `Cells`.
+const SPARSE_TO_CELLS: usize = 512;
+
+static EMPTY_VALUE: Value = Value::Empty;
+
+/// The result of a grid read: a borrow when the cell has real storage
+/// (always the case for formulas and styled cells), an owned
+/// reconstruction when the slot lives in a typed or spilled segment.
+/// Derefs to [`Cell`]; call [`CellGet::into_cell`] for an owned copy.
+#[derive(Debug)]
+pub enum CellGet<'a> {
+    Borrowed(&'a Cell),
+    Owned(Cell),
+}
+
+impl Deref for CellGet<'_> {
+    type Target = Cell;
+    fn deref(&self) -> &Cell {
+        match self {
+            CellGet::Borrowed(c) => c,
+            CellGet::Owned(c) => c,
+        }
+    }
+}
+
+impl CellGet<'_> {
+    /// An owned copy of the cell (clones only in the borrowed case).
+    pub fn into_cell(self) -> Cell {
+        match self {
+            CellGet::Borrowed(c) => c.clone(),
+            CellGet::Owned(c) => c,
+        }
+    }
+}
+
+/// One run of cells handed to range-scan callbacks. Typed segments emit
+/// their backing slices directly — this is what turns the §10 kernels into
+/// contiguous `f64` scans.
+pub(crate) enum ScanSlice<'a> {
+    /// General cells (dense chunk, or a single sparse/overlay cell).
+    Cells(&'a [Cell]),
+    /// A run of present plain numbers.
+    Nums(&'a [f64]),
+    /// Interner ids (`u32::MAX` entries are vacant); resolve via
+    /// [`Interner::value`].
+    Texts(&'a [u32], &'a Interner),
+    /// A run of vacant positions. Callbacks must process these as `n`
+    /// empty cells (criteria kernels can match empties).
+    Empty(usize),
+}
+
+/// Text interner: plain text cells in typed segments store a `u32` id;
+/// the interner owns the canonical `Value::Text` for each id so reads can
+/// hand out `&Value` without reconstructing.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Interner {
+    vals: Vec<Value>,
+    map: HashMap<Arc<str>, u32>,
+}
+
+impl Interner {
+    fn intern(&mut self, s: &Arc<str>) -> u32 {
+        if let Some(&id) = self.map.get(s.as_ref()) {
+            return id;
+        }
+        let id = u32::try_from(self.vals.len()).expect("interner id space exhausted");
+        assert!(id < NO_TEXT, "interner id space exhausted");
+        self.vals.push(Value::Text(s.clone()));
+        self.map.insert(s.clone(), id);
+        id
+    }
+
+    /// The canonical value for `id`; the `NO_TEXT` sentinel resolves to
+    /// `Empty` so scan callbacks can pass raw id slices through.
+    pub(crate) fn value(&self, id: u32) -> &Value {
+        if id == NO_TEXT {
+            &EMPTY_VALUE
+        } else {
+            &self.vals[id as usize]
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        // Ids + map entries + the strings themselves (approximate).
+        self.vals
+            .iter()
+            .map(|v| match v {
+                Value::Text(s) => 64 + s.len(),
+                _ => 64,
+            })
+            .sum()
+    }
+}
+
+/// Dense plain-numeric segment.
+struct NumSeg {
+    present: [u64; WORDS],
+    count: u16,
+    pins: u16,
+    /// Clock-evictor reference bit; settable from `&self` readers.
+    hot: AtomicBool,
+    vals: [f64; CHUNK],
+}
+
+impl std::fmt::Debug for NumSeg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NumSeg").field("count", &self.count).field("pins", &self.pins).finish()
+    }
+}
+
+impl NumSeg {
+    fn get(&self, off: usize) -> Option<f64> {
+        if bit(&self.present, off) {
+            Some(self.vals[off])
+        } else {
+            None
+        }
+    }
+
+    fn set(&mut self, off: usize, n: f64) {
+        let (w, b) = (off / 64, off % 64);
+        if self.present[w] >> b & 1 == 0 {
+            self.present[w] |= 1 << b;
+            self.count += 1;
+        }
+        self.vals[off] = n;
+        *self.hot.get_mut() = true;
+    }
+
+    fn clear(&mut self, off: usize) {
+        let (w, b) = (off / 64, off % 64);
+        if self.present[w] >> b & 1 == 1 {
+            self.present[w] &= !(1 << b);
+            self.count -= 1;
+        }
+    }
+}
+
+/// Dense plain-text segment (interner ids).
+struct TextSeg {
+    count: u16,
+    pins: u16,
+    hot: AtomicBool,
+    ids: [u32; CHUNK],
+}
+
+impl std::fmt::Debug for TextSeg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TextSeg").field("count", &self.count).field("pins", &self.pins).finish()
+    }
+}
+
+impl TextSeg {
+    fn get(&self, off: usize) -> u32 {
+        self.ids[off]
+    }
+
+    fn set(&mut self, off: usize, id: u32) {
+        if self.ids[off] == NO_TEXT && id != NO_TEXT {
+            self.count += 1;
+        } else if self.ids[off] != NO_TEXT && id == NO_TEXT {
+            self.count -= 1;
+        }
+        self.ids[off] = id;
+        *self.hot.get_mut() = true;
+    }
+
+    fn clear(&mut self, off: usize) {
+        self.set(off, NO_TEXT);
+    }
+}
+
+/// Sparse overlay for lightly-populated or mixed/styled chunks.
+#[derive(Debug, Default)]
+struct SparseSeg {
+    cells: BTreeMap<u16, Cell>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Spilled {
+    page: u32,
+    kind: PageKind,
+}
+
+#[derive(Debug)]
+enum Segment {
+    Num(Box<NumSeg>),
+    Text(Box<TextSeg>),
+    Cells(Vec<Cell>),
+    Sparse(SparseSeg),
+    Spilled(Spilled),
+}
+
+impl Segment {
+    /// Spill accounting: resident bytes this segment charges against the
+    /// grid budget. Only typed segments are evictable and only they count.
+    fn spillable_bytes(&self) -> usize {
+        match self {
+            Segment::Num(_) | Segment::Text(_) => PAGE_BYTES,
+            _ => 0,
+        }
+    }
+
+    /// Clone for `ChunkGrid::clone`; `Spilled` segments are materialized
+    /// by the caller before cloning and never reach here.
+    fn clone_resident(&self) -> Segment {
+        match self {
+            Segment::Num(s) => Segment::Num(Box::new(NumSeg {
+                present: s.present,
+                count: s.count,
+                pins: 0,
+                hot: AtomicBool::new(true),
+                vals: s.vals,
+            })),
+            Segment::Text(s) => Segment::Text(Box::new(TextSeg {
+                count: s.count,
+                pins: 0,
+                hot: AtomicBool::new(true),
+                ids: s.ids,
+            })),
+            Segment::Cells(v) => Segment::Cells(v.clone()),
+            Segment::Sparse(sp) => {
+                Segment::Sparse(SparseSeg { cells: sp.cells.clone() })
+            }
+            Segment::Spilled(_) => unreachable!("clone materializes spilled segments first"),
+        }
+    }
+}
+
+fn bit(present: &[u64; WORDS], off: usize) -> bool {
+    present[off / 64] >> (off % 64) & 1 == 1
+}
+
+fn popcount(present: &[u64; WORDS]) -> u16 {
+    present.iter().map(|w| w.count_ones() as u16).sum()
+}
+
+fn segment_from_page(data: &PageData) -> Segment {
+    match data {
+        PageData::Num(np) => Segment::Num(Box::new(NumSeg {
+            present: np.present,
+            count: popcount(&np.present),
+            pins: 0,
+            hot: AtomicBool::new(true),
+            vals: np.vals,
+        })),
+        PageData::Text(tp) => Segment::Text(Box::new(TextSeg {
+            count: tp.ids.iter().filter(|&&id| id != NO_TEXT).count() as u16,
+            pins: 0,
+            hot: AtomicBool::new(true),
+            ids: tp.ids,
+        })),
+    }
+}
+
+/// A value on its way into a slot, already classified by representation.
+enum SlotVal {
+    Empty,
+    Num(f64),
+    TextId(u32),
+    Full(Cell),
+}
+
+/// A chunk resolved for reading: either direct segment storage or a
+/// fault-cache page for spilled data.
+enum ChunkRef<'a> {
+    Vacant,
+    Seg(&'a Segment),
+    Page(Arc<PageData>),
+}
+
+fn seg_to_cells(seg: &Segment, it: &Interner) -> Vec<Cell> {
+    match seg {
+        Segment::Num(s) => (0..CHUNK)
+            .map(|i| if bit(&s.present, i) { Cell::value(s.vals[i]) } else { Cell::empty() })
+            .collect(),
+        Segment::Text(s) => s
+            .ids
+            .iter()
+            .map(|&id| {
+                if id == NO_TEXT {
+                    Cell::empty()
+                } else {
+                    Cell { content: CellContent::Value(it.value(id).clone()), style: Style::plain() }
+                }
+            })
+            .collect(),
+        Segment::Sparse(sp) => {
+            let mut v = vec![Cell::empty(); CHUNK];
+            for (&k, c) in &sp.cells {
+                v[k as usize] = c.clone();
+            }
+            v
+        }
+        Segment::Cells(v) => v.clone(),
+        Segment::Spilled(_) => unreachable!("spilled segments are materialized before conversion"),
+    }
+}
+
+/// One column: chunk index → segment. Absent chunks are fully vacant.
+#[derive(Debug, Default)]
+struct Column {
+    segs: BTreeMap<u32, Segment>,
+}
+
+enum Put {
+    Num(f64),
+    Text(u32),
+    Full(Cell),
+}
+
+impl Column {
+    /// Writes `v` at `row`. `keep_style` is the `set_value` semantic: an
+    /// existing styled slot keeps its style and only the content changes.
+    /// Precondition: the target chunk is not `Spilled` (callers load it
+    /// first via `ChunkGrid::make_resident`).
+    fn write(
+        &mut self,
+        row: u32,
+        v: SlotVal,
+        keep_style: bool,
+        it: &mut Interner,
+        resident: &mut isize,
+    ) {
+        let ci = row / CHUNK_ROWS;
+        let off = (row % CHUNK_ROWS) as usize;
+        match v {
+            SlotVal::Empty => self.clear_slot(ci, off, keep_style, resident),
+            SlotVal::Num(n) => self.put(ci, off, Put::Num(n), keep_style, it, resident),
+            SlotVal::TextId(id) => self.put(ci, off, Put::Text(id), keep_style, it, resident),
+            SlotVal::Full(c) => self.put(ci, off, Put::Full(c), keep_style, it, resident),
+        }
+    }
+
+    fn put(
+        &mut self,
+        ci: u32,
+        off: usize,
+        p: Put,
+        keep_style: bool,
+        it: &mut Interner,
+        resident: &mut isize,
+    ) {
+        // Fast paths: a typed write into its matching typed segment.
+        match (self.segs.get_mut(&ci), &p) {
+            (Some(Segment::Num(s)), Put::Num(n)) => {
+                s.set(off, *n);
+                return;
+            }
+            (Some(Segment::Text(s)), Put::Text(id)) => {
+                s.set(off, *id);
+                return;
+            }
+            _ => {}
+        }
+        // Otherwise the slot needs general storage: vacant chunks open as
+        // Sparse, mismatched typed chunks degrade to Cells.
+        match self.segs.get(&ci) {
+            None => {
+                self.segs.insert(ci, Segment::Sparse(SparseSeg::default()));
+            }
+            Some(seg @ (Segment::Num(_) | Segment::Text(_))) => {
+                let cells = seg_to_cells(seg, it);
+                *resident -= PAGE_BYTES as isize;
+                self.segs.insert(ci, Segment::Cells(cells));
+            }
+            Some(Segment::Cells(_) | Segment::Sparse(_)) => {}
+            Some(Segment::Spilled(_)) => {
+                unreachable!("caller must make chunk resident before writes")
+            }
+        }
+        let cell_new = match p {
+            Put::Num(n) => Cell::value(n),
+            Put::Text(id) => {
+                Cell { content: CellContent::Value(it.value(id).clone()), style: Style::plain() }
+            }
+            Put::Full(c) => c,
+        };
+        let mut promote = false;
+        match self.segs.get_mut(&ci).expect("slot storage just ensured") {
+            Segment::Cells(v) => {
+                if keep_style {
+                    let st = v[off].style;
+                    v[off] = cell_new;
+                    v[off].style = st;
+                } else {
+                    v[off] = cell_new;
+                }
+            }
+            Segment::Sparse(sp) => {
+                let key = off as u16;
+                match sp.cells.get_mut(&key) {
+                    Some(existing) => {
+                        if keep_style {
+                            let st = existing.style;
+                            *existing = cell_new;
+                            existing.style = st;
+                        } else {
+                            *existing = cell_new;
+                        }
+                        if existing.is_vacant() {
+                            sp.cells.remove(&key);
+                        }
+                    }
+                    None => {
+                        sp.cells.insert(key, cell_new);
+                        promote = true;
+                    }
+                }
+            }
+            _ => unreachable!("slot storage just ensured"),
+        }
+        if promote {
+            self.maybe_promote(ci, it, resident);
+        }
+    }
+
+    /// Clears the slot; `keep_style` preserves a styled cell's style (the
+    /// `set_value(Empty)` semantic), plain clears drop the whole cell.
+    fn clear_slot(&mut self, ci: u32, off: usize, keep_style: bool, resident: &mut isize) {
+        let Some(seg) = self.segs.get_mut(&ci) else { return };
+        enum After {
+            Keep,
+            Remove,
+            RemoveTyped,
+        }
+        let after = match seg {
+            Segment::Num(s) => {
+                s.clear(off);
+                if s.count == 0 {
+                    After::RemoveTyped
+                } else {
+                    After::Keep
+                }
+            }
+            Segment::Text(s) => {
+                s.clear(off);
+                if s.count == 0 {
+                    After::RemoveTyped
+                } else {
+                    After::Keep
+                }
+            }
+            Segment::Cells(v) => {
+                if keep_style {
+                    v[off].content = CellContent::Value(Value::Empty);
+                } else {
+                    v[off] = Cell::empty();
+                }
+                After::Keep
+            }
+            Segment::Sparse(sp) => {
+                let key = off as u16;
+                if keep_style {
+                    if let Some(c) = sp.cells.get_mut(&key) {
+                        c.content = CellContent::Value(Value::Empty);
+                        if c.is_vacant() {
+                            sp.cells.remove(&key);
+                        }
+                    }
+                } else {
+                    sp.cells.remove(&key);
+                }
+                if sp.cells.is_empty() {
+                    After::Remove
+                } else {
+                    After::Keep
+                }
+            }
+            Segment::Spilled(_) => {
+                unreachable!("caller must make chunk resident before writes")
+            }
+        };
+        match after {
+            After::Keep => {}
+            After::Remove => {
+                self.segs.remove(&ci);
+            }
+            After::RemoveTyped => {
+                self.segs.remove(&ci);
+                *resident -= PAGE_BYTES as isize;
+            }
+        }
+    }
+
+    /// Promotes a `Sparse` chunk to a typed segment when its population is
+    /// uniform plain numbers/text, or to dense `Cells` once it is more
+    /// than half full. Checked only when the population crosses a
+    /// threshold multiple, so the uniformity scan amortizes to O(1).
+    fn maybe_promote(&mut self, ci: u32, it: &mut Interner, resident: &mut isize) {
+        let Some(Segment::Sparse(sp)) = self.segs.get(&ci) else { return };
+        let len = sp.cells.len();
+        if len >= SPARSE_TO_CELLS {
+            let seg = self.segs.get(&ci).expect("sparse seg present");
+            let cells = seg_to_cells(seg, it);
+            self.segs.insert(ci, Segment::Cells(cells));
+            return;
+        }
+        if len < SPARSE_PROMOTE || len % SPARSE_PROMOTE != 0 {
+            return;
+        }
+        #[derive(PartialEq)]
+        enum Uniform {
+            Nums,
+            Texts,
+            Mixed,
+        }
+        let mut uniform = None;
+        for c in sp.cells.values() {
+            let kind = if !c.style.is_plain() || c.is_formula() {
+                Uniform::Mixed
+            } else {
+                match &c.content {
+                    CellContent::Value(Value::Number(_)) => Uniform::Nums,
+                    CellContent::Value(Value::Text(_)) => Uniform::Texts,
+                    _ => Uniform::Mixed,
+                }
+            };
+            match (&mut uniform, kind) {
+                (u @ None, k) => *u = Some(k),
+                (Some(u), k) if *u == k => {}
+                _ => {
+                    uniform = Some(Uniform::Mixed);
+                    break;
+                }
+            }
+        }
+        match uniform {
+            Some(Uniform::Nums) => {
+                let Some(Segment::Sparse(sp)) = self.segs.get(&ci) else { unreachable!() };
+                let mut seg = Box::new(NumSeg {
+                    present: [0; WORDS],
+                    count: 0,
+                    pins: 0,
+                    hot: AtomicBool::new(true),
+                    vals: [0.0; CHUNK],
+                });
+                for (&k, c) in &sp.cells {
+                    if let CellContent::Value(Value::Number(n)) = &c.content {
+                        seg.set(k as usize, *n);
+                    }
+                }
+                *resident += PAGE_BYTES as isize;
+                self.segs.insert(ci, Segment::Num(seg));
+            }
+            Some(Uniform::Texts) => {
+                // Intern first (needs `&mut it` while the sparse cells are
+                // read), then build the segment.
+                let Some(Segment::Sparse(sp)) = self.segs.get(&ci) else { unreachable!() };
+                let mut entries: Vec<(u16, u32)> = Vec::with_capacity(sp.cells.len());
+                for (&k, c) in &sp.cells {
+                    if let CellContent::Value(Value::Text(s)) = &c.content {
+                        entries.push((k, it.intern(s)));
+                    }
+                }
+                let mut seg = Box::new(TextSeg {
+                    count: 0,
+                    pins: 0,
+                    hot: AtomicBool::new(true),
+                    ids: [NO_TEXT; CHUNK],
+                });
+                for (k, id) in entries {
+                    seg.set(k as usize, id);
+                }
+                *resident += PAGE_BYTES as isize;
+                self.segs.insert(ci, Segment::Text(seg));
+            }
+            _ => {}
+        }
+    }
+
+    /// Ensures the chunk can hand out `&mut Cell` for `off` (Cells or
+    /// Sparse representation). Precondition: not `Spilled`.
+    fn prepare_slot_mut(&mut self, ci: u32, it: &Interner, resident: &mut isize) {
+        match self.segs.get(&ci) {
+            None => {
+                self.segs.insert(ci, Segment::Sparse(SparseSeg::default()));
+            }
+            Some(seg @ (Segment::Num(_) | Segment::Text(_))) => {
+                let cells = seg_to_cells(seg, it);
+                *resident -= PAGE_BYTES as isize;
+                self.segs.insert(ci, Segment::Cells(cells));
+            }
+            Some(Segment::Cells(_) | Segment::Sparse(_)) => {}
+            Some(Segment::Spilled(_)) => {
+                unreachable!("caller must make chunk resident before cell_mut")
+            }
+        }
+    }
+
+    fn slot_mut(&mut self, ci: u32, off: usize) -> &mut Cell {
+        match self.segs.get_mut(&ci).expect("prepare_slot_mut ran") {
+            Segment::Cells(v) => &mut v[off],
+            Segment::Sparse(sp) => sp.cells.entry(off as u16).or_insert_with(Cell::empty),
+            _ => unreachable!("prepare_slot_mut ran"),
+        }
+    }
+
+    fn resident_spillable_bytes(&self) -> usize {
+        self.segs.values().map(Segment::spillable_bytes).sum()
+    }
+}
+
+/// Reads a slot out of a column for transplant (permutation rebuild).
+/// Text ids move without re-interning; full cells clone.
+fn read_slot_for_move(col: &Column, pool: &Pool, row: u32) -> SlotVal {
+    let ci = row / CHUNK_ROWS;
+    let off = (row % CHUNK_ROWS) as usize;
+    match col.segs.get(&ci) {
+        None => SlotVal::Empty,
+        Some(Segment::Num(s)) => s.get(off).map_or(SlotVal::Empty, SlotVal::Num),
+        Some(Segment::Text(s)) => match s.get(off) {
+            NO_TEXT => SlotVal::Empty,
+            id => SlotVal::TextId(id),
+        },
+        Some(Segment::Cells(v)) => {
+            if v[off].is_vacant() {
+                SlotVal::Empty
+            } else {
+                SlotVal::Full(v[off].clone())
+            }
+        }
+        Some(Segment::Sparse(sp)) => match sp.cells.get(&(off as u16)) {
+            Some(c) if !c.is_vacant() => SlotVal::Full(c.clone()),
+            _ => SlotVal::Empty,
+        },
+        Some(Segment::Spilled(sp)) => match &*pool.fault(sp.page, sp.kind) {
+            PageData::Num(np) => {
+                if bit(&np.present, off) {
+                    SlotVal::Num(np.vals[off])
+                } else {
+                    SlotVal::Empty
+                }
+            }
+            PageData::Text(tp) => match tp.ids[off] {
+                NO_TEXT => SlotVal::Empty,
+                id => SlotVal::TextId(id),
+            },
+        },
+    }
+}
+
+/// The chunked columnar grid shared by both layout wrappers
+/// (`RowStore`/`ColStore` differ only in visit/scan order).
+#[derive(Debug)]
+pub(crate) struct ChunkGrid {
+    cols: Vec<Column>,
+    nrows: u32,
+    ncols: u32,
+    interner: Interner,
+    pool: Pool,
+}
+
+impl ChunkGrid {
+    pub(crate) fn new(rows: u32, cols: u32) -> Self {
+        let rows = rows.min(MAX_ROWS);
+        let cols = cols.min(MAX_COLS);
+        let mut g = ChunkGrid {
+            cols: Vec::new(),
+            nrows: rows,
+            ncols: 0,
+            interner: Interner::default(),
+            pool: Pool::new(pool::env_grid_budget()),
+        };
+        g.ensure_size(rows, cols).expect("constructor sizes are clamped to engine limits");
+        g
+    }
+
+    pub(crate) fn nrows(&self) -> u32 {
+        self.nrows
+    }
+
+    pub(crate) fn ncols(&self) -> u32 {
+        self.ncols
+    }
+
+    pub(crate) fn ensure_size(&mut self, rows: u32, cols: u32) -> Result<(), EngineError> {
+        if rows > MAX_ROWS || cols > MAX_COLS {
+            return Err(EngineError::OutOfBounds { rows, cols });
+        }
+        if cols as usize > self.cols.len() {
+            self.cols.resize_with(cols as usize, Column::default);
+        }
+        self.ncols = self.ncols.max(cols);
+        self.nrows = self.nrows.max(rows);
+        Ok(())
+    }
+
+    fn grow_for(&mut self, addr: CellAddr) -> Result<(), EngineError> {
+        let rows = addr
+            .row
+            .checked_add(1)
+            .ok_or(EngineError::OutOfBounds { rows: addr.row, cols: addr.col })?;
+        let cols = addr
+            .col
+            .checked_add(1)
+            .ok_or(EngineError::OutOfBounds { rows: addr.row, cols: addr.col })?;
+        self.ensure_size(rows, cols)
+    }
+
+    fn in_extent(&self, addr: CellAddr) -> bool {
+        addr.row < self.nrows && addr.col < self.ncols
+    }
+
+    /// Resolves a chunk for reading; spilled chunks come back as a
+    /// fault-cache page. Marks resident typed chunks hot for the clock.
+    fn chunk_ref(&self, col: u32, ci: u32) -> ChunkRef<'_> {
+        match self.cols[col as usize].segs.get(&ci) {
+            None => ChunkRef::Vacant,
+            Some(Segment::Spilled(sp)) => ChunkRef::Page(self.pool.fault(sp.page, sp.kind)),
+            Some(seg) => {
+                match seg {
+                    Segment::Num(s) => s.hot.store(true, Relaxed),
+                    Segment::Text(s) => s.hot.store(true, Relaxed),
+                    _ => {}
+                }
+                ChunkRef::Seg(seg)
+            }
+        }
+    }
+
+    /// Loads a spilled chunk back into a typed segment. No-op otherwise.
+    fn make_resident(&mut self, col: u32, ci: u32) {
+        let colv = &mut self.cols[col as usize];
+        if let Some(Segment::Spilled(sp)) = colv.segs.get(&ci) {
+            let sp = *sp;
+            let data = self.pool.load(sp.page, sp.kind);
+            colv.segs.insert(ci, segment_from_page(&data));
+            self.pool.add_resident(PAGE_BYTES);
+        }
+    }
+
+    fn apply_resident_delta(&mut self, delta: isize) {
+        if delta >= 0 {
+            self.pool.add_resident(delta as usize);
+        } else {
+            self.pool.sub_resident((-delta) as usize);
+        }
+    }
+
+    pub(crate) fn get(&self, addr: CellAddr) -> Option<CellGet<'_>> {
+        if !self.in_extent(addr) {
+            return None;
+        }
+        let ci = addr.row / CHUNK_ROWS;
+        let off = (addr.row % CHUNK_ROWS) as usize;
+        Some(match self.chunk_ref(addr.col, ci) {
+            ChunkRef::Vacant => CellGet::Borrowed(empty_cell()),
+            ChunkRef::Seg(Segment::Cells(v)) => CellGet::Borrowed(&v[off]),
+            ChunkRef::Seg(Segment::Sparse(sp)) => match sp.cells.get(&(off as u16)) {
+                Some(c) => CellGet::Borrowed(c),
+                None => CellGet::Borrowed(empty_cell()),
+            },
+            ChunkRef::Seg(Segment::Num(s)) => match s.get(off) {
+                Some(n) => CellGet::Owned(Cell::value(n)),
+                None => CellGet::Borrowed(empty_cell()),
+            },
+            ChunkRef::Seg(Segment::Text(s)) => match s.get(off) {
+                NO_TEXT => CellGet::Borrowed(empty_cell()),
+                id => CellGet::Owned(Cell {
+                    content: CellContent::Value(self.interner.value(id).clone()),
+                    style: Style::plain(),
+                }),
+            },
+            ChunkRef::Seg(Segment::Spilled(_)) => unreachable!("chunk_ref resolves spills"),
+            ChunkRef::Page(page) => match &*page {
+                PageData::Num(np) => {
+                    if bit(&np.present, off) {
+                        CellGet::Owned(Cell::value(np.vals[off]))
+                    } else {
+                        CellGet::Borrowed(empty_cell())
+                    }
+                }
+                PageData::Text(tp) => match tp.ids[off] {
+                    NO_TEXT => CellGet::Borrowed(empty_cell()),
+                    id => CellGet::Owned(Cell {
+                        content: CellContent::Value(self.interner.value(id).clone()),
+                        style: Style::plain(),
+                    }),
+                },
+            },
+        })
+    }
+
+    /// The displayed value at `addr` (`Empty` outside the extent). The
+    /// fast read path: typed slots never materialize a `Cell`.
+    pub(crate) fn value_at(&self, addr: CellAddr) -> Value {
+        if !self.in_extent(addr) {
+            return Value::Empty;
+        }
+        let ci = addr.row / CHUNK_ROWS;
+        let off = (addr.row % CHUNK_ROWS) as usize;
+        match self.chunk_ref(addr.col, ci) {
+            ChunkRef::Vacant => Value::Empty,
+            ChunkRef::Seg(Segment::Num(s)) => s.get(off).map_or(Value::Empty, Value::Number),
+            ChunkRef::Seg(Segment::Text(s)) => self.interner.value(s.get(off)).clone(),
+            ChunkRef::Seg(Segment::Cells(v)) => v[off].display_value().clone(),
+            ChunkRef::Seg(Segment::Sparse(sp)) => sp
+                .cells
+                .get(&(off as u16))
+                .map_or(Value::Empty, |c| c.display_value().clone()),
+            ChunkRef::Seg(Segment::Spilled(_)) => unreachable!("chunk_ref resolves spills"),
+            ChunkRef::Page(page) => match &*page {
+                PageData::Num(np) => {
+                    if bit(&np.present, off) {
+                        Value::Number(np.vals[off])
+                    } else {
+                        Value::Empty
+                    }
+                }
+                PageData::Text(tp) => self.interner.value(tp.ids[off]).clone(),
+            },
+        }
+    }
+
+    pub(crate) fn cell_mut(&mut self, addr: CellAddr) -> Result<&mut Cell, EngineError> {
+        self.grow_for(addr)?;
+        let ci = addr.row / CHUNK_ROWS;
+        let off = (addr.row % CHUNK_ROWS) as usize;
+        self.make_resident(addr.col, ci);
+        let mut delta = 0isize;
+        {
+            let col = &mut self.cols[addr.col as usize];
+            col.prepare_slot_mut(ci, &self.interner, &mut delta);
+        }
+        self.apply_resident_delta(delta);
+        Ok(self.cols[addr.col as usize].slot_mut(ci, off))
+    }
+
+    /// Full-cell overwrite (content *and* style).
+    pub(crate) fn set(&mut self, addr: CellAddr, cell: Cell) -> Result<(), EngineError> {
+        self.grow_for(addr)?;
+        let ci = addr.row / CHUNK_ROWS;
+        self.make_resident(addr.col, ci);
+        let v = if !cell.style.is_plain() || cell.is_formula() {
+            SlotVal::Full(cell)
+        } else {
+            match cell.content {
+                CellContent::Value(Value::Number(n)) => SlotVal::Num(n),
+                CellContent::Value(Value::Text(ref s)) => SlotVal::TextId(self.interner.intern(s)),
+                CellContent::Value(Value::Empty) => SlotVal::Empty,
+                _ => SlotVal::Full(cell),
+            }
+        };
+        let mut delta = 0isize;
+        {
+            let col = &mut self.cols[addr.col as usize];
+            col.write(addr.row, v, false, &mut self.interner, &mut delta);
+        }
+        self.apply_resident_delta(delta);
+        self.enforce_budget();
+        Ok(())
+    }
+
+    /// Content-only write that preserves an existing style; the typed fast
+    /// path for plain values (never degrades a typed chunk to `Cells`).
+    pub(crate) fn set_value(&mut self, addr: CellAddr, v: Value) -> Result<(), EngineError> {
+        self.grow_for(addr)?;
+        let ci = addr.row / CHUNK_ROWS;
+        self.make_resident(addr.col, ci);
+        let sv = match v {
+            Value::Number(n) => SlotVal::Num(n),
+            Value::Text(ref s) => SlotVal::TextId(self.interner.intern(s)),
+            Value::Empty => SlotVal::Empty,
+            other => SlotVal::Full(Cell::value(other)),
+        };
+        let mut delta = 0isize;
+        {
+            let col = &mut self.cols[addr.col as usize];
+            col.write(addr.row, sv, true, &mut self.interner, &mut delta);
+        }
+        self.apply_resident_delta(delta);
+        self.enforce_budget();
+        Ok(())
+    }
+
+    /// Style-only write. Plain-on-typed is a no-op (typed slots are plain
+    /// by construction), so conditional formatting that matches nothing
+    /// never degrades typed chunks.
+    pub(crate) fn set_style(&mut self, addr: CellAddr, style: Style) -> Result<(), EngineError> {
+        self.grow_for(addr)?;
+        let ci = addr.row / CHUNK_ROWS;
+        let off = (addr.row % CHUNK_ROWS) as usize;
+        let plain = style.is_plain();
+        match self.cols[addr.col as usize].segs.get(&ci) {
+            None if plain => return Ok(()),
+            Some(Segment::Num(_) | Segment::Text(_) | Segment::Spilled(_)) if plain => {
+                return Ok(());
+            }
+            _ => {}
+        }
+        let cell = self.cell_mut(addr)?;
+        cell.style = style;
+        // A now-vacant sparse entry can be dropped; harmless to leave in
+        // Cells chunks.
+        if cell.is_vacant() {
+            if let Some(Segment::Sparse(sp)) = self.cols[addr.col as usize].segs.get_mut(&ci) {
+                sp.cells.remove(&(off as u16));
+                if sp.cells.is_empty() {
+                    self.cols[addr.col as usize].segs.remove(&ci);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn permute_rows(&mut self, perm: &[u32]) -> Result<(), EngineError> {
+        let n = self.nrows as usize;
+        if perm.len() != n {
+            return Err(EngineError::BadPermutation(format!(
+                "length {} does not match {n} rows",
+                perm.len()
+            )));
+        }
+        let mut seen = vec![0u64; n.div_ceil(64)];
+        for &p in perm {
+            let p = p as usize;
+            if p >= n {
+                return Err(EngineError::BadPermutation(format!(
+                    "index {p} out of range for {n} rows"
+                )));
+            }
+            let (w, b) = (p / 64, p % 64);
+            if seen[w] >> b & 1 == 1 {
+                return Err(EngineError::BadPermutation(format!("duplicate index {p}")));
+            }
+            seen[w] |= 1 << b;
+        }
+        // Rebuild column by column, streaming the old column (spilled
+        // chunks read through the fault cache) into a fresh one, so peak
+        // memory stays near one resident column above the budget.
+        for c in 0..self.cols.len() {
+            let old = std::mem::take(&mut self.cols[c]);
+            self.pool.sub_resident(old.resident_spillable_bytes());
+            let mut newc = Column::default();
+            let mut delta = 0isize;
+            for (dst, &src) in perm.iter().enumerate() {
+                let v = read_slot_for_move(&old, &self.pool, src);
+                if !matches!(v, SlotVal::Empty) {
+                    newc.write(dst as u32, v, false, &mut self.interner, &mut delta);
+                }
+            }
+            for seg in old.segs.values() {
+                if let Segment::Spilled(sp) = seg {
+                    self.pool.free_page(sp.page);
+                }
+            }
+            self.cols[c] = newc;
+            self.apply_resident_delta(delta);
+            self.enforce_budget();
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Buffer-pool control surface.
+
+    pub(crate) fn budget(&self) -> Option<usize> {
+        self.pool.budget()
+    }
+
+    pub(crate) fn set_budget(&mut self, budget: Option<usize>) {
+        self.pool.set_budget(budget);
+        self.enforce_budget();
+    }
+
+    pub(crate) fn resident_spill_bytes(&self) -> usize {
+        self.pool.resident()
+    }
+
+    pub(crate) fn spill_stats(&self) -> SpillStats {
+        self.pool.stats()
+    }
+
+    /// True when any chunk of `col` could hold a formula (Cells/Sparse
+    /// representation). Lets permute/sort skip the formula-rewrite scan
+    /// over pure-typed columns.
+    pub(crate) fn col_may_have_formulas(&self, col: u32) -> bool {
+        self.cols.get(col as usize).is_some_and(|c| {
+            c.segs.values().any(|s| matches!(s, Segment::Cells(_) | Segment::Sparse(_)))
+        })
+    }
+
+    /// Loads and pins every typed chunk intersecting `range`, stopping at
+    /// `max_bytes`. Returns the bytes pinned. Pinned chunks are skipped by
+    /// the evictor until `unpin_all`.
+    pub(crate) fn pin_range(&mut self, range: Range, max_bytes: usize) -> usize {
+        if self.nrows == 0 || self.ncols == 0 {
+            return 0;
+        }
+        let c0 = range.start.col.min(self.ncols - 1);
+        let c1 = range.end.col.min(self.ncols - 1);
+        let r1 = range.end.row.min(self.nrows - 1);
+        if range.start.col > c1 || range.start.row > r1 {
+            return 0;
+        }
+        let (ci0, ci1) = (range.start.row / CHUNK_ROWS, r1 / CHUNK_ROWS);
+        let mut pinned = 0usize;
+        for c in c0..=c1 {
+            for ci in ci0..=ci1 {
+                if pinned + PAGE_BYTES > max_bytes {
+                    self.enforce_budget();
+                    return pinned;
+                }
+                if matches!(self.cols[c as usize].segs.get(&ci), Some(Segment::Spilled(_))) {
+                    self.make_resident(c, ci);
+                }
+                match self.cols[c as usize].segs.get_mut(&ci) {
+                    Some(Segment::Num(s)) => {
+                        s.pins = s.pins.saturating_add(1);
+                        pinned += PAGE_BYTES;
+                    }
+                    Some(Segment::Text(s)) => {
+                        s.pins = s.pins.saturating_add(1);
+                        pinned += PAGE_BYTES;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.enforce_budget();
+        pinned
+    }
+
+    /// Drops every pin (end of a recalc wave).
+    pub(crate) fn unpin_all(&mut self) {
+        for col in &mut self.cols {
+            for seg in col.segs.values_mut() {
+                match seg {
+                    Segment::Num(s) => s.pins = 0,
+                    Segment::Text(s) => s.pins = 0,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Evicts typed segments until resident bytes fit the budget (or
+    /// nothing evictable remains — everything pinned/wired).
+    fn enforce_budget(&mut self) {
+        let Some(budget) = self.pool.budget() else { return };
+        while self.pool.resident() > budget {
+            if !self.evict_one() {
+                break;
+            }
+        }
+    }
+
+    /// One clock-sweep eviction: walk columns round-robin from the hand,
+    /// skip pinned segments, grant hot segments a second chance (clear the
+    /// bit, move on), spill the first cold one. Returns false when a full
+    /// double rotation finds nothing evictable.
+    fn evict_one(&mut self) -> bool {
+        let ncols = self.cols.len() as u32;
+        if ncols == 0 {
+            return false;
+        }
+        let (mut hc, mut hk) = self.pool.hand();
+        if hc >= ncols {
+            hc = 0;
+            hk = 0;
+        }
+        let mut col_visits = 0u32;
+        while col_visits < ncols * 2 + 2 {
+            let mut victim = None;
+            for (&k, seg) in self.cols[hc as usize].segs.range(hk..) {
+                let (pins, hot) = match seg {
+                    Segment::Num(s) => (s.pins, &s.hot),
+                    Segment::Text(s) => (s.pins, &s.hot),
+                    _ => continue,
+                };
+                if pins > 0 {
+                    continue;
+                }
+                if hot.swap(false, Relaxed) {
+                    continue; // second chance
+                }
+                victim = Some(k);
+                break;
+            }
+            if let Some(k) = victim {
+                self.pool.set_hand(hc, k + 1);
+                return self.spill_seg(hc, k);
+            }
+            hc = (hc + 1) % ncols;
+            hk = 0;
+            col_visits += 1;
+        }
+        self.pool.set_hand(hc, hk);
+        false
+    }
+
+    fn spill_seg(&mut self, col: u32, ci: u32) -> bool {
+        let encoded = match self.cols[col as usize].segs.get(&ci) {
+            Some(Segment::Num(s)) => (pool::encode_num(&s.present, &s.vals), PageKind::Num),
+            Some(Segment::Text(s)) => (pool::encode_text(&s.ids), PageKind::Text),
+            _ => return false,
+        };
+        match self.pool.store(&encoded.0) {
+            Ok(page) => {
+                self.cols[col as usize]
+                    .segs
+                    .insert(ci, Segment::Spilled(Spilled { page, kind: encoded.1 }));
+                self.pool.sub_resident(PAGE_BYTES);
+                true
+            }
+            // Disk trouble: stay resident. Budgets are best-effort;
+            // correctness never depends on spilling.
+            Err(_) => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Visits and scans.
+
+    fn clip(&self, range: Range) -> Option<(u32, u32, u32, u32)> {
+        if self.nrows == 0 || self.ncols == 0 {
+            return None;
+        }
+        let r0 = range.start.row;
+        let c0 = range.start.col;
+        let r1 = range.end.row.min(self.nrows - 1);
+        let c1 = range.end.col.min(self.ncols - 1);
+        if r0 > r1 || c0 > c1 {
+            return None;
+        }
+        Some((r0, c0, r1, c1))
+    }
+
+    /// Visits every position of `range` (clipped to the extent) in
+    /// column-major order, vacant slots as the shared empty cell.
+    pub(crate) fn for_each_col_major(
+        &self,
+        range: Range,
+        f: &mut dyn FnMut(CellAddr, &Cell),
+    ) {
+        let Some((r0, c0, r1, c1)) = self.clip(range) else { return };
+        for c in c0..=c1 {
+            self.visit_column_span(c, r0, r1, f);
+        }
+    }
+
+    /// Same, row-major: chunk-row bands with per-column resolved chunk
+    /// refs, so each 1024-row band does one chunk lookup per column.
+    pub(crate) fn for_each_row_major(
+        &self,
+        range: Range,
+        f: &mut dyn FnMut(CellAddr, &Cell),
+    ) {
+        let Some((r0, c0, r1, c1)) = self.clip(range) else { return };
+        for ci in (r0 / CHUNK_ROWS)..=(r1 / CHUNK_ROWS) {
+            let lo = r0.max(ci * CHUNK_ROWS);
+            let hi = r1.min(ci * CHUNK_ROWS + (CHUNK_ROWS - 1));
+            let refs: Vec<ChunkRef<'_>> =
+                (c0..=c1).map(|c| self.chunk_ref(c, ci)).collect();
+            for r in lo..=hi {
+                let off = (r % CHUNK_ROWS) as usize;
+                for (i, cref) in refs.iter().enumerate() {
+                    let addr = CellAddr::new(r, c0 + i as u32);
+                    self.visit_slot(cref, addr, off, f);
+                }
+            }
+        }
+    }
+
+    fn visit_slot(
+        &self,
+        cref: &ChunkRef<'_>,
+        addr: CellAddr,
+        off: usize,
+        f: &mut dyn FnMut(CellAddr, &Cell),
+    ) {
+        match cref {
+            ChunkRef::Vacant => f(addr, empty_cell()),
+            ChunkRef::Seg(Segment::Cells(v)) => f(addr, &v[off]),
+            ChunkRef::Seg(Segment::Sparse(sp)) => match sp.cells.get(&(off as u16)) {
+                Some(c) => f(addr, c),
+                None => f(addr, empty_cell()),
+            },
+            ChunkRef::Seg(Segment::Num(s)) => match s.get(off) {
+                Some(n) => f(addr, &Cell::value(n)),
+                None => f(addr, empty_cell()),
+            },
+            ChunkRef::Seg(Segment::Text(s)) => match s.get(off) {
+                NO_TEXT => f(addr, empty_cell()),
+                id => f(
+                    addr,
+                    &Cell {
+                        content: CellContent::Value(self.interner.value(id).clone()),
+                        style: Style::plain(),
+                    },
+                ),
+            },
+            ChunkRef::Seg(Segment::Spilled(_)) => unreachable!("chunk_ref resolves spills"),
+            ChunkRef::Page(page) => match &**page {
+                PageData::Num(np) => {
+                    if bit(&np.present, off) {
+                        f(addr, &Cell::value(np.vals[off]))
+                    } else {
+                        f(addr, empty_cell())
+                    }
+                }
+                PageData::Text(tp) => match tp.ids[off] {
+                    NO_TEXT => f(addr, empty_cell()),
+                    id => f(
+                        addr,
+                        &Cell {
+                            content: CellContent::Value(self.interner.value(id).clone()),
+                            style: Style::plain(),
+                        },
+                    ),
+                },
+            },
+        }
+    }
+
+    fn visit_column_span(
+        &self,
+        c: u32,
+        r0: u32,
+        r1: u32,
+        f: &mut dyn FnMut(CellAddr, &Cell),
+    ) {
+        for ci in (r0 / CHUNK_ROWS)..=(r1 / CHUNK_ROWS) {
+            let lo = r0.max(ci * CHUNK_ROWS);
+            let hi = r1.min(ci * CHUNK_ROWS + (CHUNK_ROWS - 1));
+            let cref = self.chunk_ref(c, ci);
+            for r in lo..=hi {
+                let off = (r % CHUNK_ROWS) as usize;
+                self.visit_slot(&cref, CellAddr::new(r, c), off, f);
+            }
+        }
+    }
+
+    /// Column-major slice scan: each column of the (clipped) range emits
+    /// maximal contiguous runs — `f64` slices for numeric chunks, id
+    /// slices for text chunks, cell slices otherwise, batched `Empty`
+    /// runs for gaps. The §10 kernels consume this.
+    pub(crate) fn scan_col_major<F: FnMut(ScanSlice<'_>)>(&self, range: Range, f: &mut F) {
+        let Some((r0, c0, r1, c1)) = self.clip(range) else { return };
+        for c in c0..=c1 {
+            for ci in (r0 / CHUNK_ROWS)..=(r1 / CHUNK_ROWS) {
+                let lo = r0.max(ci * CHUNK_ROWS);
+                let hi = r1.min(ci * CHUNK_ROWS + (CHUNK_ROWS - 1));
+                let a = (lo % CHUNK_ROWS) as usize;
+                let b = (hi % CHUNK_ROWS) as usize;
+                match self.chunk_ref(c, ci) {
+                    ChunkRef::Vacant => f(ScanSlice::Empty(b - a + 1)),
+                    ChunkRef::Seg(Segment::Cells(v)) => f(ScanSlice::Cells(&v[a..=b])),
+                    ChunkRef::Seg(Segment::Sparse(sp)) => {
+                        emit_sparse(sp, a, b, f);
+                    }
+                    ChunkRef::Seg(Segment::Num(s)) => {
+                        emit_num_runs(&s.present, &s.vals, a, b, f);
+                    }
+                    ChunkRef::Seg(Segment::Text(s)) => {
+                        f(ScanSlice::Texts(&s.ids[a..=b], &self.interner))
+                    }
+                    ChunkRef::Seg(Segment::Spilled(_)) => {
+                        unreachable!("chunk_ref resolves spills")
+                    }
+                    ChunkRef::Page(page) => match &*page {
+                        PageData::Num(np) => emit_num_runs(&np.present, &np.vals, a, b, f),
+                        PageData::Text(tp) => {
+                            f(ScanSlice::Texts(&tp.ids[a..=b], &self.interner))
+                        }
+                    },
+                }
+            }
+        }
+    }
+
+    /// Row-major scan for multi-column ranges on the row layout: bands of
+    /// chunk rows with per-column refs, one-cell emissions per slot.
+    pub(crate) fn scan_row_major<F: FnMut(ScanSlice<'_>)>(&self, range: Range, f: &mut F) {
+        let Some((r0, c0, r1, c1)) = self.clip(range) else { return };
+        for ci in (r0 / CHUNK_ROWS)..=(r1 / CHUNK_ROWS) {
+            let lo = r0.max(ci * CHUNK_ROWS);
+            let hi = r1.min(ci * CHUNK_ROWS + (CHUNK_ROWS - 1));
+            let refs: Vec<ChunkRef<'_>> =
+                (c0..=c1).map(|c| self.chunk_ref(c, ci)).collect();
+            for r in lo..=hi {
+                let off = (r % CHUNK_ROWS) as usize;
+                for cref in &refs {
+                    match cref {
+                        ChunkRef::Vacant => f(ScanSlice::Empty(1)),
+                        ChunkRef::Seg(Segment::Cells(v)) => {
+                            f(ScanSlice::Cells(std::slice::from_ref(&v[off])))
+                        }
+                        ChunkRef::Seg(Segment::Sparse(sp)) => {
+                            match sp.cells.get(&(off as u16)) {
+                                Some(c) => f(ScanSlice::Cells(std::slice::from_ref(c))),
+                                None => f(ScanSlice::Empty(1)),
+                            }
+                        }
+                        ChunkRef::Seg(Segment::Num(s)) => {
+                            if bit(&s.present, off) {
+                                f(ScanSlice::Nums(&s.vals[off..=off]))
+                            } else {
+                                f(ScanSlice::Empty(1))
+                            }
+                        }
+                        ChunkRef::Seg(Segment::Text(s)) => {
+                            f(ScanSlice::Texts(&s.ids[off..=off], &self.interner))
+                        }
+                        ChunkRef::Seg(Segment::Spilled(_)) => {
+                            unreachable!("chunk_ref resolves spills")
+                        }
+                        ChunkRef::Page(page) => match &**page {
+                            PageData::Num(np) => {
+                                if bit(&np.present, off) {
+                                    f(ScanSlice::Nums(&np.vals[off..=off]))
+                                } else {
+                                    f(ScanSlice::Empty(1))
+                                }
+                            }
+                            PageData::Text(tp) => {
+                                f(ScanSlice::Texts(&tp.ids[off..=off], &self.interner))
+                            }
+                        },
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection for tests and the harness.
+
+    /// Approximate heap bytes held by the grid (segments + column
+    /// directory + interner). Used by the far-corner memory regression
+    /// test; deliberately simple, not exact.
+    pub(crate) fn approx_heap_bytes(&self) -> usize {
+        let mut total = self.cols.len() * std::mem::size_of::<Column>();
+        for col in &self.cols {
+            for seg in col.segs.values() {
+                total += 48; // BTreeMap entry overhead, roughly
+                total += match seg {
+                    Segment::Num(_) | Segment::Text(_) => PAGE_BYTES,
+                    Segment::Cells(v) => v.len() * std::mem::size_of::<Cell>(),
+                    Segment::Sparse(sp) => {
+                        sp.cells.len() * (std::mem::size_of::<Cell>() + 16)
+                    }
+                    Segment::Spilled(_) => 0,
+                };
+            }
+        }
+        total + self.interner.approx_bytes()
+    }
+
+    /// Checks every internal invariant; panics on violation. Test/debug
+    /// aid (the pin/evict proptest calls it after every step).
+    pub(crate) fn validate(&self) {
+        let mut typed = 0usize;
+        let mut live_pages = std::collections::HashSet::new();
+        for (c, col) in self.cols.iter().enumerate() {
+            for (&ci, seg) in &col.segs {
+                match seg {
+                    Segment::Num(s) => {
+                        assert_eq!(
+                            popcount(&s.present),
+                            s.count,
+                            "num seg count mismatch at col {c} chunk {ci}"
+                        );
+                        assert!(s.count > 0, "empty num seg retained at col {c} chunk {ci}");
+                        typed += PAGE_BYTES;
+                    }
+                    Segment::Text(s) => {
+                        let n = s.ids.iter().filter(|&&id| id != NO_TEXT).count() as u16;
+                        assert_eq!(n, s.count, "text seg count mismatch at col {c} chunk {ci}");
+                        assert!(s.count > 0, "empty text seg retained at col {c} chunk {ci}");
+                        typed += PAGE_BYTES;
+                    }
+                    Segment::Cells(v) => {
+                        assert_eq!(v.len(), CHUNK, "cells seg wrong length at col {c} chunk {ci}");
+                    }
+                    Segment::Sparse(_) => {}
+                    Segment::Spilled(sp) => {
+                        assert!(
+                            live_pages.insert(sp.page),
+                            "page {} referenced by two segments",
+                            sp.page
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            typed,
+            self.pool.resident(),
+            "resident byte accounting diverged from actual typed segments"
+        );
+        self.pool.validate(&live_pages);
+    }
+}
+
+impl Clone for ChunkGrid {
+    /// Clones materialize every spilled segment (via the fault cache, so
+    /// the source is untouched), then re-enforce the budget on the copy —
+    /// the clone gets its own page file and starts with no pins.
+    fn clone(&self) -> Self {
+        let mut cols = Vec::with_capacity(self.cols.len());
+        let mut resident = 0usize;
+        for col in &self.cols {
+            let mut segs = BTreeMap::new();
+            for (&ci, seg) in &col.segs {
+                let cloned = match seg {
+                    Segment::Spilled(sp) => {
+                        segment_from_page(&self.pool.fault(sp.page, sp.kind))
+                    }
+                    other => other.clone_resident(),
+                };
+                resident += cloned.spillable_bytes();
+                segs.insert(ci, cloned);
+            }
+            cols.push(Column { segs });
+        }
+        let mut g = ChunkGrid {
+            cols,
+            nrows: self.nrows,
+            ncols: self.ncols,
+            interner: self.interner.clone(),
+            pool: Pool::new(self.pool.budget()),
+        };
+        g.pool.add_resident(resident);
+        g.enforce_budget();
+        g
+    }
+}
+
+fn emit_sparse<F: FnMut(ScanSlice<'_>)>(sp: &SparseSeg, a: usize, b: usize, f: &mut F) {
+    let mut next = a;
+    for (&k, c) in sp.cells.range(a as u16..=b as u16) {
+        let k = k as usize;
+        if k > next {
+            f(ScanSlice::Empty(k - next));
+        }
+        f(ScanSlice::Cells(std::slice::from_ref(c)));
+        next = k + 1;
+    }
+    if next <= b {
+        f(ScanSlice::Empty(b - next + 1));
+    }
+}
+
+fn emit_num_runs<F: FnMut(ScanSlice<'_>)>(
+    present: &[u64; WORDS],
+    vals: &[f64; CHUNK],
+    a: usize,
+    b: usize,
+    f: &mut F,
+) {
+    let mut i = a;
+    while i <= b {
+        let on = bit(present, i);
+        let end = run_end(present, i, b, on);
+        if on {
+            f(ScanSlice::Nums(&vals[i..end]));
+        } else {
+            f(ScanSlice::Empty(end - i));
+        }
+        i = end;
+    }
+}
+
+/// First index past `i` (exclusive, capped at `b + 1`) where the presence
+/// bit flips away from `on`. Word-at-a-time: the aggregate kernels scan
+/// fully-present chunks, so this is one inverted compare per 64 cells
+/// instead of a bit test per cell.
+fn run_end(present: &[u64; WORDS], i: usize, b: usize, on: bool) -> usize {
+    let flip = |x: u64| if on { !x } else { x };
+    let mut w = i / 64;
+    let first = flip(present[w]) >> (i % 64);
+    if first != 0 {
+        return (i + first.trailing_zeros() as usize).min(b + 1);
+    }
+    let mut idx = (w + 1) * 64;
+    while idx <= b {
+        w += 1;
+        let word = flip(present[w]);
+        if word != 0 {
+            return (idx + word.trailing_zeros() as usize).min(b + 1);
+        }
+        idx += 64;
+    }
+    b + 1
+}

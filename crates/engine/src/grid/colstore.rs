@@ -1,114 +1,98 @@
-//! Column-major grid storage: a vector of columns, each a dense vector of
-//! cells. Range visits iterate column-by-column, giving the cache-friendly
-//! access pattern the paper's layout experiment (§5.2) probes for.
+//! Column-major view over the chunked columnar core: visits and scans
+//! iterate column-by-column, the cache-friendly "database-style" order the
+//! paper's layout experiment (§5.2) probes for. Storage is shared with
+//! [`RowStore`](super::RowStore) — only iteration order differs, and this
+//! order matches the physical chunk layout.
 
 use crate::addr::{CellAddr, Range};
 use crate::cell::Cell;
-use crate::grid::{apply_permutation, Grid};
+use crate::error::EngineError;
+use crate::grid::chunk::{CellGet, ChunkGrid, ScanSlice};
+use crate::grid::Grid;
+use crate::style::Style;
+use crate::value::Value;
 
 /// Column-major cell storage.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ColStore {
-    cols: Vec<Vec<Cell>>,
-    nrows: u32,
+    core: ChunkGrid,
+}
+
+impl Default for ColStore {
+    fn default() -> Self {
+        ColStore::new(0, 0)
+    }
 }
 
 impl ColStore {
-    /// A grid of `rows` × `cols` empty cells.
+    /// A grid covering `rows` × `cols` (vacant cells allocate nothing).
     pub fn new(rows: u32, cols: u32) -> Self {
-        let mut s = ColStore { cols: Vec::new(), nrows: 0 };
-        s.ensure_size(rows, cols);
-        s
+        ColStore { core: ChunkGrid::new(rows, cols) }
     }
 
-    /// Borrow a whole column (dense, `nrows` long).
-    pub fn column(&self, c: u32) -> Option<&[Cell]> {
-        self.cols.get(c as usize).map(Vec::as_slice)
+    pub(crate) fn core(&self) -> &ChunkGrid {
+        &self.core
     }
 
-    /// Walks `range` clipped to the materialized extent, column-major,
-    /// feeding each cell to `f`. A single-row window — the layout-crossing
-    /// case for a column store — takes a strided fast path that hands
-    /// `f` a one-cell slice per column without re-slicing each full
-    /// column. Iteration order and clipping are identical to
-    /// [`Grid::for_each_in_range`].
+    pub(crate) fn core_mut(&mut self) -> &mut ChunkGrid {
+        &mut self.core
+    }
+
+    /// Walks `range` clipped to the materialized extent in column-major
+    /// order — the order that agrees with the physical chunk layout, so
+    /// typed chunks always emit maximal contiguous `f64`/id slices
+    /// (including the single-row cross-layout window, which degenerates
+    /// to one slot per column). Iteration order and clipping are
+    /// identical to [`Grid::for_each_in_range`].
     #[inline]
-    pub(crate) fn scan_range<F: FnMut(&[Cell])>(&self, range: Range, f: &mut F) {
-        if self.cols.is_empty() || self.nrows == 0 {
-            return;
-        }
-        let r1 = range.end.row.min(self.nrows - 1);
-        let c1 = range.end.col.min(self.ncols() - 1);
-        if range.start.row > r1 || range.start.col > c1 {
-            return;
-        }
-        let (r0, c0) = (range.start.row as usize, range.start.col as usize);
-        if range.start.row == r1 {
-            for col in &self.cols[c0..=c1 as usize] {
-                f(std::slice::from_ref(&col[r0]));
-            }
-        } else {
-            for col in &self.cols[c0..=c1 as usize] {
-                f(&col[r0..=r1 as usize]);
-            }
-        }
+    pub(crate) fn scan_range<F: FnMut(ScanSlice<'_>)>(&self, range: Range, f: &mut F) {
+        self.core.scan_col_major(range, f);
     }
 }
 
 impl Grid for ColStore {
     fn nrows(&self) -> u32 {
-        self.nrows
+        self.core.nrows()
     }
 
     fn ncols(&self) -> u32 {
-        self.cols.len() as u32
+        self.core.ncols()
     }
 
-    fn get(&self, addr: CellAddr) -> Option<&Cell> {
-        self.cols.get(addr.col as usize)?.get(addr.row as usize)
+    fn get(&self, addr: CellAddr) -> Option<CellGet<'_>> {
+        self.core.get(addr)
     }
 
-    fn cell_mut(&mut self, addr: CellAddr) -> &mut Cell {
-        self.ensure_size(addr.row + 1, addr.col + 1);
-        &mut self.cols[addr.col as usize][addr.row as usize]
+    fn value_at(&self, addr: CellAddr) -> Value {
+        self.core.value_at(addr)
     }
 
-    fn ensure_size(&mut self, rows: u32, cols: u32) {
-        if rows > self.nrows {
-            for col in &mut self.cols {
-                col.resize_with(rows as usize, Cell::empty);
-            }
-            self.nrows = rows;
-        }
-        if cols as usize > self.cols.len() {
-            let nrows = self.nrows.max(rows) as usize;
-            self.nrows = nrows as u32;
-            self.cols.resize_with(cols as usize, || {
-                let mut v = Vec::with_capacity(nrows);
-                v.resize_with(nrows, Cell::empty);
-                v
-            });
-        }
+    fn cell_mut(&mut self, addr: CellAddr) -> Result<&mut Cell, EngineError> {
+        self.core.cell_mut(addr)
     }
 
-    fn permute_rows(&mut self, perm: &[u32]) {
-        for col in &mut self.cols {
-            apply_permutation(col, perm);
-        }
+    fn set(&mut self, addr: CellAddr, cell: Cell) -> Result<(), EngineError> {
+        self.core.set(addr, cell)
+    }
+
+    fn set_value(&mut self, addr: CellAddr, v: Value) -> Result<(), EngineError> {
+        self.core.set_value(addr, v)
+    }
+
+    fn set_style(&mut self, addr: CellAddr, style: Style) -> Result<(), EngineError> {
+        self.core.set_style(addr, style)
+    }
+
+    fn ensure_size(&mut self, rows: u32, cols: u32) -> Result<(), EngineError> {
+        self.core.ensure_size(rows, cols)
+    }
+
+    fn permute_rows(&mut self, perm: &[u32]) -> Result<(), EngineError> {
+        self.core.permute_rows(perm)
     }
 
     fn for_each_in_range(&self, range: Range, f: &mut dyn FnMut(CellAddr, &Cell)) {
-        if self.cols.is_empty() || self.nrows == 0 {
-            return;
-        }
-        let r1 = range.end.row.min(self.nrows - 1);
-        let c1 = range.end.col.min(self.ncols().saturating_sub(1));
-        for c in range.start.col..=c1 {
-            let col = &self.cols[c as usize];
-            for r in range.start.row..=r1 {
-                f(CellAddr::new(r, c), &col[r as usize]);
-            }
-        }
+        self.core.for_each_col_major(range, f);
     }
 }
 
@@ -118,22 +102,20 @@ mod tests {
     use crate::value::Value;
 
     #[test]
-    fn growth_keeps_cols_dense() {
+    fn growth_tracks_extent_without_materializing() {
         let mut g = ColStore::new(2, 2);
-        g.set(CellAddr::new(5, 0), Cell::value(1));
+        g.set(CellAddr::new(5, 0), Cell::value(1)).unwrap();
         assert_eq!(g.nrows(), 6);
-        for c in 0..g.ncols() {
-            assert_eq!(g.column(c).unwrap().len(), 6, "col {c}");
-        }
+        assert_eq!(g.ncols(), 2);
+        assert!(g.get(CellAddr::new(4, 1)).unwrap().is_vacant());
     }
 
     #[test]
-    fn column_access() {
+    fn cell_round_trip() {
         let mut g = ColStore::new(3, 1);
-        g.set(CellAddr::new(2, 0), Cell::value("z"));
-        let col = g.column(0).unwrap();
-        assert_eq!(col[2].display_value(), &Value::text("z"));
-        assert!(g.column(7).is_none());
+        g.set(CellAddr::new(2, 0), Cell::value("z")).unwrap();
+        assert_eq!(g.value_at(CellAddr::new(2, 0)), Value::text("z"));
+        assert!(g.get(CellAddr::new(0, 7)).is_none());
     }
 
     #[test]
@@ -141,11 +123,27 @@ mod tests {
         let mut g = ColStore::new(2, 2);
         for r in 0..2 {
             for c in 0..2 {
-                g.set(CellAddr::new(r, c), Cell::value(i64::from(r * 10 + c)));
+                g.set(CellAddr::new(r, c), Cell::value(i64::from(r * 10 + c))).unwrap();
             }
         }
         let mut order = Vec::new();
         g.for_each_in_range(Range::parse("A1:B2").unwrap(), &mut |a, _| order.push(a.to_a1()));
         assert_eq!(order, ["A1", "A2", "B1", "B2"]);
+    }
+
+    #[test]
+    fn sparse_chunk_scan_covers_gaps() {
+        let mut g = ColStore::new(10, 1);
+        g.set(CellAddr::new(2, 0), Cell::value(5)).unwrap();
+        g.set(CellAddr::new(7, 0), Cell::value(9)).unwrap();
+        let (mut seen_cells, mut empties) = (0usize, 0usize);
+        g.scan_range(Range::parse("A1:A10").unwrap(), &mut |s| match s {
+            ScanSlice::Cells(v) => seen_cells += v.len(),
+            ScanSlice::Empty(n) => empties += n,
+            ScanSlice::Nums(v) => seen_cells += v.len(),
+            ScanSlice::Texts(ids, _) => seen_cells += ids.len(),
+        });
+        assert_eq!(seen_cells, 2);
+        assert_eq!(empties, 8);
     }
 }

@@ -1,111 +1,101 @@
-//! Row-major grid storage: a vector of rows, each a dense vector of cells.
+//! Row-major view over the chunked columnar core: visits and scans
+//! iterate row-by-row, the layout the benchmarked systems effectively use
+//! (§5.2). Storage itself is shared with [`ColStore`](super::ColStore) —
+//! only iteration order differs.
 
 use crate::addr::{CellAddr, Range};
 use crate::cell::Cell;
-use crate::grid::{apply_permutation, Grid};
+use crate::error::EngineError;
+use crate::grid::chunk::{CellGet, ChunkGrid, ScanSlice};
+use crate::grid::Grid;
+use crate::style::Style;
+use crate::value::Value;
 
 /// Row-major cell storage.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RowStore {
-    rows: Vec<Vec<Cell>>,
-    ncols: u32,
+    core: ChunkGrid,
+}
+
+impl Default for RowStore {
+    fn default() -> Self {
+        RowStore::new(0, 0)
+    }
 }
 
 impl RowStore {
-    /// A grid of `rows` × `cols` empty cells.
+    /// A grid covering `rows` × `cols` (vacant cells allocate nothing).
     pub fn new(rows: u32, cols: u32) -> Self {
-        let mut s = RowStore { rows: Vec::new(), ncols: 0 };
-        s.ensure_size(rows, cols);
-        s
+        RowStore { core: ChunkGrid::new(rows, cols) }
     }
 
-    /// Borrow a whole row (dense, `ncols` long).
-    pub fn row(&self, r: u32) -> Option<&[Cell]> {
-        self.rows.get(r as usize).map(Vec::as_slice)
+    pub(crate) fn core(&self) -> &ChunkGrid {
+        &self.core
     }
 
-    /// Walks `range` clipped to the materialized extent, row-major,
-    /// feeding each row's covered cells to `f` as one dense slice — the
-    /// caller's inner loop stays a plain slice walk. A single-column
-    /// window — the layout-crossing case for a row store — takes a
-    /// strided fast path that hands `f` a one-cell slice per row without
-    /// re-slicing each full row. Iteration order and clipping are
-    /// identical to [`Grid::for_each_in_range`].
+    pub(crate) fn core_mut(&mut self) -> &mut ChunkGrid {
+        &mut self.core
+    }
+
+    /// Walks `range` clipped to the materialized extent in row-major
+    /// order, emitting [`ScanSlice`] runs. A single-column window — the
+    /// common aggregation shape — takes the columnar fast path, emitting
+    /// maximal contiguous `f64`/id slices from typed chunks (same visit
+    /// sequence, since one column is order-agnostic). Iteration order and
+    /// clipping are identical to [`Grid::for_each_in_range`].
     #[inline]
-    pub(crate) fn scan_range<F: FnMut(&[Cell])>(&self, range: Range, f: &mut F) {
-        if self.rows.is_empty() || self.ncols == 0 {
-            return;
-        }
-        let r1 = range.end.row.min(self.nrows() - 1);
-        let c1 = range.end.col.min(self.ncols - 1);
-        if range.start.row > r1 || range.start.col > c1 {
-            return;
-        }
-        let (r0, c0) = (range.start.row as usize, range.start.col as usize);
-        if range.start.col == c1 {
-            for row in &self.rows[r0..=r1 as usize] {
-                f(std::slice::from_ref(&row[c0]));
-            }
+    pub(crate) fn scan_range<F: FnMut(ScanSlice<'_>)>(&self, range: Range, f: &mut F) {
+        if range.start.col == range.end.col {
+            self.core.scan_col_major(range, f);
         } else {
-            for row in &self.rows[r0..=r1 as usize] {
-                f(&row[c0..=c1 as usize]);
-            }
+            self.core.scan_row_major(range, f);
         }
     }
 }
 
 impl Grid for RowStore {
     fn nrows(&self) -> u32 {
-        self.rows.len() as u32
+        self.core.nrows()
     }
 
     fn ncols(&self) -> u32 {
-        self.ncols
+        self.core.ncols()
     }
 
-    fn get(&self, addr: CellAddr) -> Option<&Cell> {
-        self.rows.get(addr.row as usize)?.get(addr.col as usize)
+    fn get(&self, addr: CellAddr) -> Option<CellGet<'_>> {
+        self.core.get(addr)
     }
 
-    fn cell_mut(&mut self, addr: CellAddr) -> &mut Cell {
-        self.ensure_size(addr.row + 1, addr.col + 1);
-        &mut self.rows[addr.row as usize][addr.col as usize]
+    fn value_at(&self, addr: CellAddr) -> Value {
+        self.core.value_at(addr)
     }
 
-    fn ensure_size(&mut self, rows: u32, cols: u32) {
-        if cols > self.ncols {
-            for row in &mut self.rows {
-                row.resize_with(cols as usize, Cell::empty);
-            }
-            self.ncols = cols;
-        }
-        if rows as usize > self.rows.len() {
-            let ncols = self.ncols.max(cols) as usize;
-            self.ncols = ncols as u32;
-            self.rows.resize_with(rows as usize, || {
-                let mut v = Vec::with_capacity(ncols);
-                v.resize_with(ncols, Cell::empty);
-                v
-            });
-        }
+    fn cell_mut(&mut self, addr: CellAddr) -> Result<&mut Cell, EngineError> {
+        self.core.cell_mut(addr)
     }
 
-    fn permute_rows(&mut self, perm: &[u32]) {
-        apply_permutation(&mut self.rows, perm);
+    fn set(&mut self, addr: CellAddr, cell: Cell) -> Result<(), EngineError> {
+        self.core.set(addr, cell)
+    }
+
+    fn set_value(&mut self, addr: CellAddr, v: Value) -> Result<(), EngineError> {
+        self.core.set_value(addr, v)
+    }
+
+    fn set_style(&mut self, addr: CellAddr, style: Style) -> Result<(), EngineError> {
+        self.core.set_style(addr, style)
+    }
+
+    fn ensure_size(&mut self, rows: u32, cols: u32) -> Result<(), EngineError> {
+        self.core.ensure_size(rows, cols)
+    }
+
+    fn permute_rows(&mut self, perm: &[u32]) -> Result<(), EngineError> {
+        self.core.permute_rows(perm)
     }
 
     fn for_each_in_range(&self, range: Range, f: &mut dyn FnMut(CellAddr, &Cell)) {
-        let r1 = range.end.row.min(self.nrows().saturating_sub(1));
-        let c1 = range.end.col.min(self.ncols.saturating_sub(1));
-        if self.rows.is_empty() || self.ncols == 0 {
-            return;
-        }
-        for r in range.start.row..=r1 {
-            let row = &self.rows[r as usize];
-            for c in range.start.col..=c1 {
-                f(CellAddr::new(r, c), &row[c as usize]);
-            }
-        }
+        self.core.for_each_row_major(range, f);
     }
 }
 
@@ -115,22 +105,51 @@ mod tests {
     use crate::value::Value;
 
     #[test]
-    fn growth_keeps_rows_dense() {
+    fn growth_tracks_extent_without_materializing() {
         let mut g = RowStore::new(2, 2);
-        g.set(CellAddr::new(0, 5), Cell::value(1));
+        g.set(CellAddr::new(0, 5), Cell::value(1)).unwrap();
         assert_eq!(g.ncols(), 6);
-        for r in 0..g.nrows() {
-            assert_eq!(g.row(r).unwrap().len(), 6, "row {r}");
-        }
+        assert_eq!(g.nrows(), 2);
+        // In-extent vacant positions read as empty, not None.
+        assert!(g.get(CellAddr::new(1, 4)).unwrap().is_vacant());
     }
 
     #[test]
-    fn row_access() {
-        let mut g = RowStore::new(1, 3);
-        g.set(CellAddr::new(0, 2), Cell::value("z"));
-        let row = g.row(0).unwrap();
-        assert_eq!(row[2].display_value(), &Value::text("z"));
-        assert!(g.row(7).is_none());
+    fn range_visit_is_row_major_order() {
+        let mut g = RowStore::new(2, 2);
+        for r in 0..2 {
+            for c in 0..2 {
+                g.set(CellAddr::new(r, c), Cell::value(i64::from(r * 10 + c))).unwrap();
+            }
+        }
+        let mut order = Vec::new();
+        g.for_each_in_range(Range::parse("A1:B2").unwrap(), &mut |a, _| order.push(a.to_a1()));
+        assert_eq!(order, ["A1", "B1", "A2", "B2"]);
+    }
+
+    #[test]
+    fn single_column_scan_emits_contiguous_nums() {
+        let mut g = RowStore::new(1, 1);
+        // Enough uniform numbers to promote the chunk to a numeric segment.
+        for r in 0..200 {
+            g.set(CellAddr::new(r, 0), Cell::value(f64::from(r))).unwrap();
+        }
+        let (mut nums, mut cells, mut total) = (0usize, 0usize, 0usize);
+        g.scan_range(Range::parse("A1:A200").unwrap(), &mut |s| match s {
+            ScanSlice::Nums(v) => {
+                nums += 1;
+                total += v.len();
+            }
+            ScanSlice::Cells(v) => {
+                cells += 1;
+                total += v.len();
+            }
+            ScanSlice::Texts(ids, _) => total += ids.len(),
+            ScanSlice::Empty(n) => total += n,
+        });
+        assert_eq!(total, 200);
+        assert_eq!(nums, 1, "typed chunk should emit one contiguous f64 run");
+        assert_eq!(cells, 0);
     }
 
     #[test]
@@ -139,5 +158,16 @@ mod tests {
         let mut n = 0;
         g.for_each_in_range(Range::parse("A1:B2").unwrap(), &mut |_, _| n += 1);
         assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn text_round_trips_through_interner() {
+        let mut g = RowStore::new(1, 1);
+        for r in 0..100 {
+            g.set(CellAddr::new(r, 0), Cell::value(format!("s{}", r % 7))).unwrap();
+        }
+        assert_eq!(g.value_at(CellAddr::new(13, 0)), Value::text("s6"));
+        assert_eq!(g.value_at(CellAddr::new(70, 0)), Value::text("s0"));
+        g.core().validate();
     }
 }

@@ -80,6 +80,7 @@ pub mod prelude {
     pub use crate::error::{CellError, EngineError};
     pub use crate::eval::{CellSource, EvalCtx, LookupStrategy};
     pub use crate::formula::{parse, print, Expr};
+    pub use crate::grid::{CellGet, Grid, GridStore, SpillStats, MAX_COLS, MAX_ROWS};
     pub use crate::index::IndexStore;
     pub use crate::io::SheetData;
     pub use crate::meter::{Counts, Meter, Primitive};

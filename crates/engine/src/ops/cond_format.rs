@@ -45,15 +45,20 @@ pub(crate) fn conditional_format_impl(
             let addr = CellAddr::new(row, col);
             sheet.meter().tick(Primitive::CellRead);
             let matches = criterion.matches(&sheet.value(addr));
-            let cell = sheet.cell_mut(addr);
+            // Peek at the fill read-only and materialize the cell only on
+            // an actual style change: `cell_mut` on a typed chunk degrades
+            // the whole chunk to cell form, so an unconditional call here
+            // would wreck the columnar layout of every scanned range.
+            let fill_now = sheet.cell(addr).and_then(|c| c.style.fill);
             if matches {
-                if cell.style.fill != Some(fill) {
+                if fill_now != Some(fill) {
+                    let cell = sheet.cell_mut(addr);
                     cell.style = cell.style.with_fill(fill);
                     sheet.meter().tick(Primitive::StyleUpdate);
                 }
                 formatted += 1;
-            } else if cell.style.fill == Some(fill) {
-                cell.style.fill = None;
+            } else if fill_now == Some(fill) {
+                sheet.cell_mut(addr).style.fill = None;
                 sheet.meter().tick(Primitive::StyleUpdate);
             }
         }

@@ -28,7 +28,7 @@ pub(crate) fn copy_paste_impl(sheet: &mut Sheet, src: Range, dst_start: CellAddr
     let mut clipboard: Vec<(CellAddr, Cell)> = Vec::with_capacity((rows * cols) as usize);
     for addr in src.iter() {
         sheet.meter().tick(Primitive::CellRead);
-        let cell = sheet.cell(addr).cloned().unwrap_or_else(Cell::empty);
+        let cell = sheet.cell(addr).map(|c| c.into_cell()).unwrap_or_else(Cell::empty);
         clipboard.push((addr, cell));
     }
     // Paste with adjustment.

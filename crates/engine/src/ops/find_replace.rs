@@ -85,9 +85,9 @@ pub(crate) fn find_replace_impl(
 
 /// Whether the displayed text of `addr` contains `needle`.
 fn cell_text_contains(sheet: &Sheet, addr: CellAddr, needle: &str) -> bool {
-    match sheet.cell(addr).map(|c| c.display_value()) {
-        Some(Value::Text(s)) => s.contains(needle),
-        _ => false,
+    match sheet.cell(addr) {
+        Some(c) => matches!(c.display_value(), Value::Text(s) if s.contains(needle)),
+        None => false,
     }
 }
 

@@ -119,15 +119,22 @@ impl Sheet {
     /// mutation funnels through, and the choke point where the tracer
     /// opens an `op:<name>` span with the operation's meter delta.
     ///
-    /// Currently infallible — every command's preconditions are handled by
-    /// clamping, as the free functions always did — but the `Result` is
-    /// part of the API contract so future commands can fail without
-    /// breaking callers.
+    /// Almost every command's preconditions are handled by clamping, as the
+    /// free functions always did; `Sort` is the exception — it surfaces
+    /// [`EngineError::BadPermutation`] if the grid rejects the computed row
+    /// permutation (a bug in the sort itself, not bad user input). The span
+    /// is finished either way, so an error still traces as a complete op.
     pub fn apply(&mut self, op: Op) -> Result<OpOutcome, EngineError> {
         let span =
             trace::Span::open_metered(trace::Category::Op, || format!("op:{}", op.name()), self.meter());
         let outcome = match op {
-            Op::Sort { keys } => OpOutcome::Sorted { permutation: sort::sort_rows_impl(self, &keys) },
+            Op::Sort { keys } => match sort::sort_rows_impl(self, &keys) {
+                Ok(permutation) => OpOutcome::Sorted { permutation },
+                Err(e) => {
+                    span.finish_metered(self.meter());
+                    return Err(e);
+                }
+            },
             Op::Filter { col, criterion } => {
                 OpOutcome::Filtered { visible: filter::filter_rows_impl(self, col, &criterion) }
             }

@@ -6,6 +6,7 @@
 use std::cell::Cell as StdCell;
 
 use crate::addr::CellAddr;
+use crate::error::EngineError;
 use crate::meter::Primitive;
 use crate::ops::{Op, OpOutcome};
 use crate::sheet::Sheet;
@@ -51,49 +52,96 @@ pub fn sort_rows(sheet: &mut Sheet, keys: &[SortKey]) -> Vec<u32> {
     }
 }
 
-pub(crate) fn sort_rows_impl(sheet: &mut Sheet, keys: &[SortKey]) -> Vec<u32> {
+pub(crate) fn sort_rows_impl(sheet: &mut Sheet, keys: &[SortKey]) -> Result<Vec<u32>, EngineError> {
     let m = sheet.nrows();
     let n = sheet.ncols();
     if m == 0 || keys.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
 
-    // Extract key values once per row (one metered read per key cell).
-    let mut key_values: Vec<Vec<Value>> = Vec::with_capacity(m as usize);
-    for row in 0..m {
-        let mut ks = Vec::with_capacity(keys.len());
-        for key in keys {
-            sheet.meter().tick(Primitive::CellRead);
-            ks.push(sheet.value(CellAddr::new(row, key.col)));
-        }
-        key_values.push(ks);
-    }
-
-    // Stable sort with an exact comparison counter.
+    // Stable sort with an exact comparison counter. Comparison *decisions*
+    // are identical across the paths below, so the counter (and therefore
+    // the CmpRead charge) does not depend on which representation holds the
+    // keys.
     let comparisons = StdCell::new(0u64);
     let mut perm: Vec<u32> = (0..m).collect();
-    perm.sort_by(|&a, &b| {
-        comparisons.set(comparisons.get() + 1);
-        let ka = &key_values[a as usize];
-        let kb = &key_values[b as usize];
-        for (i, key) in keys.iter().enumerate() {
-            let ord = ka[i].sheet_cmp(&kb[i]);
-            let ord = match key.order {
-                SortOrder::Ascending => ord,
-                SortOrder::Descending => ord.reverse(),
-            };
-            if !ord.is_eq() {
-                return ord;
-            }
+
+    if let [key] = keys {
+        // Single-key sort: extract a flat key vector (one metered read per
+        // row), and when the column is purely numeric/empty compare raw
+        // `f64`s instead of `Value`s — at millions of rows the per-row
+        // `Vec<Value>` of the general path dominates peak memory.
+        let mut vals: Vec<Value> = Vec::with_capacity(m as usize);
+        for row in 0..m {
+            sheet.meter().tick(Primitive::CellRead);
+            vals.push(sheet.value(CellAddr::new(row, key.col)));
         }
-        std::cmp::Ordering::Equal
-    });
+        if vals.iter().all(|v| matches!(v, Value::Number(_) | Value::Empty)) {
+            // `sheet_cmp` ranks Empty below every number, and the grid
+            // never stores a non-finite number, so NEG_INFINITY is a safe
+            // stand-in for Empty and `partial_cmp` never sees NaN.
+            let nums: Vec<f64> = vals
+                .iter()
+                .map(|v| match v {
+                    Value::Number(x) => *x,
+                    _ => f64::NEG_INFINITY,
+                })
+                .collect();
+            drop(vals);
+            perm.sort_by(|&a, &b| {
+                comparisons.set(comparisons.get() + 1);
+                let ord = nums[a as usize]
+                    .partial_cmp(&nums[b as usize])
+                    .unwrap_or(std::cmp::Ordering::Equal);
+                match key.order {
+                    SortOrder::Ascending => ord,
+                    SortOrder::Descending => ord.reverse(),
+                }
+            });
+        } else {
+            perm.sort_by(|&a, &b| {
+                comparisons.set(comparisons.get() + 1);
+                let ord = vals[a as usize].sheet_cmp(&vals[b as usize]);
+                match key.order {
+                    SortOrder::Ascending => ord,
+                    SortOrder::Descending => ord.reverse(),
+                }
+            });
+        }
+    } else {
+        // Extract key values once per row (one metered read per key cell).
+        let mut key_values: Vec<Vec<Value>> = Vec::with_capacity(m as usize);
+        for row in 0..m {
+            let mut ks = Vec::with_capacity(keys.len());
+            for key in keys {
+                sheet.meter().tick(Primitive::CellRead);
+                ks.push(sheet.value(CellAddr::new(row, key.col)));
+            }
+            key_values.push(ks);
+        }
+        perm.sort_by(|&a, &b| {
+            comparisons.set(comparisons.get() + 1);
+            let ka = &key_values[a as usize];
+            let kb = &key_values[b as usize];
+            for (i, key) in keys.iter().enumerate() {
+                let ord = ka[i].sheet_cmp(&kb[i]);
+                let ord = match key.order {
+                    SortOrder::Ascending => ord,
+                    SortOrder::Descending => ord.reverse(),
+                };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
     sheet.meter().bump(Primitive::CmpRead, comparisons.get());
 
     // Physically move every cell of every row.
     sheet.meter().bump(Primitive::CellMove, u64::from(m) * u64::from(n));
-    sheet.permute_rows(&perm);
-    perm
+    sheet.permute_rows(&perm)?;
+    Ok(perm)
 }
 
 #[cfg(test)]

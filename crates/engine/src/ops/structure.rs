@@ -191,7 +191,7 @@ pub(crate) fn restructure(sheet: &mut Sheet, axis: Axis, at: u32, count: u32, in
             if cell.is_vacant() && new == old {
                 continue;
             }
-            let mut cell = cell.clone();
+            let mut cell = cell.into_cell();
             if let CellContent::Formula(f) = &mut cell.content {
                 // Probe the memo before the rewrite: a binding whose read
                 // windows provably ride the edit keeps its compiled
@@ -217,6 +217,10 @@ pub(crate) fn restructure(sheet: &mut Sheet, axis: Axis, at: u32, count: u32, in
     sheet.set_lookup_strategy(fresh.lookup_strategy());
     sheet.set_recalc_options(fresh.recalc_options());
     sheet.set_now_serial(fresh.now_serial());
+    // The rebuilt grid must honor the same memory cap as the old one (a
+    // fresh sheet re-reads the env default, which an explicit budget may
+    // have overridden).
+    sheet.set_grid_budget(fresh.grid_budget());
     // Maintained column indexes ride the rebuild as *registrations*, with
     // the same coordinate remapping the cells get: row edits keep columns
     // in place, column edits shift registrations past the band and drop
@@ -251,7 +255,11 @@ pub(crate) fn restructure(sheet: &mut Sheet, axis: Axis, at: u32, count: u32, in
             CellContent::Value(v) => {
                 if !v.is_empty() || !cell.style.is_plain() {
                     sheet.set_value(addr, v);
-                    sheet.cell_mut(addr).style = cell.style;
+                    // Plain-styled values stay in typed chunk form;
+                    // `cell_mut` would materialize them one by one.
+                    if !cell.style.is_plain() {
+                        sheet.cell_mut(addr).style = cell.style;
+                    }
                 }
             }
         }

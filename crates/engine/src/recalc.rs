@@ -28,7 +28,7 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
-use crate::addr::CellAddr;
+use crate::addr::{CellAddr, Range};
 use crate::compile::{vm, EvalBackend};
 use crate::depgraph::DirtyPlan;
 use crate::error::CellError;
@@ -306,8 +306,32 @@ fn run_plan(sheet: &mut Sheet, plan: &DirtyPlan, opts: RecalcOptions, pass: &'st
         }
         cspan.finish_metered(sheet.meter());
     }
+    let pin_budget = sheet.grid_budget();
     for k in 0..plan.level_count() {
         let level = plan.level(k);
+        // Under a grid memory cap, pin the chunks under the level's read
+        // windows before evaluating it, so the clock evictor spills cold
+        // chunks instead of thrashing the wave's own working set. A
+        // sampled prefix of the level bounds the bookkeeping; pinning is
+        // capped at half the budget so the evictor always has headroom.
+        if let Some(budget) = pin_budget {
+            let mut ranges: Vec<Range> = Vec::new();
+            'sample: for &addr in level.iter().take(256) {
+                if let Some(prec) = sheet.deps().precedents_of(addr) {
+                    for &r in &prec.ranges {
+                        if !ranges.contains(&r) {
+                            ranges.push(r);
+                        }
+                        if ranges.len() >= 64 {
+                            break 'sample;
+                        }
+                    }
+                }
+            }
+            if !ranges.is_empty() {
+                sheet.pin_grid_windows(&ranges, budget / 2);
+            }
+        }
         let lspan = Span::open_metered(
             Category::Level,
             || format!("level {k} ({} formulas)", level.len()),
@@ -333,6 +357,9 @@ fn run_plan(sheet: &mut Sheet, plan: &DirtyPlan, opts: RecalcOptions, pass: &'st
             run_level_parallel(sheet, level, fanout, opts.backend, opts.kernels, use_delta);
         }
         lspan.finish_metered(sheet.meter());
+        if pin_budget.is_some() {
+            sheet.unpin_grid();
+        }
     }
     for &addr in &plan.cyclic {
         sheet.store_cached(addr, Value::Error(CellError::Circular));

@@ -9,7 +9,7 @@ use crate::error::EngineError;
 use crate::eval::context::DEFAULT_NOW_SERIAL;
 use crate::eval::{CellSource, EvalCtx, LookupStrategy};
 use crate::formula::{Expr, NameResolver, RangeRef};
-use crate::grid::{Grid, GridStore};
+use crate::grid::{CellGet, Grid, GridStore};
 use crate::index::{ColumnBuilder, IndexStore};
 use crate::meter::{Meter, Primitive};
 use crate::recalc::RecalcOptions;
@@ -69,6 +69,10 @@ pub struct EngineConfig {
     pub recalc: RecalcOptions,
     /// Automatic column indexing (the optimized fourth system).
     pub auto_index: bool,
+    /// Resident-byte budget for the grid's typed chunks; cold chunks
+    /// spill to a page file under pressure (DESIGN.md §14). `None` means
+    /// unbounded. Defaults to the `SSBENCH_GRID_BUDGET` env knob.
+    pub grid_budget: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -78,6 +82,7 @@ impl Default for EngineConfig {
             now_serial: DEFAULT_NOW_SERIAL,
             recalc: RecalcOptions::default(),
             auto_index: false,
+            grid_budget: crate::grid::env_grid_budget(),
         }
     }
 }
@@ -117,6 +122,12 @@ impl EngineConfigBuilder {
     /// Enables or disables automatic column indexing.
     pub fn auto_index(mut self, on: bool) -> Self {
         self.cfg.auto_index = on;
+        self
+    }
+
+    /// Sets the grid's resident-byte budget (`None` = unbounded).
+    pub fn grid_budget(mut self, budget: Option<usize>) -> Self {
+        self.cfg.grid_budget = budget;
         self
     }
 
@@ -221,8 +232,11 @@ impl Sheet {
         }
     }
 
-    /// The raw cell at `addr`, when materialized.
-    pub fn cell(&self, addr: CellAddr) -> Option<&Cell> {
+    /// The cell at `addr`, when inside the materialized extent. Since the
+    /// chunked grid (§14), typed slots reconstruct their `Cell` on read —
+    /// the result is a [`CellGet`] that derefs to [`Cell`] (formulas and
+    /// styled cells always borrow real storage).
+    pub fn cell(&self, addr: CellAddr) -> Option<CellGet<'_>> {
         self.grid.get(addr)
     }
 
@@ -230,17 +244,17 @@ impl Sheet {
     /// charge the meter — metered reads go through evaluation contexts and
     /// operations.
     pub fn value(&self, addr: CellAddr) -> Value {
-        self.grid.get(addr).map(|c| c.display_value().clone()).unwrap_or(Value::Empty)
+        self.grid.value_at(addr)
     }
 
     /// The formula-bar text at `addr`.
     pub fn input_text(&self, addr: CellAddr) -> String {
-        self.grid.get(addr).map(Cell::input_text).unwrap_or_default()
+        self.grid.get(addr).map(|c| c.input_text()).unwrap_or_default()
     }
 
     /// Whether `addr` holds a formula.
     pub fn is_formula(&self, addr: CellAddr) -> bool {
-        self.grid.get(addr).is_some_and(Cell::is_formula)
+        self.grid.get(addr).is_some_and(|c| c.is_formula())
     }
 
     /// Number of formula cells.
@@ -255,9 +269,11 @@ impl Sheet {
 
     /// The parsed expression of the formula at `addr`.
     pub fn formula_expr(&self, addr: CellAddr) -> Option<&Expr> {
-        match &self.grid.get(addr)?.content {
-            CellContent::Formula(f) => Some(&f.expr),
-            CellContent::Value(_) => None,
+        // Formulas always live in general storage, so the borrowed arm is
+        // the only one that can hold one (typed slots are plain values).
+        match self.grid.get(addr)? {
+            CellGet::Borrowed(Cell { content: CellContent::Formula(f), .. }) => Some(&f.expr),
+            _ => None,
         }
     }
 
@@ -297,6 +313,7 @@ impl Sheet {
         self.now_serial = cfg.now_serial;
         self.recalc_opts = cfg.recalc;
         self.auto_index = cfg.auto_index;
+        self.grid.set_budget(cfg.grid_budget);
     }
 
     /// The current configuration as one value.
@@ -306,7 +323,62 @@ impl Sheet {
             now_serial: self.now_serial,
             recalc: self.recalc_opts,
             auto_index: self.auto_index,
+            grid_budget: self.grid.budget(),
         }
+    }
+
+    // --- grid memory ------------------------------------------------------
+
+    /// Sets (or clears) the grid's resident-byte budget; immediately
+    /// spills down to fit.
+    pub fn set_grid_budget(&mut self, budget: Option<usize>) {
+        self.grid.set_budget(budget);
+    }
+
+    /// The grid's resident-byte budget, if any.
+    pub fn grid_budget(&self) -> Option<usize> {
+        self.grid.budget()
+    }
+
+    /// Bytes of typed chunk data currently resident (what the budget
+    /// bounds; general-storage chunks are wired and not counted).
+    pub fn grid_resident_bytes(&self) -> usize {
+        self.grid.resident_spill_bytes()
+    }
+
+    /// Cumulative spill/load/fault counters for the grid's buffer pool.
+    pub fn grid_spill_stats(&self) -> crate::grid::SpillStats {
+        self.grid.spill_stats()
+    }
+
+    /// Approximate heap bytes held by the grid (memory regression gates).
+    pub fn grid_heap_bytes(&self) -> usize {
+        self.grid.approx_heap_bytes()
+    }
+
+    /// Checks every grid storage invariant; panics on violation (test and
+    /// harness aid).
+    pub fn validate_grid(&self) {
+        self.grid.validate();
+    }
+
+    /// Loads and pins the typed chunks under `ranges` (up to `max_bytes`
+    /// in total) so a recalc wave's read set stays resident; paired with
+    /// [`Sheet::unpin_grid`]. Returns the bytes pinned.
+    pub(crate) fn pin_grid_windows(&mut self, ranges: &[Range], max_bytes: usize) -> usize {
+        let mut pinned = 0usize;
+        for r in ranges {
+            if pinned >= max_bytes {
+                break;
+            }
+            pinned += self.grid.pin_range(*r, max_bytes - pinned);
+        }
+        pinned
+    }
+
+    /// Drops every grid pin.
+    pub(crate) fn unpin_grid(&mut self) {
+        self.grid.unpin_all();
     }
 
     // --- column indexes ---------------------------------------------------
@@ -400,19 +472,22 @@ impl Sheet {
             // Maintain the column index incrementally: capture the old
             // value before the write (a built column never holds a
             // formula, so the displayed value is the literal content).
-            let old =
-                self.grid.get(addr).map(|c| c.display_value().clone()).unwrap_or(Value::Empty);
+            let old = self.grid.value_at(addr);
             self.indexes.on_write(&self.meter, addr, &old, &v);
         }
-        let cell = self.grid.cell_mut(addr);
-        cell.content = CellContent::Value(v);
+        // Style-preserving typed write; beyond-limit addresses are a
+        // programmer error on this infallible path (user input funnels
+        // through `set_input`, which pre-validates).
+        self.grid.set_value(addr, v).expect("set_value: address beyond engine limits");
     }
 
     /// Installs a parsed formula (uncomputed until a recalculation runs).
     pub fn set_formula(&mut self, addr: CellAddr, expr: Expr) {
         self.meter.tick(Primitive::CellWrite);
         self.deps.add(addr, &expr);
-        self.grid.set(addr, Cell::formula(expr));
+        self.grid
+            .set(addr, Cell::formula(expr))
+            .expect("set_formula: address beyond engine limits");
         // The new formula may normalize to a different template; every
         // other cell's memo entry is untouched, so a fill-down edit
         // recompiles at most the one new template.
@@ -426,6 +501,7 @@ impl Sheet {
     /// Parses and installs `src` (with or without a leading `=`),
     /// resolving any defined named ranges.
     pub fn set_formula_str(&mut self, addr: CellAddr, src: &str) -> Result<(), EngineError> {
+        check_addr(addr)?;
         let body = src.strip_prefix('=').unwrap_or(src);
         let expr = crate::formula::parse_with(body, &self.names)?;
         self.set_formula(addr, expr);
@@ -470,6 +546,10 @@ impl Sheet {
     /// Sets a cell from user input: `=...` becomes a formula, numeric text
     /// a number, `TRUE`/`FALSE` booleans, everything else text.
     pub fn set_input(&mut self, addr: CellAddr, input: &str) -> Result<(), EngineError> {
+        // Parsed addresses can name rows past the engine's hard limits
+        // (e.g. `A1073741825`); reject them here with a typed error so the
+        // infallible internal setters below can't be reached with one.
+        check_addr(addr)?;
         if let Some(body) = input.strip_prefix('=') {
             return self.set_formula_str(addr, body);
         }
@@ -486,9 +566,10 @@ impl Sheet {
         Ok(())
     }
 
-    /// Pre-sizes the grid.
+    /// Pre-sizes the grid. Sizes beyond the engine's hard limits
+    /// (`grid::MAX_ROWS` × `grid::MAX_COLS`) are a programmer error.
     pub fn ensure_size(&mut self, rows: u32, cols: u32) {
-        self.grid.ensure_size(rows, cols);
+        self.grid.ensure_size(rows, cols).expect("ensure_size: beyond engine limits");
     }
 
     /// Stores an evaluated result into a formula cell's cache. Exposed so
@@ -496,7 +577,13 @@ impl Sheet {
     /// and incremental computation) can materialize results; a no-op on
     /// non-formula cells.
     pub fn store_formula_result(&mut self, addr: CellAddr, v: Value) {
-        if let CellContent::Formula(f) = &mut self.grid.cell_mut(addr).content {
+        // The formula check first keeps the no-op path allocation-free
+        // (cell_mut would materialize general storage for the slot).
+        if !self.is_formula(addr) {
+            return;
+        }
+        let cell = self.grid.cell_mut(addr).expect("formula cell is within the grid");
+        if let CellContent::Formula(f) = &mut cell.content {
             f.cached = v;
         }
     }
@@ -510,7 +597,7 @@ impl Sheet {
     /// responsible for keeping the dependency graph consistent when they
     /// change formula content.
     pub(crate) fn cell_mut(&mut self, addr: CellAddr) -> &mut Cell {
-        self.grid.cell_mut(addr)
+        self.grid.cell_mut(addr).expect("cell_mut: address beyond engine limits")
     }
 
     /// Mutable dependency-graph access for operations.
@@ -524,7 +611,7 @@ impl Sheet {
     pub fn freeze_all_formulas(&mut self) {
         let addrs: Vec<CellAddr> = self.deps.formula_addrs().collect();
         for addr in addrs {
-            self.grid.cell_mut(addr).freeze();
+            self.grid.cell_mut(addr).expect("formula cell is within the grid").freeze();
         }
         self.deps.clear();
     }
@@ -538,8 +625,8 @@ impl Sheet {
     /// distinction behind §6's "detecting what needs recomputation":
     /// relative same-row formulae keep their value under any row sort;
     /// absolute ones may not.
-    pub fn permute_rows(&mut self, perm: &[u32]) {
-        self.grid.permute_rows(perm);
+    pub fn permute_rows(&mut self, perm: &[u32]) -> Result<(), EngineError> {
+        self.grid.permute_rows(perm)?;
         if !self.hidden.is_empty() {
             let mut hidden = vec![false; perm.len()];
             for (i, &p) in perm.iter().enumerate() {
@@ -554,16 +641,16 @@ impl Sheet {
         // new) == normalize(e, old)`, the R1C1 key is unchanged, and the
         // compiled program (a pure function of that key) is still the
         // right one. Unmoved formulas pass trivially: windows anchored at
-        // an address always resolve there.
+        // an address always resolve there. Pure-typed columns can't hold
+        // formulas, so the scan skips them wholesale.
+        let formula_cols: Vec<u32> =
+            (0..self.ncols()).filter(|&c| self.grid.col_may_have_formulas(c)).collect();
         let mut retained: Vec<(CellAddr, std::sync::Arc<crate::compile::Program>)> = Vec::new();
         for (new_row, &old_row) in perm.iter().enumerate() {
             let new_row = new_row as u32;
-            for col in 0..self.ncols() {
+            for &col in &formula_cols {
                 let addr = CellAddr::new(new_row, col);
-                if !matches!(
-                    self.grid.get(addr).map(|c| &c.content),
-                    Some(CellContent::Formula(_))
-                ) {
+                if !self.is_formula(addr) {
                     continue;
                 }
                 if let Some(prog) = self.programs.memo_get(CellAddr::new(old_row, col)) {
@@ -574,20 +661,17 @@ impl Sheet {
                 if new_row == old_row {
                     continue;
                 }
-                let adjusted = match &self.grid.get(addr).map(|c| &c.content) {
-                    Some(CellContent::Formula(f)) => {
-                        Some(f.expr.adjusted(CellAddr::new(old_row, col), addr))
-                    }
-                    _ => None,
-                };
+                let adjusted =
+                    self.formula_expr(addr).map(|e| e.adjusted(CellAddr::new(old_row, col), addr));
                 if let Some(expr) = adjusted {
-                    if let CellContent::Formula(f) = &mut self.grid.cell_mut(addr).content {
+                    if let CellContent::Formula(f) = &mut self.cell_mut(addr).content {
                         f.expr = expr;
                     }
                 }
             }
         }
         self.rebuild_deps_retaining(retained);
+        Ok(())
     }
 
     /// Rebuilds the dependency graph by scanning the grid (used after bulk
@@ -630,7 +714,8 @@ impl Sheet {
     /// Hides or unhides a row.
     pub fn set_row_hidden(&mut self, row: u32, hidden: bool) {
         if self.hidden.len() <= row as usize {
-            self.hidden.resize(self.nrows().max(row + 1) as usize, false);
+            // usize arithmetic: `row + 1` in u32 would wrap at u32::MAX.
+            self.hidden.resize((self.nrows() as usize).max(row as usize + 1), false);
         }
         self.hidden[row as usize] = hidden;
     }
@@ -692,6 +777,15 @@ impl Default for Sheet {
     }
 }
 
+/// Rejects addresses at or beyond the engine's hard limits before they
+/// reach the infallible internal setters.
+fn check_addr(addr: CellAddr) -> Result<(), EngineError> {
+    if addr.row >= crate::grid::MAX_ROWS || addr.col >= crate::grid::MAX_COLS {
+        return Err(EngineError::OutOfBounds { rows: addr.row, cols: addr.col });
+    }
+    Ok(())
+}
+
 /// The memo-retention predicate: every window of a bounded read-set
 /// resolves at `at`. Read windows are derived one-per-reference, so
 /// resolution of every window corner is exactly the condition under which
@@ -721,6 +815,43 @@ impl CellSource for Sheet {
     }
 
     fn visit_range(&self, range: Range, f: &mut dyn FnMut(CellAddr, &Value, bool)) {
+        // Single-column windows — the dominant aggregation shape — take
+        // the typed scan path: numeric chunks hand over `f64` runs and no
+        // temporary `Cell` is materialized per position. The visit order
+        // is identical to `for_each_in_range` (one column admits only
+        // one order), as are the values and formula flags fed to `f`.
+        if range.start.col == range.end.col {
+            use crate::grid::ScanSlice;
+            let c = range.start.col;
+            let mut r = range.start.row;
+            self.grid.scan_range(range, &mut |slice: ScanSlice<'_>| match slice {
+                ScanSlice::Nums(vals) => {
+                    for &n in vals {
+                        f(CellAddr::new(r, c), &Value::Number(n), false);
+                        r += 1;
+                    }
+                }
+                ScanSlice::Texts(ids, interner) => {
+                    for &id in ids {
+                        f(CellAddr::new(r, c), interner.value(id), false);
+                        r += 1;
+                    }
+                }
+                ScanSlice::Cells(cells) => {
+                    for cell in cells {
+                        f(CellAddr::new(r, c), cell.display_value(), cell.is_formula());
+                        r += 1;
+                    }
+                }
+                ScanSlice::Empty(n) => {
+                    for _ in 0..n {
+                        f(CellAddr::new(r, c), &Value::Empty, false);
+                        r += 1;
+                    }
+                }
+            });
+            return;
+        }
         self.grid.for_each_in_range(range, &mut |addr, cell| {
             f(addr, cell.display_value(), cell.is_formula());
         });
@@ -818,7 +949,7 @@ mod tests {
         s.set_value(a("A2"), 20);
         s.set_formula_str(a("B2"), "=A2*2").unwrap();
         recalc::recalc_all(&mut s);
-        s.permute_rows(&[1, 0]);
+        s.permute_rows(&[1, 0]).unwrap();
         // The formula moved to B1 with its relative reference rewritten to
         // its new row (real-system sort semantics): =A1*2 over A1=20.
         assert!(s.is_formula(a("B1")));
@@ -850,7 +981,7 @@ mod tests {
         // Reverse the rows: every formula's same-row window resolves at
         // its destination, so every memo binding rides the sort.
         let perm: Vec<u32> = (0..8).rev().collect();
-        s.permute_rows(&perm);
+        s.permute_rows(&perm).unwrap();
         assert_eq!(s.program_cache().memo_len(), 8, "same-row templates survive a sort");
         recalc::recalc_all(&mut s);
         assert_eq!(s.program_cache().misses(), misses, "a sort must not recompile");
@@ -883,7 +1014,7 @@ mod tests {
         assert_eq!(s.program_cache().memo_len(), 2);
         // Old row 2 (B2) moves to the top: its previous-row window walks
         // off the sheet, so that binding must drop; unmoved B3 survives.
-        s.permute_rows(&[1, 0, 2]);
+        s.permute_rows(&[1, 0, 2]).unwrap();
         assert_eq!(s.program_cache().memo_len(), 1);
         recalc::recalc_all(&mut s);
         assert_eq!(s.value(a("B1")), Value::Error(crate::error::CellError::Ref));

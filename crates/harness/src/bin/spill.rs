@@ -1,0 +1,177 @@
+//! Memory-capped grid scenario: builds a tall numeric sheet, recalculates
+//! a set of whole-column aggregates, sorts it, and digests the values
+//! after each phase.
+//!
+//! ```text
+//! cargo run --release -p ssbench-harness --bin spill -- [--rows N]
+//! ```
+//!
+//! Environment:
+//!
+//! * `SSBENCH_GRID_BUDGET` — resident-byte cap for typed grid chunks
+//!   (e.g. `64M`). Unset means unbounded. The run asserts the grid honors
+//!   the cap after every phase.
+//! * `SSBENCH_RSS_LIMIT_MB` — optional hard gate on the process peak RSS
+//!   (`VmHWM`); the run exits non-zero when exceeded.
+//!
+//! The digests printed are bit-exact FNV-1a over every stored value; a
+//! capped run must print the same digests as an unbounded one
+//! (`scripts/check.sh` compares them).
+
+use ssbench_engine::addr::CellAddr;
+use ssbench_engine::ops::{Op, SortKey};
+use ssbench_engine::recalc;
+use ssbench_engine::sheet::Sheet;
+use ssbench_engine::value::Value;
+
+fn main() {
+    let rows = parse_rows().unwrap_or(5_000_000);
+    let budget = std::env::var("SSBENCH_GRID_BUDGET").ok();
+    eprintln!(
+        "spill scenario: {rows} rows x 4 data cols, grid budget {}",
+        budget.as_deref().unwrap_or("unbounded"),
+    );
+
+    // Phase 1: build. Column A holds a pseudo-random sort key, B the row
+    // number, C a low-cardinality bucket, D a derived value. All numeric,
+    // so the grid stores them as typed chunks — the spillable kind.
+    let mut sheet = Sheet::new();
+    let mut x = 0x2545_F491_4F6C_DD1Du64;
+    for r in 0..rows {
+        // xorshift64* keeps the key column deterministic but unsorted.
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let key = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f64;
+        sheet.set_value(CellAddr::new(r, 0), Value::Number(key));
+        sheet.set_value(CellAddr::new(r, 1), Value::Number(f64::from(r)));
+        sheet.set_value(CellAddr::new(r, 2), Value::Number(f64::from(r % 1000)));
+        sheet.set_value(CellAddr::new(r, 3), Value::Number(f64::from(r / 2)));
+    }
+    // Whole-column aggregates in column E, pinned with absolute references
+    // so the sort cannot rewrite them.
+    let aggs = [
+        format!("=SUM($A$1:$A${rows})"),
+        format!("=COUNT($A$1:$A${rows})"),
+        format!("=AVERAGE($B$1:$B${rows})"),
+        format!("=MIN($A$1:$A${rows})"),
+        format!("=MAX($A$1:$A${rows})"),
+        format!("=SUM($D$1:$D${rows})"),
+        format!("=COUNTIF($C$1:$C${rows},500)"),
+        format!("=SUM($B$1:$B${rows})"),
+    ];
+    for (i, src) in aggs.iter().enumerate() {
+        sheet.set_formula_str(CellAddr::new(i as u32, 4), src).expect("aggregate parses");
+    }
+    report_phase(&sheet, "build");
+
+    // Phase 2: full recalculation (the read set is every data column).
+    recalc::recalc_all(&mut sheet);
+    report_phase(&sheet, "recalc");
+    println!("digest_recalc={:016x}", digest(&sheet));
+
+    // Phase 3: sort every row by the pseudo-random key column.
+    sheet.apply(Op::Sort { keys: vec![SortKey::asc(0)] }).expect("sort applies");
+    recalc::recalc_all(&mut sheet);
+    report_phase(&sheet, "sort");
+    println!("digest_sorted={:016x}", digest(&sheet));
+
+    let stats = sheet.grid_spill_stats();
+    println!(
+        "spills={} loads={} faults={} resident_bytes={}",
+        stats.spills,
+        stats.loads,
+        stats.faults,
+        sheet.grid_resident_bytes(),
+    );
+    if sheet.grid_budget().is_some() && stats.spills == 0 {
+        eprintln!("FAIL: a budgeted run of this size must spill");
+        std::process::exit(1);
+    }
+
+    let hwm = peak_rss_kb();
+    println!("peak_rss_mb={}", hwm / 1024);
+    if let Some(limit_mb) = std::env::var("SSBENCH_RSS_LIMIT_MB")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+    {
+        if hwm / 1024 > limit_mb {
+            eprintln!("FAIL: peak RSS {} MB exceeds the {limit_mb} MB limit", hwm / 1024);
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse_rows() -> Option<u32> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--rows" {
+            return args.next()?.parse().ok();
+        }
+    }
+    None
+}
+
+/// Asserts the per-phase budget invariant and validates the grid.
+fn report_phase(sheet: &Sheet, phase: &str) {
+    sheet.validate_grid();
+    let resident = sheet.grid_resident_bytes();
+    if let Some(budget) = sheet.grid_budget() {
+        assert!(
+            resident <= budget,
+            "{phase}: resident {resident} B exceeds the {budget} B budget"
+        );
+    }
+    eprintln!("{phase}: resident {} KB, heap ~{} MB", resident / 1024, sheet.grid_heap_bytes() >> 20);
+}
+
+/// FNV-1a over every non-empty stored value, bit-exact for numbers. Same
+/// shape as the oracle's digest; layout- and budget-independent.
+fn digest(sheet: &Sheet) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    let Some(used) = sheet.used_range() else { return h };
+    for addr in used.iter() {
+        let v = sheet.value(addr);
+        if v == Value::Empty {
+            continue;
+        }
+        eat(&addr.row.to_le_bytes());
+        eat(&addr.col.to_le_bytes());
+        match v {
+            Value::Empty => unreachable!("skipped above"),
+            Value::Number(n) => {
+                eat(&[1]);
+                eat(&n.to_bits().to_le_bytes());
+            }
+            Value::Text(s) => {
+                eat(&[2]);
+                eat(s.as_bytes());
+            }
+            Value::Bool(b) => eat(&[3, u8::from(b)]),
+            Value::Error(e) => {
+                eat(&[4]);
+                eat(format!("{e:?}").as_bytes());
+            }
+        }
+    }
+    h
+}
+
+/// Peak resident set size in KB (`VmHWM` from `/proc/self/status`).
+fn peak_rss_kb() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|kb| kb.parse().ok())
+        .unwrap_or(0)
+}

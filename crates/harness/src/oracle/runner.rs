@@ -56,14 +56,20 @@ pub struct OracleConfig {
     /// every structural edit (insert/delete/sort) without drifting from
     /// the grid.
     pub indexed: bool,
+    /// Grid resident-byte budget (the spill-to-disk buffer pool's
+    /// variable). A deliberately tiny cap forces constant spill/fault
+    /// churn through every replayed op; values, digests, and meter counts
+    /// must be bit-identical to the unbounded configurations — spilling
+    /// is purely a memory-placement concern.
+    pub budget: Option<usize>,
 }
 
 impl OracleConfig {
     /// Compact label for failure messages, e.g.
-    /// `row/par4/opt-lookup/inc/compiled/ix`.
+    /// `row/par4/opt-lookup/inc/compiled/ix/cap32k`.
     pub fn label(&self) -> String {
         format!(
-            "{}/par{}/{}/{}/{}/{}",
+            "{}/par{}/{}/{}/{}/{}/{}",
             match self.layout {
                 Layout::RowMajor => "row",
                 Layout::ColumnMajor => "col",
@@ -73,6 +79,7 @@ impl OracleConfig {
             if self.incremental { "inc" } else { "full" },
             self.backend.name(),
             if self.indexed { "ix" } else { "noix" },
+            if self.budget.is_some() { "cap32k" } else { "nocap" },
         )
     }
 
@@ -85,6 +92,9 @@ impl OracleConfig {
     /// own tests enforce it directly. Indexing is part of the key because
     /// index builds and probes replace scan reads (IndexProbe vs CellRead);
     /// within the indexed half the replays must still be deterministic.
+    /// The grid budget is deliberately NOT part of the key: spilling and
+    /// faulting never touch the meter, so a capped replay must produce the
+    /// same span signatures as its unbounded twin.
     fn signature_group(&self) -> (bool, bool, bool, bool, EvalBackend) {
         (
             self.incremental,
@@ -96,27 +106,34 @@ impl OracleConfig {
     }
 }
 
-/// The full 96-configuration matrix: 2 layouts × 2 lookup strategies ×
+/// The full 192-configuration matrix: 2 layouts × 2 lookup strategies ×
 /// full/incremental × 1/2/4 workers × 2 evaluation backends × indexed or
-/// not. The first entry is the reference configuration everything else is
-/// compared against.
+/// not × unbounded/32 KB grid budget. The first entry is the reference
+/// configuration everything else is compared against.
 pub fn matrix() -> Vec<OracleConfig> {
     let optimized = LookupStrategy { early_exit_exact: true, binary_search_approx: true };
-    let mut out = Vec::with_capacity(96);
+    // Small enough that even the oracle's little workbooks overflow it
+    // (each typed chunk page is ~8 KB), so the capped half of the matrix
+    // actually exercises spill/fault during the replay.
+    let cap = Some(32 * 1024);
+    let mut out = Vec::with_capacity(192);
     for layout in [Layout::RowMajor, Layout::ColumnMajor] {
         for lookup in [LookupStrategy::default(), optimized] {
             for incremental in [false, true] {
                 for parallelism in [1, 2, 4] {
                     for backend in [EvalBackend::Interpreted, EvalBackend::Compiled] {
                         for indexed in [false, true] {
-                            out.push(OracleConfig {
-                                layout,
-                                parallelism,
-                                lookup,
-                                incremental,
-                                backend,
-                                indexed,
-                            });
+                            for budget in [None, cap] {
+                                out.push(OracleConfig {
+                                    layout,
+                                    parallelism,
+                                    lookup,
+                                    incremental,
+                                    backend,
+                                    indexed,
+                                    budget,
+                                });
+                            }
                         }
                     }
                 }
@@ -269,6 +286,7 @@ fn replay(script: &Script, config: OracleConfig) -> Result<Replay, Failure> {
         ..RecalcOptions::default()
     };
     let mut sheet = gen::build_workbook(script, config.layout);
+    sheet.set_grid_budget(config.budget);
     sheet.set_lookup_strategy(config.lookup);
     sheet.set_recalc_options(opts);
     // Indexed configs auto-maintain column indexes from here on: every
@@ -462,6 +480,22 @@ fn check_invariants(
             config.indexed
         ));
     }
+    if sheet.grid_budget() != config.budget {
+        return Err(format!(
+            "grid budget changed to {:?} (configured {:?})",
+            sheet.grid_budget(),
+            config.budget
+        ));
+    }
+    if let Some(budget) = config.budget {
+        let resident = sheet.grid_resident_bytes();
+        if resident > budget {
+            return Err(format!("grid resident {resident} B exceeds the {budget} B budget"));
+        }
+    }
+    // Buffer-pool invariants (pin counts, page accounting, chunk
+    // bookkeeping) panic on violation.
+    sheet.validate_grid();
     audit::check_all(sheet)?;
     analyze::check_sheet(sheet).map(|_| ())
 }
@@ -549,16 +583,17 @@ mod tests {
     #[test]
     fn matrix_covers_all_dimensions() {
         let m = matrix();
-        assert_eq!(m.len(), 96);
+        assert_eq!(m.len(), 192);
         assert!(m.iter().any(|c| c.layout == Layout::ColumnMajor));
         assert!(m.iter().any(|c| c.parallelism == 4));
         assert!(m.iter().any(|c| c.lookup.early_exit_exact));
         assert!(m.iter().any(|c| c.incremental));
         assert!(m.iter().any(|c| c.backend == EvalBackend::Compiled));
         assert!(m.iter().any(|c| c.indexed));
+        assert!(m.iter().any(|c| c.budget.is_some()));
         // Reference config is the plainest one: sequential interpreter,
-        // no indexes.
-        assert_eq!(m[0].label(), "row/par1/naive-lookup/full/interp/noix");
+        // no indexes, unbounded grid memory.
+        assert_eq!(m[0].label(), "row/par1/naive-lookup/full/interp/noix/nocap");
     }
 
     #[test]

@@ -60,7 +60,9 @@ echo "==> corpus static verification (bytecode + dep-graph soundness)"
 # exits non-zero if compiled+delta falls below the 5x speedup bar (which
 # replaced the pre-delta 3x bar on compiled+kernels), or if the verified
 # VM (stack pre-reserved to the proven bound) is more than 1% slower than
-# the same programs with the bound stripped.
+# the same programs with the bound stripped (with a 25ns/formula floor —
+# smaller paired differences are below the harness's discrimination
+# limit on a 1-CPU host).
 echo "==> ablation_compile baseline (writes BENCH_eval.json)"
 BENCH_EVAL_JSON="$PWD/BENCH_eval.json" cargo bench -p ssbench-bench --bench ablation_compile
 test -s BENCH_eval.json || { echo "missing BENCH_eval.json" >&2; exit 1; }
@@ -75,5 +77,36 @@ test -s BENCH_eval.json || { echo "missing BENCH_eval.json" >&2; exit 1; }
 echo "==> ablation_index gate (appends to BENCH_eval.json)"
 BENCH_EVAL_JSON="$PWD/BENCH_eval.json" cargo bench -p ssbench-bench --bench ablation_index
 grep -q '"ablation_index"' BENCH_eval.json || { echo "missing ablation_index section" >&2; exit 1; }
+
+# Spill ablation (DESIGN.md §14): whole-column SUM over a 200k-row sheet
+# with the grid capped at 4 MB vs unbounded. The working set fits the
+# budget, so the buffer pool must serve it from resident chunks: the
+# bench exits non-zero if the budgeted median exceeds 2x the unbounded
+# one, and appends an "ablation_spill" section to BENCH_eval.json.
+echo "==> ablation_spill gate (appends to BENCH_eval.json)"
+BENCH_EVAL_JSON="$PWD/BENCH_eval.json" cargo bench -p ssbench-bench --bench ablation_spill
+grep -q '"ablation_spill"' BENCH_eval.json || { echo "missing ablation_spill section" >&2; exit 1; }
+
+# Memory-capped grid scenario (DESIGN.md §14): a 5M-row x 4-col numeric
+# sheet is built, recalculated through whole-column aggregates, and
+# sorted, once unbounded and once under a 64 MB grid budget with a hard
+# 384 MB peak-RSS gate. The spill binary asserts resident <= budget after
+# every phase and that the budgeted run actually spilled; this stage then
+# requires the two runs' value digests to be bit-identical — spilling is
+# memory placement, never semantics.
+echo "==> spill scenario: 5M rows under a 64 MB grid budget"
+nocap="$(./target/release/spill --rows 5000000 2> /dev/null)"
+cap="$(SSBENCH_GRID_BUDGET=64M SSBENCH_RSS_LIMIT_MB=384 \
+  ./target/release/spill --rows 5000000 2> /dev/null)"
+for phase in digest_recalc digest_sorted; do
+  a="$(grep -o "${phase}=[0-9a-f]*" <<< "$nocap")"
+  b="$(grep -o "${phase}=[0-9a-f]*" <<< "$cap")"
+  test -n "$a" || { echo "spill: unbounded run printed no $phase" >&2; exit 1; }
+  if [ "$a" != "$b" ]; then
+    echo "spill: $phase diverges under the budget (unbounded $a vs capped $b)" >&2
+    exit 1
+  fi
+done
+grep -o 'spills=[0-9]*' <<< "$cap"
 
 echo "==> all checks passed"
